@@ -1,0 +1,88 @@
+"""Throughput benchmarks for the simulator and the tools.
+
+Unlike the table/figure benches (single-shot regenerations), these use
+pytest-benchmark's repeated timing to track the substrate's speed: raw
+probe throughput, one full CenTrace measurement, one CenFuzz strategy.
+"""
+
+import pytest
+
+from repro.core.cenfuzz import CenFuzz
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.devices.vendors import KZ_STATE, make_device
+from repro.netmodel.http import HTTPRequest
+from repro.netmodel.tls import ClientHello, parse_client_hello
+from repro.netsim.routing import Hop, Path, Route
+from repro.netsim.simulator import Simulator
+from repro.netsim.tcpstack import open_connection
+from repro.netsim.topology import Client, Endpoint, Router, Topology
+from repro.services.webserver import WebServer
+
+BLOCKED = "www.blocked.example"
+
+
+def _world(with_device=True):
+    topo = Topology("perf")
+    client = topo.add_client(Client("c", "100.64.0.1", asn=1))
+    routers = [
+        topo.add_router(Router(f"r{i}", f"100.70.{i}.1", asn=2))
+        for i in range(8)
+    ]
+    endpoint = topo.add_endpoint(
+        Endpoint("e", "100.96.0.1", asn=9, server=WebServer(["ok.example"]))
+    )
+    device = make_device(KZ_STATE, "dev", [BLOCKED]) if with_device else None
+    hops = [
+        Hop(r.name, link_devices=[device] if (device and i == 3) else [])
+        for i, r in enumerate(routers)
+    ]
+    hops.append(Hop(endpoint.name))
+    topo.add_route(client.ip, endpoint.ip, Route([Path(hops)]))
+    return Simulator(topo, seed=1), client, endpoint
+
+
+def test_perf_probe_roundtrip(benchmark):
+    """One TTL-limited probe over a fresh connection (the unit CenTrace
+    spends thousands of)."""
+    sim, client, endpoint = _world(with_device=False)
+    payload = HTTPRequest.normal("ok.example").build()
+
+    def probe():
+        conn = open_connection(sim, client, endpoint.ip, 80)
+        conn.send_payload(payload, ttl=4)
+        conn.close()
+
+    benchmark(probe)
+
+
+def test_perf_centrace_measurement(benchmark):
+    """One full CenTrace measurement (control+test, 3 repetitions)."""
+    sim, client, endpoint = _world()
+    tracer = CenTrace(sim, client, config=CenTraceConfig(repetitions=3))
+    benchmark.pedantic(
+        lambda: tracer.measure(endpoint.ip, BLOCKED, "http"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_perf_cenfuzz_strategy(benchmark):
+    """One CenFuzz strategy (Get Word Alt., 6 permutations x 2 domains)."""
+    sim, client, endpoint = _world()
+    fuzzer = CenFuzz(sim, client)
+    benchmark.pedantic(
+        lambda: fuzzer.run_endpoint(
+            endpoint.ip, BLOCKED, "http", strategies=["Get Word Alt."]
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_perf_clienthello_roundtrip(benchmark):
+    """TLS ClientHello build+parse (the hot path of TLS inspection)."""
+    def round_trip():
+        raw = ClientHello.normal(BLOCKED).build()
+        assert parse_client_hello(raw).sni == BLOCKED
+
+    benchmark(round_trip)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Probe a censor's rules with CenFuzz and find circumvention paths.
+
+The §6 workflow from the Kazakhstan in-country vantage point:
+
+* fuzz the state censor with all 16 HTTP and 8 TLS strategies against
+  a blocked domain and print the per-strategy evasion rates;
+* separate *evasion* (the censor missed the request) from
+  *circumvention* (the origin also served the intended content) —
+  reproducing the paper's www.pokerstars.com padding and
+  dailymotion subdomain case studies.
+
+Run:  python examples/evade_and_circumvent.py
+"""
+
+from repro.core.cenfuzz import CenFuzz
+from repro.geo import build_world
+
+
+def fuzz_domain(fuzzer, world, endpoint, domain, protocol):
+    report = fuzzer.run_endpoint(
+        endpoint.ip, domain, protocol, world.control_domain
+    )
+    if not report.normal_blocked:
+        print(f"  {domain} ({protocol}): not blocked from this vantage")
+        return
+    print(f"  {domain} ({protocol}): blocked — fuzzing "
+          f"{len(report.results)} permutations")
+    rows = []
+    for strategy, (ok, evaluated) in sorted(report.success_by_strategy().items()):
+        circ = sum(
+            1
+            for r in report.results
+            if r.strategy == strategy and r.circumvented
+        )
+        rows.append((strategy, ok, evaluated, circ))
+    for strategy, ok, evaluated, circ in rows:
+        if evaluated == 0:
+            continue
+        bar = "#" * round(20 * ok / evaluated)
+        print(f"    {strategy:26s} evade {ok:3d}/{evaluated:<3d} "
+              f"{bar:20s} circumvent {circ}")
+
+
+def main() -> None:
+    world = build_world("KZ")
+    client = world.in_country_client
+    fuzzer = CenFuzz(world.sim, client)
+
+    targets = {t.domains[0]: t for t in world.in_country_targets}
+
+    print("=== www.pokerstars.com (lenient origin: padding circumvents) ===")
+    pokerstars = targets["www.pokerstars.com"]
+    fuzz_domain(fuzzer, world, pokerstars, "www.pokerstars.com", "http")
+    fuzz_domain(fuzzer, world, pokerstars, "www.pokerstars.com", "tls")
+
+    print("\n=== www.dailymotion.com (wildcard vhosts: subdomains work) ===")
+    dailymotion = targets["www.dailymotion.com"]
+    fuzz_domain(fuzzer, world, dailymotion, "www.dailymotion.com", "http")
+
+    print("\n=== www.azattyq.org (strict origin: evasion without"
+          " circumvention) ===")
+    azattyq = targets["www.azattyq.org"]
+    fuzz_domain(fuzzer, world, azattyq, "www.azattyq.org", "http")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Infer censorship devices' decision models from CenFuzz results.
+
+Autosonda-style analysis (§3.4): fuzz each distinct device in the RU
+study world and reconstruct the rules its DPI engine must be applying —
+which methods trigger, whether versions are validated, how the hostname
+is located, the wildcard style, URL scoping, and TLS parser fragility.
+The output is then checked against the simulator's ground truth.
+
+Run:  python examples/infer_device_rules.py
+"""
+
+from repro.analysis.rule_inference import infer_rules
+from repro.core.cenfuzz import CenFuzz
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.geo import build_world
+
+
+def main() -> None:
+    world = build_world("RU")
+    tracer = CenTrace(
+        world.sim, world.remote_client, asdb=world.asdb,
+        config=CenTraceConfig(repetitions=2),
+    )
+    fuzzer = CenFuzz(world.sim, world.remote_client)
+
+    # Find one blocked (endpoint, domain) per distinct blocking hop.
+    seen_hops = set()
+    targets = []
+    for endpoint in world.endpoints:
+        for domain in world.test_domains:
+            result = tracer.measure(endpoint.ip, domain, "http")
+            if not (result.blocked and result.blocking_hop):
+                continue
+            hop = result.blocking_hop.ip
+            if hop in seen_hops:
+                continue
+            seen_hops.add(hop)
+            targets.append((endpoint, domain, hop))
+            break
+        if len(targets) >= 6:
+            break
+
+    host_to_device = {ip: name for name, ip in world.device_host_ip.items()}
+    devices = {d.name: d for d in world.devices}
+
+    print(f"inferring decision models for {len(targets)} distinct devices:\n")
+    for endpoint, domain, hop in targets:
+        report = fuzzer.run_endpoint(
+            endpoint.ip, domain, "http", world.control_domain
+        )
+        model = infer_rules(report)
+        device = devices.get(host_to_device.get(hop, ""), None)
+        truth = "unknown device"
+        if device is not None:
+            truth = (
+                f"ground truth: vendor={device.vendor or 'national system'},"
+                f" methods={sorted(device.quirks.trigger_methods)},"
+                f" rules={device.blocklist.rules[0].kind}"
+            )
+        print(f"device at {hop} (via {domain}):")
+        print(f"  inferred: {model.summary()}")
+        print(f"  {truth}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Locate extraterritorial censorship: KZ measurements blocked in Russia.
+
+The paper's headline CenTrace finding (§4.3): remote measurements to
+endpoints in Kazakhstan are sometimes blocked *before reaching the
+country*, inside Russian transit ASes (PJSC MegaFon AS31133 and JSC
+Kvant-telekom AS43727). This example traces every KZ endpoint for
+``bridges.torproject.org`` and attributes each blocking hop to its AS
+and country, then renders the aggregate path graph.
+
+Run:  python examples/locate_upstream_censorship.py
+"""
+
+from collections import Counter
+
+from repro import viz
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.geo import build_world
+
+DOMAIN = "bridges.torproject.org"
+
+
+def main() -> None:
+    world = build_world("KZ")
+    tracer = CenTrace(
+        world.sim,
+        world.remote_client,
+        asdb=world.asdb,
+        config=CenTraceConfig(repetitions=3),
+    )
+
+    results = []
+    blocked_by_country: Counter = Counter()
+    blocked_by_as: Counter = Counter()
+    for endpoint in world.endpoints:
+        result = tracer.measure(endpoint.ip, DOMAIN, protocol="http")
+        results.append(result)
+        if result.blocked and result.blocking_hop and result.blocking_hop.ip:
+            hop = result.blocking_hop
+            blocked_by_country[hop.country] += 1
+            blocked_by_as[f"AS{hop.asn} {hop.as_name}"] += 1
+
+    total = len(results)
+    blocked = sum(1 for r in results if r.blocked)
+    print(f"{DOMAIN}: {blocked}/{total} KZ endpoints blocked\n")
+    print("blocking hops by country:")
+    for country, count in blocked_by_country.most_common():
+        flag = "  <-- extraterritorial!" if country != "KZ" else ""
+        print(f"  {country}: {count}{flag}")
+    print("\nblocking hops by AS:")
+    for as_label, count in blocked_by_as.most_common():
+        print(f"  {as_label}: {count}")
+
+    ru_blocked = sum(
+        1
+        for r in results
+        if r.blocked and r.blocking_hop and r.blocking_hop.country == "RU"
+    )
+    print(
+        f"\n{100 * ru_blocked / total:.1f}% of KZ endpoints are actually"
+        " blocked inside Russia (paper: 21.81% of hosts)"
+    )
+
+    graph = viz.build_path_graph(results, asdb=world.asdb, client_label="US client")
+    print("\nblocked links (from-AS -> to-AS):")
+    for from_as, to_as, count in viz.blocking_link_summary(graph):
+        print(f"  {from_as} -> {to_as}: {count} traces")
+
+
+if __name__ == "__main__":
+    main()

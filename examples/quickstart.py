@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: locate a censorship device with CenTrace.
+
+Builds the Kazakhstan study world, runs one CenTrace measurement for a
+blocked domain from the remote (US) vantage point, and prints where on
+the path the blocking happens — the paper's §4 workflow in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.geo import build_world
+
+
+def main() -> None:
+    world = build_world("KZ")
+    print(f"world: {world.name} — {len(world.endpoints)} endpoints, "
+          f"{len(world.devices)} censorship devices (ground truth)")
+
+    tracer = CenTrace(
+        world.sim,
+        world.remote_client,
+        asdb=world.asdb,
+        config=CenTraceConfig(repetitions=3),
+    )
+
+    endpoint = world.endpoints[0]
+    test_domain = world.test_domains[0]
+    print(f"\nCenTrace: {test_domain} -> {endpoint.ip} "
+          f"(AS{endpoint.asn}, {endpoint.country})")
+
+    result = tracer.measure(endpoint.ip, test_domain, protocol="http")
+
+    if not result.blocked:
+        print("no blocking observed")
+        return
+
+    hop = result.blocking_hop
+    print(f"  blocked:        {result.blocking_type}")
+    print(f"  terminating TTL: {result.terminating_ttl}"
+          f" (endpoint at {result.endpoint_distance} hops)")
+    print(f"  blocking hop:   {hop.ip} — AS{hop.asn} {hop.as_name}"
+          f" ({hop.country})")
+    print(f"  location:       {result.location_class},"
+          f" {result.hops_from_endpoint} hops before the endpoint")
+    print(f"  in-path device: {result.in_path}")
+
+    print("\nmost likely control path:")
+    for control_hop in result.control_path():
+        marker = " <-- blocking" if control_hop.ttl == hop.ttl else ""
+        print(f"  {control_hop.ttl:2d}  {control_hop.ip or '*'}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Clustering pipeline: features, random forest (MDI), DBSCAN, stats."""
+
+from .cluster import (
+    ClusterReport,
+    DEFAULT_EPS,
+    DEFAULT_TOP_FEATURES,
+    FeatureImportanceReport,
+    cluster_endpoints,
+    rank_features,
+    vendor_correlations,
+)
+from .dbscan import DBSCANResult, dbscan, estimate_eps, k_distance_curve
+from .features import (
+    EndpointFeatures,
+    all_feature_names,
+    base_feature_names,
+    drop_empty_columns,
+    extract_features,
+    feature_matrix,
+    strategy_feature_names,
+)
+from .forest import (
+    CrossValidationResult,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    cross_validate_forest,
+    gini,
+)
+from .rule_inference import (
+    InferredRuleModel,
+    infer_http_rules,
+    infer_rules,
+    infer_tls_rules,
+)
+from .stats import impute_median, pairwise_group_correlation, spearman_pair, zscore
+from .vendor_classifier import (
+    VendorClassifier,
+    VendorClassifierReport,
+    VendorPrediction,
+    classify_unlabeled,
+)
+
+__all__ = [
+    "ClusterReport",
+    "DEFAULT_EPS",
+    "DEFAULT_TOP_FEATURES",
+    "FeatureImportanceReport",
+    "cluster_endpoints",
+    "rank_features",
+    "vendor_correlations",
+    "DBSCANResult",
+    "dbscan",
+    "estimate_eps",
+    "k_distance_curve",
+    "EndpointFeatures",
+    "all_feature_names",
+    "base_feature_names",
+    "drop_empty_columns",
+    "extract_features",
+    "feature_matrix",
+    "strategy_feature_names",
+    "CrossValidationResult",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "cross_validate_forest",
+    "gini",
+    "impute_median",
+    "pairwise_group_correlation",
+    "spearman_pair",
+    "zscore",
+    "InferredRuleModel",
+    "infer_http_rules",
+    "infer_rules",
+    "infer_tls_rules",
+    "VendorClassifier",
+    "VendorClassifierReport",
+    "VendorPrediction",
+    "classify_unlabeled",
+]

@@ -1,0 +1,190 @@
+"""The end-to-end clustering pipeline of §7.
+
+1. Build feature vectors from CenTrace + CenFuzz + banner measurements.
+2. On the labeled subset, rank features by random-forest MDI with
+   3×5-fold cross-validation (§7.2).
+3. Keep the top-k features, impute + standardize, and run DBSCAN with
+   ε=1.2 (§7.3) — or a k-NN-estimated ε.
+4. Report per-cluster composition and vendor-similarity correlations
+   (§7.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dbscan import DBSCANResult, dbscan, estimate_eps
+from .features import (
+    EndpointFeatures,
+    all_feature_names,
+    drop_empty_columns,
+    feature_matrix,
+)
+from .forest import CrossValidationResult, cross_validate_forest
+from .stats import impute_median, pairwise_group_correlation, zscore
+
+DEFAULT_EPS = 1.2  # §7.3
+DEFAULT_TOP_FEATURES = 10  # §7.3: "we pick the top 10 features"
+
+
+@dataclass
+class FeatureImportanceReport:
+    """Ranked MDI importances from the labeled subset."""
+
+    names: List[str]
+    importances: np.ndarray
+    cv: CrossValidationResult
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        order = np.argsort(self.importances)[::-1]
+        return [(self.names[i], float(self.importances[i])) for i in order]
+
+    def top(self, k: int) -> List[str]:
+        return [name for name, _ in self.ranked()[:k]]
+
+
+@dataclass
+class ClusterReport:
+    """The outcome of the full pipeline."""
+
+    features: List[EndpointFeatures]
+    used_feature_names: List[str]
+    result: DBSCANResult
+    importance: Optional[FeatureImportanceReport] = None
+
+    def clusters(self) -> Dict[int, List[EndpointFeatures]]:
+        groups: Dict[int, List[EndpointFeatures]] = {}
+        for feature, label in zip(self.features, self.result.labels):
+            groups.setdefault(int(label), []).append(feature)
+        return groups
+
+    def composition(self) -> List[Tuple[int, Counter]]:
+        """Per-cluster country composition (Figure 6's stacked bars)."""
+        rows = []
+        for cluster, members in sorted(self.clusters().items()):
+            rows.append(
+                (cluster, Counter(m.country or "??" for m in members))
+            )
+        return rows
+
+    def vendor_purity(self) -> Dict[str, bool]:
+        """Is every labeled vendor confined to a single cluster? (§7.4:
+        same-vendor devices 'are always in the same clusters').
+
+        DBSCAN noise points are unclustered, not mis-clustered, so they
+        do not count against purity.
+        """
+        by_vendor: Dict[str, set] = {}
+        for feature, label in zip(self.features, self.result.labels):
+            if feature.label and int(label) != -1:
+                by_vendor.setdefault(feature.label, set()).add(int(label))
+        return {
+            vendor: len(clusters) <= 1
+            for vendor, clusters in by_vendor.items()
+        }
+
+
+def rank_features(
+    features: Sequence[EndpointFeatures],
+    *,
+    names: Optional[Sequence[str]] = None,
+    folds: int = 5,
+    repeats: int = 3,
+    n_estimators: int = 50,
+    seed: int = 0,
+) -> FeatureImportanceReport:
+    """§7.2: train a random forest on the labeled devices and compute
+    MDI feature importances with repeated cross-validation."""
+    labeled = [f for f in features if f.label]
+    if len(labeled) < folds:
+        raise ValueError(
+            f"need at least {folds} labeled devices, got {len(labeled)}"
+        )
+    names, X, labels = feature_matrix(labeled, names)
+    names, X = drop_empty_columns(list(names), X)
+    X = impute_median(X)
+    vendor_index = {v: i for i, v in enumerate(sorted({l for l in labels if l}))}
+    y = np.array([vendor_index[l] for l in labels], dtype=int)
+    cv = cross_validate_forest(
+        X, y, folds=folds, repeats=repeats, n_estimators=n_estimators, seed=seed
+    )
+    return FeatureImportanceReport(
+        names=names, importances=cv.mean_importances(), cv=cv
+    )
+
+
+def cluster_endpoints(
+    features: Sequence[EndpointFeatures],
+    *,
+    eps: Optional[float] = DEFAULT_EPS,
+    min_samples: int = 3,
+    top_features: Optional[int] = DEFAULT_TOP_FEATURES,
+    importance: Optional[FeatureImportanceReport] = None,
+    seed: int = 0,
+) -> ClusterReport:
+    """§7.3: cluster endpoints on the most informative features.
+
+    When an ``importance`` report is supplied (or computable from the
+    labeled subset), only its top ``top_features`` features are used;
+    otherwise the full feature set is. ``eps=None`` estimates ε via the
+    k-NN-distance technique.
+    """
+    feature_list = list(features)
+    if not feature_list:
+        raise ValueError("no endpoints to cluster")
+    if importance is None and top_features is not None:
+        labeled = [f for f in feature_list if f.label]
+        if len(labeled) >= 5:
+            importance = rank_features(feature_list, seed=seed)
+    if importance is not None and top_features is not None:
+        names = importance.top(top_features)
+    else:
+        names = all_feature_names()
+    names, X, _ = feature_matrix(feature_list, names)
+    names, X = drop_empty_columns(list(names), X)
+    X = zscore(impute_median(X))
+    if eps is None:
+        eps = estimate_eps(X, k=min_samples)
+    result = dbscan(X, eps=eps, min_samples=min_samples)
+    return ClusterReport(
+        features=feature_list,
+        used_feature_names=names,
+        result=result,
+        importance=importance,
+    )
+
+
+def vendor_correlations(
+    features: Sequence[EndpointFeatures],
+    *,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """§7.4: average pairwise Spearman correlations within and between
+    vendors over the (imputed) feature matrix."""
+    labeled = [f for f in features if f.label]
+    names, X, labels = feature_matrix(labeled, names)
+    names, X = drop_empty_columns(list(names), X)
+    X = impute_median(X)
+    vendors = sorted({l for l in labels if l})
+    by_vendor = {
+        vendor: [i for i, l in enumerate(labels) if l == vendor]
+        for vendor in vendors
+    }
+    correlations: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for i, vendor_a in enumerate(vendors):
+        for vendor_b in vendors[i:]:
+            if vendor_a == vendor_b:
+                if len(by_vendor[vendor_a]) < 2:
+                    continue
+                correlations[(vendor_a, vendor_b)] = pairwise_group_correlation(
+                    X, by_vendor[vendor_a]
+                )
+            else:
+                correlations[(vendor_a, vendor_b)] = pairwise_group_correlation(
+                    X, by_vendor[vendor_a], by_vendor[vendor_b]
+                )
+    return correlations

@@ -1,0 +1,109 @@
+"""DBSCAN clustering with k-NN epsilon estimation, from scratch (§7.3).
+
+The paper uses DBSCAN because the number of device types is unknown a
+priori, with ε=1.2 chosen via the average-k-nearest-neighbor-distance
+technique of Rahmah & Sitanggang. Both pieces are implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+NOISE = -1
+UNVISITED = -2
+
+
+@dataclass
+class DBSCANResult:
+    """Cluster labels (−1 = noise) plus run metadata."""
+
+    labels: np.ndarray
+    eps: float
+    min_samples: int
+
+    @property
+    def n_clusters(self) -> int:
+        unique = set(self.labels.tolist())
+        unique.discard(NOISE)
+        return len(unique)
+
+    def cluster_indices(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == cluster)
+
+    def noise_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == NOISE)
+
+
+def _pairwise_distances(X: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix (fine at measurement scale)."""
+    squared = np.sum(X**2, axis=1)
+    gram = X @ X.T
+    d2 = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def dbscan(
+    X: np.ndarray,
+    eps: float,
+    min_samples: int = 3,
+    *,
+    distances: Optional[np.ndarray] = None,
+) -> DBSCANResult:
+    """Standard DBSCAN over Euclidean distance."""
+    X = np.asarray(X, dtype=float)
+    n = X.shape[0]
+    if distances is None:
+        distances = _pairwise_distances(X)
+    labels = np.full(n, UNVISITED, dtype=int)
+    neighborhoods = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    cluster = 0
+    for i in range(n):
+        if labels[i] != UNVISITED:
+            continue
+        if neighborhoods[i].size < min_samples:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster
+        frontier = list(neighborhoods[i])
+        while frontier:
+            j = frontier.pop()
+            if labels[j] == NOISE:
+                labels[j] = cluster  # border point
+            if labels[j] != UNVISITED:
+                continue
+            labels[j] = cluster
+            if neighborhoods[j].size >= min_samples:
+                frontier.extend(neighborhoods[j])
+        cluster += 1
+    return DBSCANResult(labels=labels, eps=eps, min_samples=min_samples)
+
+
+def k_distance_curve(X: np.ndarray, k: int) -> np.ndarray:
+    """Sorted distance of every point to its k-th nearest neighbor."""
+    X = np.asarray(X, dtype=float)
+    distances = _pairwise_distances(X)
+    kth = np.sort(distances, axis=1)[:, min(k, X.shape[0] - 1)]
+    return np.sort(kth)
+
+
+def estimate_eps(X: np.ndarray, k: int = 3) -> float:
+    """ε estimate: the average distance of points to their k nearest
+    neighbors (Rahmah & Sitanggang's technique, cited in §7.3).
+
+    ``k`` should be the minimum number of points expected to form a
+    cluster (the paper's min_samples analog).
+    """
+    X = np.asarray(X, dtype=float)
+    if X.shape[0] <= k:
+        return 1.0
+    distances = _pairwise_distances(X)
+    sorted_d = np.sort(distances, axis=1)
+    # Columns 1..k: the k nearest neighbors (column 0 is self).
+    knn = sorted_d[:, 1 : k + 1]
+    # A zero estimate (duplicated points) would make DBSCAN degenerate;
+    # keep ε strictly positive.
+    return float(max(knn.mean(), 1e-9))

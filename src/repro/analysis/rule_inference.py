@@ -1,0 +1,218 @@
+"""Autosonda-style decision-model inference from CenFuzz results.
+
+CenFuzz extends Jermyn & Weaver's Autosonda, whose goal was "to
+discover and study the decision models of censorship devices" (§3.4).
+This module closes that loop: given one device's
+:class:`~repro.core.cenfuzz.runner.EndpointFuzzReport`, it infers the
+parsing/matching rules the engine must be applying —
+
+* which HTTP methods trigger inspection,
+* whether the request-line version token is validated (and how),
+* whether the Host header is located structurally or by keyword scan,
+* the hostname rule style (exact / leading-wildcard / keyword),
+* whether rules are URL-scoped (only specific paths trigger),
+* which TLS offers (versions/ciphers) crash the parser.
+
+Inference is purely behavioural — it reads only which permutations
+evaded — so it works identically against real devices. The tests
+validate every inferred model against the simulator's ground-truth
+quirks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.cenfuzz.runner import EndpointFuzzReport, PermutationResult
+
+# Rule-style verdicts (mirror repro.devices.rules kinds).
+STYLE_EXACT = "exact"
+STYLE_SUFFIX = "suffix"  # leading wildcard *.domain.tld
+STYLE_KEYWORD = "keyword"
+STYLE_UNKNOWN = "unknown"
+
+VERSION_NOT_CHECKED = "not-checked"
+VERSION_NEEDS_SLASH = "needs-slash"
+VERSION_STRICT = "strict"
+
+HOST_STRUCTURAL = "structural-header"
+HOST_KEYWORD_SCAN = "keyword-scan"
+
+
+@dataclass
+class InferredRuleModel:
+    """The decision model inferred for one device deployment."""
+
+    protocol: str
+    trigger_methods: FrozenSet[str] = frozenset()
+    inspects_unknown_methods: bool = False
+    version_validation: str = VERSION_NOT_CHECKED
+    host_extraction: str = HOST_STRUCTURAL
+    rule_style: str = STYLE_UNKNOWN
+    url_scoped: bool = False
+    fragile_tls_versions: FrozenSet[str] = frozenset()
+    fragile_ciphers: FrozenSet[str] = frozenset()
+    evidence: Dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if self.protocol == "http":
+            methods = ",".join(sorted(self.trigger_methods)) or "?"
+            return (
+                f"methods={{{methods}}} version={self.version_validation}"
+                f" host={self.host_extraction} rule={self.rule_style}"
+                f" url_scoped={self.url_scoped}"
+            )
+        fragile = []
+        if self.fragile_tls_versions:
+            fragile.append("versions:" + ",".join(sorted(self.fragile_tls_versions)))
+        if self.fragile_ciphers:
+            fragile.append(f"{len(self.fragile_ciphers)} ciphers")
+        return (
+            f"rule={self.rule_style}"
+            + (f" fragile[{'; '.join(fragile)}]" if fragile else " robust-parser")
+        )
+
+
+def _by_strategy(report: EndpointFuzzReport) -> Dict[str, List[PermutationResult]]:
+    grouped: Dict[str, List[PermutationResult]] = {}
+    for result in report.results:
+        if result.successful or result.unsuccessful:
+            grouped.setdefault(result.strategy, []).append(result)
+    return grouped
+
+
+def _evaded(results: Sequence[PermutationResult], label: str) -> Optional[bool]:
+    for result in results:
+        if result.label == label:
+            return result.successful
+    return None
+
+
+def infer_http_rules(report: EndpointFuzzReport) -> InferredRuleModel:
+    """Infer the HTTP decision model from one device's fuzz report."""
+    model = InferredRuleModel(protocol="http")
+    if not report.normal_blocked:
+        model.evidence["normal"] = "not blocked; nothing to infer"
+        return model
+    grouped = _by_strategy(report)
+
+    # --- methods -----------------------------------------------------------
+    methods: Set[str] = {"GET"}  # the Normal request used GET and was blocked
+    alt = grouped.get("Get Word Alt.", [])
+    for result in alt:
+        label = result.label
+        if label == "<empty>":
+            if not result.successful:
+                model.inspects_unknown_methods = True
+            continue
+        if label == "XXXX":
+            if not result.successful:
+                model.inspects_unknown_methods = True
+            continue
+        if not result.successful:
+            methods.add(label)
+    if model.inspects_unknown_methods:
+        model.evidence["methods"] = "blocks even invalid methods (keyword engine?)"
+        methods.update({"PUT", "POST", "PATCH", "DELETE"})
+    model.trigger_methods = frozenset(methods)
+
+    # --- version validation --------------------------------------------------
+    # Multi-token variants ("HTTP/ 1.1") exercise the tokenizer, not
+    # the version check, so only single-token variants are probative:
+    # slashed-but-invalid ones separate strict validators, unslashed
+    # ones separate needs-a-slash engines from don't-care engines.
+    alt_versions = grouped.get("Http Word Alt.", [])
+    single = [r for r in alt_versions if " " not in r.label]
+    slashed_invalid = [
+        r for r in single if "/" in r.label and r.label != "HTTP/1.0"
+    ]
+    unslashed = [
+        r for r in single if "/" not in r.label and "\\" not in r.label
+        and "|" not in r.label
+    ]
+    if slashed_invalid and all(r.successful for r in slashed_invalid):
+        model.version_validation = VERSION_STRICT
+    elif unslashed and all(r.successful for r in unslashed):
+        model.version_validation = VERSION_NEEDS_SLASH
+    else:
+        model.version_validation = VERSION_NOT_CHECKED
+
+    # --- host extraction ------------------------------------------------------
+    host_word_alt = grouped.get("Host Word Alt.", [])
+    if host_word_alt and all(not r.successful for r in host_word_alt):
+        # Renaming the Host header never helps: the engine scans for the
+        # domain keyword anywhere in the payload.
+        model.host_extraction = HOST_KEYWORD_SCAN
+    else:
+        model.host_extraction = HOST_STRUCTURAL
+
+    # --- rule style ----------------------------------------------------------
+    model.rule_style = _infer_rule_style(
+        grouped.get("Host. Subdomain Alt.", []),
+        grouped.get("Hostname Pad.", []),
+        grouped.get("Hostname TLD Alt.", []),
+    )
+
+    # --- URL scope -------------------------------------------------------------
+    paths = grouped.get("Path Alt.", [])
+    model.url_scoped = bool(paths) and all(r.successful for r in paths)
+    if model.host_extraction == HOST_KEYWORD_SCAN:
+        model.url_scoped = False  # keyword engines ignore the path
+    return model
+
+
+def infer_tls_rules(report: EndpointFuzzReport) -> InferredRuleModel:
+    """Infer the TLS decision model from one device's fuzz report."""
+    model = InferredRuleModel(protocol="tls")
+    if not report.normal_blocked:
+        model.evidence["normal"] = "not blocked; nothing to infer"
+        return model
+    grouped = _by_strategy(report)
+    model.rule_style = _infer_rule_style(
+        grouped.get("SNI Subdomain Alt.", []),
+        grouped.get("SNI Pad.", []),
+        grouped.get("SNI TLD Alt.", []),
+    )
+    fragile_versions = set()
+    for strategy in ("Min Version Alt.", "Max Version Alt."):
+        for result in grouped.get(strategy, []):
+            if result.successful:
+                fragile_versions.add(result.label)
+    model.fragile_tls_versions = frozenset(fragile_versions)
+    model.fragile_ciphers = frozenset(
+        r.label for r in grouped.get("CipherSuite Alt.", []) if r.successful
+    )
+    return model
+
+
+def _infer_rule_style(
+    subdomain: Sequence[PermutationResult],
+    padding: Sequence[PermutationResult],
+    tld: Sequence[PermutationResult],
+) -> str:
+    """Distinguish exact / leading-wildcard / keyword rules.
+
+    * keyword rules survive TLD changes (nothing evades);
+    * suffix rules block subdomain changes but let trailing pads evade;
+    * exact rules let subdomain changes AND leading pads evade.
+    """
+    if tld and all(not r.successful for r in tld):
+        return STYLE_KEYWORD
+    subdomain_evades = bool(subdomain) and all(r.successful for r in subdomain)
+    leading = [r for r in padding if r.label.startswith("lead") and r.label.endswith("trail0")]
+    leading_evades = bool(leading) and all(r.successful for r in leading)
+    if subdomain_evades and leading_evades:
+        return STYLE_EXACT
+    if subdomain or padding:
+        if not subdomain_evades:
+            return STYLE_SUFFIX
+        return STYLE_EXACT if leading_evades else STYLE_SUFFIX
+    return STYLE_UNKNOWN
+
+
+def infer_rules(report: EndpointFuzzReport) -> InferredRuleModel:
+    """Dispatch on the report's protocol."""
+    if report.protocol == "tls":
+        return infer_tls_rules(report)
+    return infer_http_rules(report)

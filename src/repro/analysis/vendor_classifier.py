@@ -1,0 +1,147 @@
+"""Vendor classification for unlabeled devices (§7.1's payoff).
+
+"Using these other network-layer and censorship features, we can then
+classify the vendors [of] devices that do not inject blockpages, or do
+not explicitly display its vendor in banner responses."
+
+The classifier trains a random forest on the labeled deployments
+(blockpage/banner labels) and predicts the vendor of every unlabeled
+blocked endpoint, reporting a confidence (the forest's vote share) so
+callers can threshold away weak guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .features import EndpointFeatures, drop_empty_columns, feature_matrix
+from .forest import RandomForestClassifier
+from .stats import impute_median
+
+
+@dataclass
+class VendorPrediction:
+    """One unlabeled endpoint's predicted vendor."""
+
+    endpoint_ip: str
+    vendor: str
+    confidence: float  # forest vote share, 0..1
+    country: Optional[str] = None
+
+
+@dataclass
+class VendorClassifierReport:
+    """Trained model + predictions over the unlabeled population."""
+
+    vendors: List[str]
+    training_size: int
+    predictions: List[VendorPrediction] = field(default_factory=list)
+    feature_names: List[str] = field(default_factory=list)
+
+    def confident(self, threshold: float = 0.6) -> List[VendorPrediction]:
+        return [p for p in self.predictions if p.confidence >= threshold]
+
+    def by_vendor(self, threshold: float = 0.0) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for prediction in self.predictions:
+            if prediction.confidence >= threshold:
+                counts[prediction.vendor] = counts.get(prediction.vendor, 0) + 1
+        return counts
+
+
+class VendorClassifier:
+    """Random-forest vendor classifier over Table-3 features."""
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 50,
+        seed: int = 0,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._requested_names = list(feature_names) if feature_names else None
+        self.forest: Optional[RandomForestClassifier] = None
+        self.vendors: List[str] = []
+        self.feature_names: List[str] = []
+        self._medians: Optional[np.ndarray] = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, labeled: Sequence[EndpointFeatures]) -> "VendorClassifier":
+        labeled = [f for f in labeled if f.label]
+        if len(labeled) < 4:
+            raise ValueError("need at least 4 labeled devices to train")
+        names, X, labels = feature_matrix(labeled, self._requested_names)
+        names, X = drop_empty_columns(list(names), X)
+        X = impute_median(X)
+        self.feature_names = names
+        # Store training medians so prediction-time imputation matches.
+        self._medians = np.median(X, axis=0)
+        self.vendors = sorted({label for label in labels if label})
+        index = {vendor: i for i, vendor in enumerate(self.vendors)}
+        y = np.array([index[label] for label in labels], dtype=int)
+        self.forest = RandomForestClassifier(
+            n_estimators=self.n_estimators, seed=self.seed
+        )
+        self.forest.fit(X, y)
+        return self
+
+    # -- prediction -----------------------------------------------------------
+
+    def _vectorize(self, features: Sequence[EndpointFeatures]) -> np.ndarray:
+        X = np.stack([f.vector(self.feature_names) for f in features])
+        for column in range(X.shape[1]):
+            mask = np.isnan(X[:, column])
+            X[mask, column] = self._medians[column]
+        return X
+
+    def predict(
+        self, unlabeled: Sequence[EndpointFeatures]
+    ) -> List[VendorPrediction]:
+        if self.forest is None:
+            raise RuntimeError("classifier not fitted")
+        if not unlabeled:
+            return []
+        X = self._vectorize(unlabeled)
+        votes = np.stack([tree.predict(X) for tree in self.forest.trees])
+        predictions = []
+        for i, features in enumerate(unlabeled):
+            counts = np.bincount(votes[:, i], minlength=len(self.vendors))
+            winner = int(counts.argmax())
+            predictions.append(
+                VendorPrediction(
+                    endpoint_ip=features.endpoint_ip,
+                    vendor=self.vendors[winner],
+                    confidence=float(counts[winner] / counts.sum()),
+                    country=features.country,
+                )
+            )
+        return predictions
+
+
+def classify_unlabeled(
+    features: Sequence[EndpointFeatures],
+    *,
+    training: Optional[Sequence[EndpointFeatures]] = None,
+    n_estimators: int = 50,
+    seed: int = 0,
+) -> VendorClassifierReport:
+    """Train on the labeled subset (or ``training``) and predict every
+    unlabeled endpoint's vendor."""
+    training_set = [f for f in (training or features) if f.label]
+    classifier = VendorClassifier(n_estimators=n_estimators, seed=seed).fit(
+        training_set
+    )
+    unlabeled = [f for f in features if not f.label]
+    report = VendorClassifierReport(
+        vendors=classifier.vendors,
+        training_size=len(training_set),
+        feature_names=classifier.feature_names,
+    )
+    report.predictions = classifier.predict(unlabeled)
+    return report

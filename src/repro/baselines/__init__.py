@@ -1,0 +1,24 @@
+"""Baseline comparison algorithms.
+
+The paper positions CenFuzz against Geneva-style genetic strategy
+discovery (§3.4/§6.1): genetic search finds *one* working evasion fast
+but yields a non-deterministic, non-comparable feature space, while
+CenFuzz tests a fixed strategy set everywhere. This package implements
+the genetic baseline so the trade-off can be measured.
+"""
+
+from .genetic import (
+    GENE_POOL,
+    GeneticConfig,
+    GeneticSearch,
+    Individual,
+    SearchOutcome,
+)
+
+__all__ = [
+    "GENE_POOL",
+    "GeneticConfig",
+    "GeneticSearch",
+    "Individual",
+    "SearchOutcome",
+]

@@ -1,0 +1,308 @@
+"""Geneva-style genetic discovery of HTTP evasion strategies.
+
+Bock et al.'s Geneva evolves packet-manipulation strategies against a
+live censor with a genetic algorithm; the paper contrasts CenFuzz's
+deterministic catalog with that approach (§6.1): genetic search
+converges quickly on *some* working strategy but its probe sequence is
+randomized, so results are not comparable across devices.
+
+This module implements the application-layer analog: individuals are
+sequences of request-mutation genes, fitness is measured by live probes
+through the simulator (exactly like Geneva trains against a real
+censor), and the search reports how many probes it spent before the
+first success — the quantity the ablation benchmark compares against
+CenFuzz's fixed 410-probe sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.cenfuzz.runner import CenFuzz, CenFuzzConfig
+from ..core.cenfuzz.strategies import (
+    ALT_SUBDOMAINS,
+    ALT_TLDS,
+    Permutation,
+    swap_subdomain,
+    swap_tld,
+)
+from ..netmodel.http import HTTPRequest, RawHeader
+
+# ---------------------------------------------------------------------------
+# Genes: atomic request mutations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gene:
+    """One atomic mutation of the outgoing request."""
+
+    name: str
+    parameter: str
+
+    def apply(self, request: HTTPRequest) -> HTTPRequest:
+        action = _GENE_ACTIONS[self.name]
+        return action(request, self.parameter)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.parameter})"
+
+
+def _set_method(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(method=parameter)
+
+
+def _set_http_word(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(http_word=parameter)
+
+
+def _set_host_word(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(host_word=parameter)
+
+
+def _set_path(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(path=parameter)
+
+
+def _pad_host(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    lead, _, trail = parameter.partition("|")
+    return request.copy(host=f"{lead}{request.host}{trail}")
+
+
+def _swap_tld(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(host=swap_tld(request.host, parameter))
+
+
+def _swap_subdomain(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(host=swap_subdomain(request.host, parameter))
+
+
+def _set_delimiter(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    return request.copy(line_delimiter=parameter.replace("CR", "\r").replace("LF", "\n"))
+
+
+def _add_header(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    name, _, value = parameter.partition("=")
+    return request.copy(
+        extra_headers=list(request.extra_headers) + [RawHeader(name, value)]
+    )
+
+
+def _case_host_word(request: HTTPRequest, parameter: str) -> HTTPRequest:
+    word = request.host_word
+    transformed = word.upper() if parameter == "upper" else word.lower()
+    return request.copy(host_word=transformed)
+
+
+_GENE_ACTIONS: Dict[str, Callable[[HTTPRequest, str], HTTPRequest]] = {
+    "set_method": _set_method,
+    "set_http_word": _set_http_word,
+    "set_host_word": _set_host_word,
+    "set_path": _set_path,
+    "pad_host": _pad_host,
+    "swap_tld": _swap_tld,
+    "swap_subdomain": _swap_subdomain,
+    "set_delimiter": _set_delimiter,
+    "add_header": _add_header,
+    "case_host_word": _case_host_word,
+}
+
+GENE_POOL: Tuple[Gene, ...] = tuple(
+    [Gene("set_method", m) for m in ("POST", "PUT", "PATCH", "DELETE", "XXXX", "")]
+    + [Gene("set_http_word", w) for w in ("HTTP/1.0", "HTTP/9", "HTTP1.1", "XXXX/1.1")]
+    + [Gene("set_host_word", w) for w in ("HostHeader", "XHost", "HOST", "ost")]
+    + [Gene("set_path", p) for p in ("?", "z", "/index.html", "//")]
+    + [Gene("pad_host", p) for p in ("*|", "|*", "**|**", "|**")]
+    + [Gene("swap_tld", t) for t in ALT_TLDS[:4]]
+    + [Gene("swap_subdomain", s) for s in ALT_SUBDOMAINS[:4]]
+    + [Gene("set_delimiter", d) for d in ("LF", "CR")]
+    + [Gene("add_header", h) for h in ("Connection=keep-alive", "X-Pad=xxxx")]
+    + [Gene("case_host_word", c) for c in ("upper", "lower")]
+)
+
+
+# ---------------------------------------------------------------------------
+# Individuals and the search
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Individual:
+    """A candidate strategy: genes applied in order to the request."""
+
+    genes: Tuple[Gene, ...]
+    fitness: Optional[float] = None
+    evaded: bool = False
+    circumvented: bool = False
+
+    def build(self, domain: str) -> bytes:
+        request = HTTPRequest(host=domain)
+        for gene in self.genes:
+            request = gene.apply(request)
+        return request.build()
+
+    def describe(self) -> str:
+        return " + ".join(str(g) for g in self.genes) or "<identity>"
+
+
+@dataclass
+class GeneticConfig:
+    """Knobs for the search (Geneva-flavoured defaults, miniaturized)."""
+
+    population_size: int = 16
+    generations: int = 12
+    tournament_size: int = 3
+    crossover_rate: float = 0.6
+    mutation_rate: float = 0.5
+    max_genes: int = 4
+    elite: int = 2
+    success_fitness: float = 100.0
+    parsimony_penalty: float = 1.0
+    circumvention_bonus: float = 50.0
+    stop_on_circumvention: bool = True
+
+
+@dataclass
+class SearchOutcome:
+    """What the search found and what it cost."""
+
+    best: Individual
+    probes_used: int
+    generations_run: int
+    succeeded: bool
+    history: List[float] = field(default_factory=list)  # best fitness per gen
+
+
+class GeneticSearch:
+    """Evolve evasion strategies against one endpoint's censor."""
+
+    def __init__(
+        self,
+        sim,
+        client,
+        endpoint_ip: str,
+        test_domain: str,
+        *,
+        control_domain: str = "www.example.com",
+        config: Optional[GeneticConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.fuzzer = CenFuzz(sim, client, config=CenFuzzConfig())
+        self.endpoint_ip = endpoint_ip
+        self.test_domain = test_domain
+        self.control_domain = control_domain
+        self.config = config or GeneticConfig()
+        self.rng = random.Random(seed)
+        self.probes_used = 0
+        self._fitness_cache: Dict[Tuple[Gene, ...], Tuple[float, bool, bool]] = {}
+
+    # -- evaluation --------------------------------------------------------
+
+    def _probe(self, individual: Individual, domain: str):
+        self.probes_used += 1
+        permutation = Permutation(
+            strategy="genetic",
+            label=individual.describe()[:60],
+            protocol="http",
+            build=lambda _d, _i=individual, _dom=domain: _i.build(_dom),
+        )
+        return self.fuzzer.probe(self.endpoint_ip, permutation, domain)
+
+    def evaluate(self, individual: Individual) -> float:
+        """Live fitness: probe test + control domains (cached per genome)."""
+        key = individual.genes
+        if key in self._fitness_cache:
+            fitness, evaded, circumvented = self._fitness_cache[key]
+        else:
+            test = self._probe(individual, self.test_domain)
+            control = self._probe(individual, self.control_domain)
+            evaded = not test.blocked and not control.blocked
+            circumvented = evaded and test.served(self.test_domain)
+            fitness = 0.0
+            if evaded:
+                fitness += self.config.success_fitness
+            if circumvented:
+                fitness += self.config.circumvention_bonus
+            fitness -= self.config.parsimony_penalty * len(individual.genes)
+            self._fitness_cache[key] = (fitness, evaded, circumvented)
+        individual.fitness = fitness
+        individual.evaded = evaded
+        individual.circumvented = circumvented
+        return fitness
+
+    # -- operators -----------------------------------------------------------
+
+    def _random_individual(self) -> Individual:
+        count = self.rng.randint(1, 2)
+        genes = tuple(self.rng.choice(GENE_POOL) for _ in range(count))
+        return Individual(genes=genes)
+
+    def _tournament(self, population: List[Individual]) -> Individual:
+        contenders = self.rng.sample(
+            population, min(self.config.tournament_size, len(population))
+        )
+        return max(contenders, key=lambda i: i.fitness or -1e9)
+
+    def _crossover(self, a: Individual, b: Individual) -> Individual:
+        if not a.genes or not b.genes:
+            return Individual(genes=a.genes or b.genes)
+        cut_a = self.rng.randint(0, len(a.genes))
+        cut_b = self.rng.randint(0, len(b.genes))
+        genes = (a.genes[:cut_a] + b.genes[cut_b:])[: self.config.max_genes]
+        return Individual(genes=genes or (self.rng.choice(GENE_POOL),))
+
+    def _mutate(self, individual: Individual) -> Individual:
+        genes = list(individual.genes)
+        roll = self.rng.random()
+        if roll < 0.4 and len(genes) < self.config.max_genes:
+            genes.insert(
+                self.rng.randint(0, len(genes)), self.rng.choice(GENE_POOL)
+            )
+        elif roll < 0.7 and len(genes) > 1:
+            genes.pop(self.rng.randrange(len(genes)))
+        else:
+            genes[self.rng.randrange(len(genes))] = self.rng.choice(GENE_POOL)
+        return Individual(genes=tuple(genes))
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SearchOutcome:
+        config = self.config
+        population = [
+            self._random_individual() for _ in range(config.population_size)
+        ]
+        history: List[float] = []
+        best: Optional[Individual] = None
+        generations_run = 0
+        for generation in range(config.generations):
+            generations_run = generation + 1
+            for individual in population:
+                self.evaluate(individual)
+            population.sort(key=lambda i: i.fitness or -1e9, reverse=True)
+            if best is None or (population[0].fitness or -1e9) > (best.fitness or -1e9):
+                best = population[0]
+            history.append(best.fitness or 0.0)
+            done = best.circumvented if config.stop_on_circumvention else best.evaded
+            if done:
+                break
+            next_population = population[: config.elite]
+            while len(next_population) < config.population_size:
+                parent = self._tournament(population)
+                if self.rng.random() < config.crossover_rate:
+                    child = self._crossover(parent, self._tournament(population))
+                else:
+                    child = Individual(genes=parent.genes)
+                if self.rng.random() < config.mutation_rate:
+                    child = self._mutate(child)
+                next_population.append(child)
+            population = next_population
+        assert best is not None
+        return SearchOutcome(
+            best=best,
+            probes_used=self.probes_used,
+            generations_run=generations_run,
+            succeeded=best.evaded,
+            history=history,
+        )

@@ -1,0 +1,345 @@
+"""Command-line interface: drive the tools the way the released
+CenTrace/CenFuzz/CenProbe binaries are driven.
+
+::
+
+    repro worlds                                  # list study worlds
+    repro centrace --country KZ --domain www.pokerstars.com
+    repro cenfuzz  --country KZ --strategy "Get Word Alt."
+    repro cenprobe --country KZ                   # scan device IPs
+    repro campaign --country AZ --out data/az    # run + save raw data
+    repro experiment table1                       # regenerate a table/figure
+    repro report --out EXPERIMENTS.md             # the full document
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.cenfuzz import CenFuzz
+from .core.cenprobe import CenProbe, summarize_reports
+from .core.centrace import CenTrace, CenTraceConfig
+from .geo.countries import COUNTRIES, build_world
+from .persist import (
+    fuzz_report_to_dict,
+    probe_report_to_dict,
+    save_campaign,
+    trace_result_to_dict,
+)
+
+_WORLD_CACHE = {}
+
+
+def _world(country: str, scale: Optional[float], seed: Optional[int]):
+    key = (country.upper(), scale, seed)
+    if key not in _WORLD_CACHE:
+        _WORLD_CACHE[key] = build_world(country, scale=scale, seed=seed)
+    return _WORLD_CACHE[key]
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--country", required=True, choices=sorted(COUNTRIES),
+        help="study world to measure in",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_worlds(args: argparse.Namespace) -> int:
+    rows = []
+    for country in sorted(COUNTRIES):
+        world = _world(country, args.scale, None)
+        rows.append(
+            {
+                "country": country,
+                "endpoints": len(world.endpoints),
+                "endpoint_asns": len({e.asn for e in world.endpoints}),
+                "devices": len(world.devices),
+                "test_domains": list(world.test_domains),
+                "in_country_vantage": world.in_country_client is not None,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            print(
+                f"{row['country']}: {row['endpoints']} endpoints in "
+                f"{row['endpoint_asns']} ASNs, {row['devices']} devices, "
+                f"vantage={'yes' if row['in_country_vantage'] else 'no'}"
+            )
+            print(f"    test domains: {', '.join(row['test_domains'])}")
+    return 0
+
+
+def cmd_centrace(args: argparse.Namespace) -> int:
+    world = _world(args.country, args.scale, args.seed)
+    client = (
+        world.in_country_client
+        if args.in_country and world.in_country_client
+        else world.remote_client
+    )
+    tracer = CenTrace(
+        world.sim,
+        client,
+        asdb=world.asdb,
+        config=CenTraceConfig(repetitions=args.repetitions),
+    )
+    domain = args.domain or world.test_domains[0]
+    if args.endpoint:
+        endpoint_ips = [args.endpoint]
+    else:
+        endpoints = world.endpoints[: args.max_endpoints]
+        endpoint_ips = [e.ip for e in endpoints]
+    results = [
+        tracer.measure(ip, domain, args.protocol, world.control_domain)
+        for ip in endpoint_ips
+    ]
+    if args.json:
+        print(json.dumps([trace_result_to_dict(r) for r in results], indent=2))
+        return 0
+    for result in results:
+        print(result.brief())
+        if result.blocked and result.blocking_hop:
+            hop = result.blocking_hop
+            print(
+                f"    blocking hop AS{hop.asn} {hop.as_name} ({hop.country}),"
+                f" {result.hops_from_endpoint} hops before the endpoint,"
+                f" in_path={result.in_path}"
+            )
+    blocked = sum(1 for r in results if r.blocked)
+    print(f"-- {blocked}/{len(results)} measurements blocked")
+    return 0
+
+
+def cmd_cenfuzz(args: argparse.Namespace) -> int:
+    world = _world(args.country, args.scale, args.seed)
+    client = (
+        world.in_country_client
+        if args.in_country and world.in_country_client
+        else world.remote_client
+    )
+    fuzzer = CenFuzz(world.sim, client)
+    endpoint_ip = args.endpoint or world.endpoints[0].ip
+    domain = args.domain or world.test_domains[0]
+    strategies = args.strategy or None
+    report = fuzzer.run_endpoint(
+        endpoint_ip, domain, args.protocol, world.control_domain,
+        strategies=strategies,
+    )
+    if args.json:
+        print(json.dumps(fuzz_report_to_dict(report), indent=2))
+        return 0
+    print(
+        f"{domain} ({args.protocol}) -> {endpoint_ip}: "
+        f"normal request {'BLOCKED' if report.normal_blocked else 'not blocked'}"
+    )
+    for strategy, (ok, evaluated) in sorted(report.success_by_strategy().items()):
+        if evaluated:
+            print(f"  {strategy:26s} {ok:4d}/{evaluated:<4d} evade")
+    if args.infer:
+        from .analysis.rule_inference import infer_rules
+
+        model = infer_rules(report)
+        print(f"inferred decision model: {model.summary()}")
+    return 0
+
+
+def cmd_cenprobe(args: argparse.Namespace) -> int:
+    world = _world(args.country, args.scale, args.seed)
+    prober = CenProbe(world.topology)
+    if args.ip:
+        ips = [args.ip]
+    else:
+        # Ground-truth device host IPs double as the scan list when no
+        # CenTrace data is given (convenience for exploration).
+        ips = sorted(set(world.device_host_ip.values()))
+    reports = prober.scan_many(ips)
+    if args.json:
+        print(json.dumps([probe_report_to_dict(r) for r in reports], indent=2))
+        return 0
+    for report in reports:
+        ports = ",".join(map(str, report.open_ports)) or "-"
+        print(f"{report.ip:18s} ports={ports:20s} vendor={report.vendor or '-'}")
+    print(f"-- {json.dumps(summarize_reports(reports))}")
+    return 0
+
+
+def cmd_residual(args: argparse.Namespace) -> int:
+    from .core.centrace.residual import ResidualProbe
+
+    world = _world(args.country, args.scale, args.seed)
+    probe = ResidualProbe(world.sim, world.remote_client)
+    endpoint_ip = args.endpoint or world.endpoints[0].ip
+    domain = args.domain or world.test_domains[0]
+    measurement = probe.measure(endpoint_ip, domain)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "endpoint_ip": measurement.endpoint_ip,
+                    "test_domain": measurement.test_domain,
+                    "stateful": measurement.stateful,
+                    "scope": measurement.scope,
+                    "duration_bounds": measurement.duration_bounds,
+                    "probes_used": measurement.probes_used,
+                }
+            )
+        )
+        return 0
+    print(f"{domain} -> {endpoint_ip}: {measurement.summary()}")
+    print(f"({measurement.probes_used} probes)")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import CampaignConfig, run_campaign
+
+    world = _world(args.country, args.scale, args.seed)
+    campaign = run_campaign(
+        world,
+        CampaignConfig(
+            repetitions=args.repetitions,
+            fuzz_all_blocked=args.fuzz_all,
+        ),
+    )
+    blocked = len(campaign.blocked_remote())
+    print(
+        f"{args.country}: {len(campaign.remote_results)} remote CTs,"
+        f" {blocked} blocked; {len(campaign.fuzz_reports)} fuzz reports;"
+        f" {len(campaign.probe_reports)} banner scans"
+    )
+    if args.out:
+        counts = save_campaign(campaign, args.out)
+        print(f"saved to {args.out}: {counts}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    module = ALL_EXPERIMENTS.get(args.name)
+    if module is None:
+        print(
+            f"unknown experiment {args.name!r}; choose from: "
+            + ", ".join(sorted(ALL_EXPERIMENTS)),
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.scale is not None and args.name not in ("table2", "sec41_pathvar", "sec63_circumvention", "fig1", "fig9"):
+        kwargs["scale"] = args.scale
+    result = module.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import main as report_main
+
+    argv = ["--out", args.out]
+    if args.scale is not None:
+        argv.extend(["--scale", str(args.scale)])
+    return report_main(argv)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Censorship-device measurement tools (CoNEXT '22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worlds = sub.add_parser("worlds", help="list the study worlds")
+    worlds.add_argument("--scale", type=float, default=None)
+    worlds.add_argument("--json", action="store_true")
+    worlds.set_defaults(func=cmd_worlds)
+
+    centrace = sub.add_parser("centrace", help="run censorship traceroutes")
+    _add_world_args(centrace)
+    centrace.add_argument("--domain", help="test domain (default: first)")
+    centrace.add_argument(
+        "--protocol", default="http", choices=["http", "tls", "dns"]
+    )
+    centrace.add_argument("--endpoint", help="specific endpoint IP")
+    centrace.add_argument("--max-endpoints", type=int, default=5)
+    centrace.add_argument("--repetitions", type=int, default=3)
+    centrace.add_argument("--in-country", action="store_true")
+    centrace.set_defaults(func=cmd_centrace)
+
+    cenfuzz = sub.add_parser("cenfuzz", help="fuzz a censorship device")
+    _add_world_args(cenfuzz)
+    cenfuzz.add_argument("--domain")
+    cenfuzz.add_argument("--protocol", default="http", choices=["http", "tls"])
+    cenfuzz.add_argument("--endpoint")
+    cenfuzz.add_argument(
+        "--strategy", action="append", help="restrict to strategy (repeatable)"
+    )
+    cenfuzz.add_argument("--in-country", action="store_true")
+    cenfuzz.add_argument(
+        "--infer",
+        action="store_true",
+        help="infer the device's decision model from the results",
+    )
+    cenfuzz.set_defaults(func=cmd_cenfuzz)
+
+    cenprobe = sub.add_parser("cenprobe", help="banner-grab device IPs")
+    _add_world_args(cenprobe)
+    cenprobe.add_argument("--ip", help="specific IP (default: all device IPs)")
+    cenprobe.set_defaults(func=cmd_cenprobe)
+
+    residual = sub.add_parser(
+        "residual", help="measure a device's residual censorship"
+    )
+    _add_world_args(residual)
+    residual.add_argument("--domain")
+    residual.add_argument("--endpoint")
+    residual.set_defaults(func=cmd_residual)
+
+    campaign = sub.add_parser("campaign", help="full campaign (+ save raw data)")
+    _add_world_args(campaign)
+    campaign.add_argument("--repetitions", type=int, default=3)
+    campaign.add_argument("--fuzz-all", action="store_true")
+    campaign.add_argument("--out", help="directory for raw JSONL data")
+    campaign.set_defaults(func=cmd_campaign)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name")
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.set_defaults(func=cmd_experiment)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument("--scale", type=float, default=None)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The paper's primary contributions: CenTrace, CenFuzz, CenProbe and
+the blockpage fingerprint corpus."""
+
+from . import blockpages, cenfuzz, cenprobe, centrace, filtermap
+
+__all__ = ["blockpages", "cenfuzz", "cenprobe", "centrace", "filtermap"]

@@ -1,0 +1,51 @@
+"""CenFuzz: deterministic HTTP/TLS request fuzzing (paper §6)."""
+
+from .dns_fuzz import (
+    DNSFuzzer,
+    DNSFuzzReport,
+    DNSPermutation,
+    DNSPermutationResult,
+    dns_strategies,
+)
+from .runner import (
+    BLOCKED_OUTCOMES,
+    CenFuzz,
+    CenFuzzConfig,
+    EndpointFuzzReport,
+    FuzzProbeOutcome,
+    PermutationResult,
+)
+from .strategies import (
+    Permutation,
+    PROTO_HTTP,
+    PROTO_TLS,
+    STRATEGY_NORMAL,
+    all_strategies,
+    http_strategies,
+    normal_permutation,
+    strategy_catalog,
+    tls_strategies,
+)
+
+__all__ = [
+    "DNSFuzzer",
+    "DNSFuzzReport",
+    "DNSPermutation",
+    "DNSPermutationResult",
+    "dns_strategies",
+    "BLOCKED_OUTCOMES",
+    "CenFuzz",
+    "CenFuzzConfig",
+    "EndpointFuzzReport",
+    "FuzzProbeOutcome",
+    "PermutationResult",
+    "Permutation",
+    "PROTO_HTTP",
+    "PROTO_TLS",
+    "STRATEGY_NORMAL",
+    "all_strategies",
+    "http_strategies",
+    "normal_permutation",
+    "strategy_catalog",
+    "tls_strategies",
+]

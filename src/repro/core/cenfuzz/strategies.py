@@ -1,0 +1,476 @@
+"""CenFuzz's deterministic fuzzing strategies (Table 2).
+
+Sixteen HTTP-request and eight TLS-ClientHello strategies, each a fixed
+list of permutations, so that every device is tested with exactly the
+same probes and the results form a comparable fingerprint (§6).
+
+Permutation counts match Table 2's 'NP' column:
+
+HTTP — Get Word Alt 6, Http Word Alt 16, Host Word Alt 7, Path Alt 8,
+Hostname Alt 5, Hostname TLD Alt 10, Hostname Subdomain Alt 10,
+Header Alt 59, Get Word Cap 8, Http Word Cap 16, Host Word Cap 16,
+Get Word Rem 7, Http Word Rem 167, Host Word Rem 63,
+Http Delimiter Rem 3, Hostname Pad 9.
+
+TLS — Min Version Alt 4, Max Version Alt 4, Cipher Suite Alt 25,
+Client Certificate Alt 3, SNI Alt 4, SNI TLD Alt 10,
+SNI Subdomain Alt 10, SNI Pad 9.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ...netmodel.http import HTTPRequest
+from ...netmodel.tls import (
+    CIPHER_SUITES,
+    ClientHello,
+    VERSION_TLS10,
+    VERSION_TLS11,
+    VERSION_TLS12,
+    VERSION_TLS13,
+)
+
+PROTO_HTTP = "http"
+PROTO_TLS = "tls"
+
+STRATEGY_NORMAL = "Normal"
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """One concrete fuzzed probe."""
+
+    strategy: str
+    label: str
+    protocol: str
+    build: Callable[[str], bytes]
+
+    def payload(self, domain: str) -> bytes:
+        return self.build(domain)
+
+
+def _http(strategy: str, label: str, build) -> Permutation:
+    return Permutation(strategy, label, PROTO_HTTP, build)
+
+
+def _tls(strategy: str, label: str, build) -> Permutation:
+    return Permutation(strategy, label, PROTO_TLS, build)
+
+
+# -- hostname manipulation helpers (shared by HTTP and TLS strategies) ------
+
+ALT_TLDS = ("net", "org", "co", "io", "biz", "info", "edu", "gov", "xyz", "ru")
+ALT_SUBDOMAINS = (
+    "m",
+    "wiki",
+    "mail",
+    "cdn",
+    "app",
+    "web",
+    "dev",
+    "beta",
+    "shop",
+    "news",
+)
+
+
+def swap_tld(domain: str, tld: str) -> str:
+    labels = domain.split(".")
+    if len(labels) < 2:
+        return f"{domain}.{tld}"
+    return ".".join(labels[:-1] + [tld])
+
+
+def swap_subdomain(domain: str, sub: str) -> str:
+    labels = domain.split(".")
+    if len(labels) >= 3:
+        return ".".join([sub] + labels[1:])
+    return f"{sub}.{domain}"
+
+
+def pad_variants() -> List[tuple]:
+    """(label, leading, trailing) for the 9 padding permutations."""
+    variants = []
+    for lead, trail in itertools.product((0, 1, 2), repeat=2):
+        if lead == 0 and trail == 0:
+            continue
+        variants.append((f"lead{lead}-trail{trail}", "*" * lead, "*" * trail))
+    variants.append(("hash-pads", "##", "#"))
+    return variants
+
+
+def _case_variants(word: str, limit: int) -> List[str]:
+    """All upper/lower case combinations of ``word``'s letters."""
+    letters = list(word)
+    positions = [i for i, c in enumerate(letters) if c.isalpha()]
+    variants = []
+    for mask in itertools.product((str.lower, str.upper), repeat=len(positions)):
+        candidate = letters[:]
+        for pos, transform in zip(positions, mask):
+            candidate[pos] = transform(candidate[pos])
+        variant = "".join(candidate)
+        variants.append(variant)
+    # Deterministic order, original first removed later by caller if wanted.
+    unique = list(dict.fromkeys(variants))
+    return unique[:limit]
+
+
+def _removal_variants(word: str, limit: int) -> List[str]:
+    """Variants of ``word`` with growing subsets of characters removed."""
+    n = len(word)
+    variants: List[str] = []
+    for k in range(1, n + 1):
+        for indices in itertools.combinations(range(n), k):
+            drop = set(indices)
+            variants.append("".join(c for i, c in enumerate(word) if i not in drop))
+            if len(variants) >= limit:
+                return variants
+    return variants
+
+
+# ---------------------------------------------------------------------------
+# HTTP strategies
+# ---------------------------------------------------------------------------
+
+
+def _base_request(domain: str, **overrides) -> bytes:
+    return HTTPRequest(host=domain, **overrides).build()
+
+
+def http_strategies() -> Dict[str, List[Permutation]]:
+    """The 16 HTTP strategies, keyed by display name (Figure 5)."""
+    strategies: Dict[str, List[Permutation]] = {}
+
+    def add(strategy: str, label: str, **overrides) -> None:
+        strategies.setdefault(strategy, []).append(
+            _http(
+                strategy,
+                label,
+                lambda domain, _o=dict(overrides): _base_request(domain, **_o),
+            )
+        )
+
+    # Alternate data ------------------------------------------------------
+    for method in ("POST", "PUT", "PATCH", "DELETE", "XXXX", ""):
+        add("Get Word Alt.", method or "<empty>", method=method)
+
+    http_words = [
+        "HTTP/1.0",
+        "HTTP/2",
+        "HTTP/3",
+        "HTTP/9",
+        "HTTP/1.2",
+        "HTTP/0.9",
+        "HTTP/ 1.1",
+        "HTTP /1.1",
+        "XXXX/1.1",
+        "HTTPS/1.1",
+        "HTTP\\1.1",
+        "HTTP|1.1",
+        "HTTP1.1",
+        "HTTP/11",
+        "HTTP/1.1.1",
+        "H/1.1",
+    ]
+    for word in http_words:
+        add("Http Word Alt.", word, http_word=word)
+
+    for host_word in (
+        "HostHeader",
+        "XHost",
+        "Hostname",
+        "X-Host",
+        "Host-Name",
+        "HTTPHost",
+        "XXXX",
+    ):
+        add("Host Word Alt.", host_word, host_word=host_word)
+
+    for path in ("?", "z", "/index.html", "/a", "*", "//", "/%2e", "/."):
+        add("Path Alt.", path, path=path)
+
+    def add_host_fn(strategy: str, label: str, fn, **overrides) -> None:
+        strategies.setdefault(strategy, []).append(
+            _http(
+                strategy,
+                label,
+                lambda domain, _fn=fn, _o=dict(overrides): HTTPRequest(
+                    host=_fn(domain), **_o
+                ).build(),
+            )
+        )
+
+    # Hostname Alt: omit / empty / reversed / doubled / trailing dot.
+    strategies.setdefault("Hostname Alt.", []).append(
+        _http(
+            "Hostname Alt.",
+            "<omitted>",
+            lambda domain: HTTPRequest(
+                host=domain, include_host_header=False
+            ).build(),
+        )
+    )
+    add_host_fn("Hostname Alt.", "<empty>", lambda d: "")
+    add_host_fn("Hostname Alt.", "reversed", lambda d: d[::-1])
+    add_host_fn("Hostname Alt.", "doubled", lambda d: d + d)
+    add_host_fn("Hostname Alt.", "trailing-dot", lambda d: d + ".")
+
+    for tld in ALT_TLDS:
+        add_host_fn("Hostname TLD Alt.", tld, lambda d, _t=tld: swap_tld(d, _t))
+    for sub in ALT_SUBDOMAINS:
+        add_host_fn(
+            "Host. Subdomain Alt.", sub, lambda d, _s=sub: swap_subdomain(d, _s)
+        )
+    for label, lead, trail in pad_variants():
+        add_host_fn(
+            "Hostname Pad.",
+            label,
+            lambda d, _l=lead, _t=trail: f"{_l}{d}{_t}",
+        )
+
+    # Header Alt: 59 additional headers.
+    header_pool = [
+        ("Connection", "keep-alive"),
+        ("Connection", "close"),
+        ("User-Agent", "xxx"),
+        ("User-Agent", "curl/7.88.1"),
+        ("Accept", "*/*"),
+        ("Accept", "text/html"),
+        ("Accept-Encoding", "gzip, deflate"),
+        ("Accept-Language", "en-US"),
+        ("Cache-Control", "no-cache"),
+        ("Pragma", "no-cache"),
+        ("Referer", "https://www.example.com/"),
+        ("Origin", "https://www.example.com"),
+        ("Cookie", "session=deadbeef"),
+        ("DNT", "1"),
+        ("Upgrade-Insecure-Requests", "1"),
+        ("X-Forwarded-For", "127.0.0.1"),
+        ("X-Requested-With", "XMLHttpRequest"),
+        ("Range", "bytes=0-1023"),
+        ("If-Modified-Since", "Mon, 01 Jan 2024 00:00:00 GMT"),
+        ("TE", "trailers"),
+    ]
+    extra = [(f"X-Fuzz-{i}", f"value{i}") for i in range(39)]
+    from ...netmodel.http import RawHeader
+
+    for name, value in header_pool + extra:
+        strategies.setdefault("Header Alt.", []).append(
+            _http(
+                "Header Alt.",
+                f"{name}: {value}"[:40],
+                lambda domain, _n=name, _v=value: HTTPRequest(
+                    host=domain, extra_headers=[RawHeader(_n, _v)]
+                ).build(),
+            )
+        )
+
+    # Capitalize ------------------------------------------------------------
+    for variant in _case_variants("GET", 8):
+        add("Get Word Cap.", variant, method=variant)
+    http_cap = [f"{v}/1.1" for v in _case_variants("HTTP", 16)]
+    for variant in http_cap:
+        add("Http Word Cap.", variant, http_word=variant)
+    for variant in _case_variants("Host", 16):
+        add("Host Word Cap.", variant, host_word=variant)
+
+    # Remove ----------------------------------------------------------------
+    for variant in _removal_variants("GET", 7):
+        add("Get Word Rem.", variant or "<empty>", method=variant)
+    # Removing different character positions can produce the same
+    # string (dropping either 'T' of "HTTP" yields "HTP"); permutations
+    # stay position-based per Table 2, labels get disambiguated.
+    seen_labels: Dict[str, int] = {}
+    for variant in _removal_variants("HTTP/1.1", 167):
+        label = variant or "<empty>"
+        count = seen_labels.get(label, 0)
+        seen_labels[label] = count + 1
+        if count:
+            label = f"{label}~{count}"
+        add("Http Word Rem.", label, http_word=variant)
+    for variant in _removal_variants("Host: ", 63):
+        # The removal operates on the full "Host: " token (word,
+        # colon and space); reconstruct word + separator.
+        if ":" in variant:
+            word, _, sep_tail = variant.partition(":")
+            separator = ":" + sep_tail
+        else:
+            word, separator = variant, ""
+        add(
+            "Host Word Rem.",
+            variant.replace(" ", "_") or "<empty>",
+            host_word=word,
+            host_separator=separator,
+        )
+    for delimiter, label in (("\r", "CR"), ("\n", "LF"), ("", "<none>")):
+        add("Http Delimiter Rem.", label, line_delimiter=delimiter)
+
+    return strategies
+
+
+# ---------------------------------------------------------------------------
+# TLS strategies
+# ---------------------------------------------------------------------------
+
+_TLS_VERSIONS = (
+    ("TLS 1.0", VERSION_TLS10),
+    ("TLS 1.1", VERSION_TLS11),
+    ("TLS 1.2", VERSION_TLS12),
+    ("TLS 1.3", VERSION_TLS13),
+)
+
+
+def tls_strategies() -> Dict[str, List[Permutation]]:
+    """The 8 TLS ClientHello strategies, keyed by display name."""
+    strategies: Dict[str, List[Permutation]] = {}
+
+    def add(strategy: str, label: str, build) -> None:
+        strategies.setdefault(strategy, []).append(_tls(strategy, label, build))
+
+    for label, version in _TLS_VERSIONS:
+        add(
+            "Min Version Alt.",
+            label,
+            lambda domain, _v=version: ClientHello(
+                server_name=domain, min_version=_v, max_version=max(_v, VERSION_TLS13)
+            ).build(),
+        )
+        add(
+            "Max Version Alt.",
+            label,
+            lambda domain, _v=version: ClientHello(
+                server_name=domain, min_version=min(VERSION_TLS10, _v), max_version=_v
+            ).build(),
+        )
+
+    for cipher in list(CIPHER_SUITES)[:25]:
+        add(
+            "CipherSuite Alt.",
+            cipher,
+            lambda domain, _c=cipher: ClientHello(
+                server_name=domain, cipher_suites=[_c]
+            ).build(),
+        )
+
+    for label, own in (("none", None), ("own-domain", True), ("other-domain", False)):
+        add(
+            "Client Certificate Alt.",
+            label,
+            lambda domain, _own=own: ClientHello(
+                server_name=domain,
+                offers_client_certificate=_own is not None,
+                client_certificate_cn=(
+                    None if _own is None else (domain if _own else "www.test.com")
+                ),
+            ).build(),
+        )
+
+    add(
+        "SNI Alt.",
+        "<omitted>",
+        lambda domain: ClientHello(server_name=domain, include_sni=False).build(),
+    )
+    add(
+        "SNI Alt.",
+        "<empty>",
+        lambda domain: ClientHello(server_name="").build(),
+    )
+    add(
+        "SNI Alt.",
+        "reversed",
+        lambda domain: ClientHello(server_name=domain[::-1]).build(),
+    )
+    add(
+        "SNI Alt.",
+        "doubled",
+        lambda domain: ClientHello(server_name=domain + domain).build(),
+    )
+
+    for tld in ALT_TLDS:
+        add(
+            "SNI TLD Alt.",
+            tld,
+            lambda domain, _t=tld: ClientHello(
+                server_name=swap_tld(domain, _t)
+            ).build(),
+        )
+    for sub in ALT_SUBDOMAINS:
+        add(
+            "SNI Subdomain Alt.",
+            sub,
+            lambda domain, _s=sub: ClientHello(
+                server_name=swap_subdomain(domain, _s)
+            ).build(),
+        )
+    for label, lead, trail in pad_variants():
+        add(
+            "SNI Pad.",
+            label,
+            lambda domain, _l=lead, _t=trail: ClientHello(
+                server_name=f"{_l}{domain}{_t}"
+            ).build(),
+        )
+
+    return strategies
+
+
+def normal_permutation(protocol: str) -> Permutation:
+    """The unfuzzed baseline probe."""
+    if protocol == PROTO_HTTP:
+        return _http(
+            STRATEGY_NORMAL, "normal", lambda domain: HTTPRequest.normal(domain).build()
+        )
+    return _tls(
+        STRATEGY_NORMAL, "normal", lambda domain: ClientHello.normal(domain).build()
+    )
+
+
+def all_strategies() -> Dict[str, List[Permutation]]:
+    """Every strategy (HTTP + TLS), keyed by display name."""
+    combined = dict(http_strategies())
+    combined.update(tls_strategies())
+    return combined
+
+
+def strategy_catalog() -> List[tuple]:
+    """(category, strategy, protocol, permutation count) rows (Table 2)."""
+    categories = {
+        "Get Word Alt.": "Alternate",
+        "Http Word Alt.": "Alternate",
+        "Host Word Alt.": "Alternate",
+        "Path Alt.": "Alternate",
+        "Hostname Alt.": "Alternate",
+        "Hostname TLD Alt.": "Alternate",
+        "Host. Subdomain Alt.": "Alternate",
+        "Header Alt.": "Alternate",
+        "Get Word Cap.": "Capitalize",
+        "Http Word Cap.": "Capitalize",
+        "Host Word Cap.": "Capitalize",
+        "Get Word Rem.": "Remove",
+        "Http Word Rem.": "Remove",
+        "Host Word Rem.": "Remove",
+        "Http Delimiter Rem.": "Remove",
+        "Hostname Pad.": "Pad",
+        "Min Version Alt.": "Alternate",
+        "Max Version Alt.": "Alternate",
+        "CipherSuite Alt.": "Alternate",
+        "Client Certificate Alt.": "Alternate",
+        "SNI Alt.": "Alternate",
+        "SNI TLD Alt.": "Alternate",
+        "SNI Subdomain Alt.": "Alternate",
+        "SNI Pad.": "Pad",
+    }
+    rows = []
+    for name, permutations in all_strategies().items():
+        rows.append(
+            (
+                categories.get(name, "Alternate"),
+                name,
+                permutations[0].protocol,
+                len(permutations),
+            )
+        )
+    return rows

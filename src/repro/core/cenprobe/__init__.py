@@ -1,0 +1,43 @@
+"""CenProbe: device banner grabs and vendor fingerprinting (paper §5)."""
+
+from .fingerprints import (
+    DEFAULT_REPOSITORY,
+    FingerprintRepository,
+    FingerprintRule,
+    RULES,
+)
+from .os_probes import (
+    OS_FEATURE_NAMES,
+    OSPersonality,
+    OSProber,
+    OSProbeResult,
+    PERSONALITIES,
+    VENDOR_PERSONALITIES,
+)
+from .scanner import (
+    BANNER_PROTOCOLS,
+    BannerGrab,
+    CenProbe,
+    ProbeReport,
+    TOP_PORTS,
+    summarize_reports,
+)
+
+__all__ = [
+    "OS_FEATURE_NAMES",
+    "OSPersonality",
+    "OSProber",
+    "OSProbeResult",
+    "PERSONALITIES",
+    "VENDOR_PERSONALITIES",
+    "DEFAULT_REPOSITORY",
+    "FingerprintRepository",
+    "FingerprintRule",
+    "RULES",
+    "BANNER_PROTOCOLS",
+    "BannerGrab",
+    "CenProbe",
+    "ProbeReport",
+    "TOP_PORTS",
+    "summarize_reports",
+]

@@ -1,0 +1,204 @@
+"""Nmap-style crafted-probe OS fingerprinting (§5.1).
+
+"Nmap then sends up to 16 specially crafted TCP, UDP, and ICMP probes
+to the device, on both open and closed ports. These probes are each
+intended to invoke a unique and potentially fingerprintable response."
+
+Every node in the simulator carries an :class:`OSPersonality` — the
+stack-level behaviours those probes elicit (initial TTL, SYN-ACK
+window and options, whether a FIN-to-open-port gets a reply, whether a
+UDP probe to a closed port draws an ICMP port-unreachable, IP-ID
+sequence style, DF bit). :class:`OSProber` replays the crafted-probe
+sequence against a node and turns the responses into features, which
+CenProbe folds into its reports and the §7 clustering consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...netsim.topology import Topology
+
+# IP-ID sequence classes (Nmap's "II" test, simplified).
+IPID_INCREMENTAL = "incremental"
+IPID_ZERO = "zero"
+IPID_RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class OSPersonality:
+    """Stack-level behaviours crafted probes elicit from one device OS."""
+
+    name: str
+    initial_ttl: int = 64
+    syn_ack_window: int = 64240
+    tcp_options: Tuple[int, ...] = (2, 4, 8, 1, 3)  # MSS,SACK,TS,NOP,WS
+    rst_window: int = 0
+    answers_fin_probe: bool = False  # RFC 793 stacks stay silent
+    answers_null_probe: bool = False
+    icmp_port_unreachable: bool = True
+    ip_id_pattern: str = IPID_INCREMENTAL
+    df_bit: bool = True
+    ecn_supported: bool = True
+
+
+# Personalities for the platforms our vendor catalog ships on.
+LINUX = OSPersonality(name="Linux 5.x")
+FORTIOS = OSPersonality(
+    name="FortiOS",
+    initial_ttl=255,
+    syn_ack_window=16384,
+    tcp_options=(2, 1, 3),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_ZERO,
+    ecn_supported=False,
+)
+CISCO_IOS = OSPersonality(
+    name="Cisco IOS",
+    initial_ttl=255,
+    syn_ack_window=4128,
+    tcp_options=(2,),
+    rst_window=4128,
+    icmp_port_unreachable=False,  # rate-limited to silence
+    ip_id_pattern=IPID_RANDOM,
+    df_bit=False,
+    ecn_supported=False,
+)
+ROUTEROS = OSPersonality(
+    name="MikroTik RouterOS",
+    initial_ttl=64,
+    syn_ack_window=14600,
+    tcp_options=(2, 4, 1, 3),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_INCREMENTAL,
+    ecn_supported=False,
+)
+PANOS = OSPersonality(
+    name="PAN-OS",
+    initial_ttl=64,
+    syn_ack_window=32768,
+    tcp_options=(2, 1, 1, 4),
+    answers_fin_probe=True,  # middlebox proxy stack answers anything
+    answers_null_probe=True,
+    ip_id_pattern=IPID_ZERO,
+)
+KERIO_OS = OSPersonality(
+    name="Kerio Control appliance",
+    initial_ttl=64,
+    syn_ack_window=29200,
+    tcp_options=(2, 4, 8, 1, 3),
+    icmp_port_unreachable=True,
+    ip_id_pattern=IPID_INCREMENTAL,
+)
+WINDOWS_LIKE = OSPersonality(
+    name="Windows Server",
+    initial_ttl=128,
+    syn_ack_window=8192,
+    tcp_options=(2, 1, 3, 1, 1, 4),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_INCREMENTAL,
+    ecn_supported=False,
+)
+
+PERSONALITIES = {
+    p.name: p
+    for p in (LINUX, FORTIOS, CISCO_IOS, ROUTEROS, PANOS, KERIO_OS, WINDOWS_LIKE)
+}
+
+# Vendor -> appliance OS mapping (used when placing devices).
+VENDOR_PERSONALITIES: Dict[str, OSPersonality] = {
+    "Fortinet": FORTIOS,
+    "Cisco": CISCO_IOS,
+    "Mikrotik": ROUTEROS,
+    "Palo Alto": PANOS,
+    "Kerio Control": KERIO_OS,
+    "Kaspersky": LINUX,
+    "DDoS-Guard": LINUX,
+    "Netsweeper": LINUX,
+    "SonicWall": WINDOWS_LIKE,
+    "Squid": LINUX,
+    "Sophos": LINUX,
+}
+
+
+@dataclass
+class OSProbeResult:
+    """The feature vector Nmap-style probing produces for one IP."""
+
+    ip: str
+    responsive: bool = False
+    personality_name: Optional[str] = None  # ground truth, tests only
+    features: Dict[str, float] = field(default_factory=dict)
+
+    def feature(self, name: str) -> Optional[float]:
+        return self.features.get(name)
+
+
+class OSProber:
+    """Replays the crafted-probe sequence against topology nodes.
+
+    Like CenProbe's banner grabs, probing is a structured exchange with
+    the node's modeled stack rather than raw sockets — the features are
+    exactly what the real probes would measure.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def probe(self, ip: str) -> OSProbeResult:
+        result = OSProbeResult(ip=ip)
+        node = self.topology.node_at(ip)
+        if node is None:
+            return result
+        personality = getattr(node, "personality", None) or LINUX
+        has_open_port = bool(node.services)
+        result.responsive = True
+        result.personality_name = personality.name
+        features = result.features
+        # T1: SYN to an open port — window, options, TTL (needs a port).
+        if has_open_port:
+            features["OSSynAckWindow"] = float(personality.syn_ack_window)
+            features["OSOptionCount"] = float(len(personality.tcp_options))
+            features["OSOptionsHash"] = float(
+                sum((i + 1) * kind for i, kind in enumerate(personality.tcp_options))
+                % 9973
+            )
+            # T2: FIN to the open port — silence or a reply.
+            features["OSAnswersFin"] = float(personality.answers_fin_probe)
+            # T3: NULL-flags probe.
+            features["OSAnswersNull"] = float(personality.answers_null_probe)
+            # T6: ECN-setup SYN.
+            features["OSECN"] = float(personality.ecn_supported)
+        # T5: SYN to a closed port — RST characteristics.
+        features["OSRstWindow"] = float(personality.rst_window)
+        # U1: UDP to a closed port — ICMP port unreachable or silence.
+        features["OSIcmpUnreachable"] = float(personality.icmp_port_unreachable)
+        # TTL inference from any response.
+        features["OSInitialTTL"] = float(personality.initial_ttl)
+        # II: IP-ID sequence classification over consecutive probes.
+        features["OSIpIdClass"] = {
+            IPID_ZERO: 0.0,
+            IPID_INCREMENTAL: 1.0,
+            IPID_RANDOM: 2.0,
+        }[personality.ip_id_pattern]
+        features["OSDFBit"] = float(personality.df_bit)
+        return result
+
+    def probe_many(self, ips) -> List[OSProbeResult]:
+        return [self.probe(ip) for ip in ips]
+
+
+OS_FEATURE_NAMES = (
+    "OSSynAckWindow",
+    "OSOptionCount",
+    "OSOptionsHash",
+    "OSAnswersFin",
+    "OSAnswersNull",
+    "OSECN",
+    "OSRstWindow",
+    "OSIcmpUnreachable",
+    "OSInitialTTL",
+    "OSIpIdClass",
+    "OSDFBit",
+)

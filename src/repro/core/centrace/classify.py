@@ -1,0 +1,350 @@
+"""Classification of CenTrace sweeps into measurement results (§4.1).
+
+Aggregates repeated Control/Test sweeps, decides whether blocking
+occurred (conservatively: resets, repeated drops, or known blockpages),
+attributes the blocking hop via the Control-Domain path distribution,
+distinguishes in-path from on-path devices, corrects for TTL-copying
+injectors, and extracts the clustering features of Table 3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ...geo.asdb import ASDatabase
+from ...netmodel.icmp import compare_quote
+from ..blockpages import BlockpageMatcher
+from .results import (
+    BLOCK_TYPES,
+    CenTraceResult,
+    HopInfo,
+    LOC_AT_E,
+    LOC_NO_ICMP,
+    LOC_PAST_E,
+    LOC_PATH,
+    PROTO_DNS,
+    ProbeObservation,
+    ResponseSummary,
+    TraceSweep,
+    TYPE_DNSINJECT,
+    TYPE_HTTP,
+    TYPE_NORMAL,
+    TYPE_TIMEOUT,
+    infer_initial_ttl,
+)
+
+# An injected response arriving with a TTL this low cannot plausibly
+# have started from a standard initial TTL (32/64/128/255) on any
+# realistic path; it indicates a TTL-copying injector (§4.3).
+TTL_COPY_ARRIVAL_MAX = 4
+
+
+def _majority(values) -> Optional[object]:
+    counter = Counter(v for v in values if v is not None)
+    if not counter:
+        return None
+    return counter.most_common(1)[0][0]
+
+
+def build_hop_distribution(sweeps: List[TraceSweep]) -> Dict[int, Dict[str, int]]:
+    """TTL -> {hop ip (or "" for silence): count} over all repetitions."""
+    distribution: Dict[int, Dict[str, int]] = {}
+    for sweep in sweeps:
+        for ttl, ip in sweep.hop_ips().items():
+            bucket = distribution.setdefault(ttl, {})
+            key = ip if ip is not None else ""
+            bucket[key] = bucket.get(key, 0) + 1
+    return distribution
+
+
+def most_likely_hop(
+    distribution: Dict[int, Dict[str, int]], ttl: int
+) -> Optional[str]:
+    """The most frequently observed hop IP at ``ttl`` (None = silence)."""
+    bucket = distribution.get(ttl)
+    if not bucket:
+        return None
+    ip = max(bucket, key=bucket.get)
+    return ip or None
+
+
+def _attribute(ip: Optional[str], ttl: int, asdb: Optional[ASDatabase]) -> HopInfo:
+    hop = HopInfo(ttl=ttl, ip=ip)
+    if ip and asdb is not None:
+        meta = asdb.lookup(ip)
+        if meta is not None:
+            hop.asn = meta.asn
+            hop.as_name = meta.as_name
+            hop.country = meta.country
+    return hop
+
+
+def _detect_ttl_copy(sweeps: List[TraceSweep]) -> Tuple[bool, Optional[int]]:
+    """Detect TTL-copying injections; return (detected, corrected hop).
+
+    The forged packet starts with the probe's remaining TTL after
+    crossing k routers and must cross those k routers again on the way
+    back, so it reaches us with ``probe_ttl - 2k`` — tiny values that
+    grow by one per probe TTL. ``k = (terminating_ttl - arrival_ttl)/2``
+    routers sit before the device; the blocking hop (the node the
+    device's link leads into, same convention as for droppers) is one
+    further.
+    """
+    votes: List[int] = []
+    for sweep in sweeps:
+        if sweep.terminating_ttl is None or sweep.terminating_response is None:
+            continue
+        response = sweep.terminating_response
+        if response.kind != "tcp" or response.payload:
+            continue
+        if response.arrival_ttl <= TTL_COPY_ARRIVAL_MAX:
+            votes.append(
+                (sweep.terminating_ttl - response.arrival_ttl) // 2 + 1
+            )
+    if not votes:
+        return False, None
+    return True, int(_majority(votes))
+
+
+def classify_measurement(
+    *,
+    endpoint_ip: str,
+    test_domain: str,
+    protocol: str,
+    control_sweeps: List[TraceSweep],
+    test_sweeps: List[TraceSweep],
+    asdb: Optional[ASDatabase] = None,
+    matcher: Optional[BlockpageMatcher] = None,
+    correct_ttl_copy: bool = True,
+) -> CenTraceResult:
+    """Aggregate repeated sweeps into one classified result.
+
+    ``correct_ttl_copy=False`` disables the §4.3 correction for
+    TTL-copying injectors (exposed for the ablation benchmark: without
+    it, blocking hops are attributed to nonexistent hops far past the
+    endpoint).
+    """
+    result = CenTraceResult(
+        endpoint_ip=endpoint_ip,
+        endpoint_asn=asdb.lookup_asn(endpoint_ip) if asdb else None,
+        test_domain=test_domain,
+        protocol=protocol,
+        sweeps_control=control_sweeps,
+        sweeps_test=test_sweeps,
+    )
+    control_hops = build_hop_distribution(control_sweeps)
+    result.control_hops = control_hops
+
+    # The Control Domain must be reachable; otherwise this measurement
+    # cannot say anything about censorship of the Test Domain.
+    control_types = [s.terminating_type for s in control_sweeps]
+    clean_controls = [
+        s for s in control_sweeps if s.terminating_type == TYPE_NORMAL
+    ]
+    if not clean_controls:
+        result.valid = False
+        result.blocking_type = _majority(control_types) or TYPE_NORMAL
+        return result
+    endpoint_distance = _majority(
+        s.terminating_ttl for s in clean_controls
+    )
+    result.endpoint_distance = endpoint_distance
+
+    # DNS (§8 extension): an answer that arrives for a probe whose TTL
+    # is too small to have reached the resolver must have been forged
+    # by an on-path/in-path injector.
+    if protocol == PROTO_DNS:
+        return _classify_dns(result, test_sweeps, control_hops, asdb)
+
+    # Majority test verdict.
+    test_types = [s.terminating_type for s in test_sweeps]
+    verdict = _majority(test_types) or TYPE_NORMAL
+    result.blocking_type = verdict
+    result.blocked = verdict in BLOCK_TYPES
+    agreeing = [s for s in test_sweeps if s.terminating_type == verdict]
+    terminating_ttl = _majority(s.terminating_ttl for s in agreeing)
+    result.terminating_ttl = terminating_ttl
+    if not result.blocked or terminating_ttl is None:
+        return result
+
+    # TTL-copy correction (§4.3, RU).
+    ttl_copy, corrected = _detect_ttl_copy(agreeing)
+    if not correct_ttl_copy:
+        ttl_copy, corrected = False, None
+    result.ttl_copy_detected = ttl_copy
+    result.corrected_device_distance = corrected
+
+    device_ttl = corrected if (ttl_copy and corrected) else terminating_ttl
+    hop_ip = most_likely_hop(control_hops, device_ttl)
+    if hop_ip is None and device_ttl == endpoint_distance:
+        # At the endpoint's own distance the control trace shows no
+        # ICMP (the endpoint answers with TCP there): the different
+        # behaviour for the Test Domain comes from the endpoint itself
+        # or a NAT in front of it (§4.3, "At E").
+        hop_ip = endpoint_ip
+    result.blocking_hop = _attribute(hop_ip, device_ttl, asdb)
+
+    # Location class (Figure 3).
+    if endpoint_distance is not None and terminating_ttl > endpoint_distance:
+        result.location_class = LOC_PAST_E
+    elif hop_ip == endpoint_ip:
+        result.location_class = LOC_AT_E
+    elif hop_ip is None and most_likely_hop(control_hops, device_ttl - 1) is None:
+        result.location_class = LOC_NO_ICMP
+    else:
+        result.location_class = LOC_PATH
+    if endpoint_distance is not None:
+        result.hops_from_endpoint = max(0, endpoint_distance - device_ttl)
+
+    # In-path vs on-path (§4.1): on-path devices let the probe continue,
+    # so the terminating probe carries BOTH the injected TCP response
+    # and an ICMP Time Exceeded from the hop past the device.
+    if result.location_class == LOC_AT_E:
+        result.in_path = None  # the endpoint itself answered
+    elif verdict == TYPE_TIMEOUT:
+        result.in_path = True
+    else:
+        on_path_votes = 0
+        in_path_votes = 0
+        for sweep in agreeing:
+            probe = _probe_at(sweep, sweep.terminating_ttl)
+            if probe is None:
+                continue
+            has_injected = any(
+                r.kind == "tcp" and r.src_ip == endpoint_ip
+                for r in probe.responses
+            )
+            has_icmp = bool(probe.icmp_responses())
+            if has_injected and has_icmp:
+                on_path_votes += 1
+            elif has_injected:
+                in_path_votes += 1
+        if result.location_class == LOC_AT_E:
+            result.in_path = None  # the endpoint itself answered
+        elif on_path_votes or in_path_votes:
+            result.in_path = in_path_votes >= on_path_votes
+
+    # Features of the injected response (Table 3).
+    response = _majority_response(agreeing)
+    if response is not None and response.kind == "tcp":
+        result.injected_ip_id = response.ip_id
+        result.injected_ip_tos = response.ip_tos
+        result.injected_ip_flags = response.ip_flags
+        result.injected_ttl = response.arrival_ttl
+        result.injected_initial_ttl = (
+            None if ttl_copy else infer_initial_ttl(response.arrival_ttl)
+        )
+        result.injected_tcp_flags = response.tcp_flags
+        result.injected_tcp_window = response.tcp_window
+        result.injected_tcp_options = response.tcp_options
+        if verdict == TYPE_HTTP and matcher is not None:
+            fingerprint = matcher.match_payload(response.payload)
+            result.blockpage_fingerprint = (
+                fingerprint.name if fingerprint else None
+            )
+
+    # Quoted-packet delta at the blocking hop, from the control trace
+    # (Tracebox-style, §4.1/§4.3).
+    result.quote_delta = _quote_delta_at(clean_controls, device_ttl)
+    return result
+
+
+def _classify_dns(
+    result: CenTraceResult,
+    test_sweeps: List[TraceSweep],
+    control_hops,
+    asdb: Optional[ASDatabase],
+) -> CenTraceResult:
+    """DNS-injection classification (the §8 extension).
+
+    The terminating TTL of a DNS sweep is the first probe TTL at which
+    an answer came back. Legitimate answers require the query to reach
+    the resolver (terminating TTL == endpoint distance); anything
+    earlier is an injector at that hop. Probes past the injector that
+    collect *two* answers (forged + real) reveal an on-path device.
+    """
+    endpoint_distance = result.endpoint_distance
+    terminating_ttl = _majority(
+        s.terminating_ttl
+        for s in test_sweeps
+        if s.terminating_ttl is not None
+    )
+    result.terminating_ttl = terminating_ttl
+    if terminating_ttl is None:
+        # No answer at all: a dropper (classified like TCP timeouts).
+        timeout_sweeps = [
+            s for s in test_sweeps if s.terminating_type == TYPE_TIMEOUT
+        ]
+        if timeout_sweeps:
+            result.blocked = True
+            result.blocking_type = TYPE_TIMEOUT
+            ttl = _majority(s.terminating_ttl for s in timeout_sweeps)
+            result.terminating_ttl = ttl
+            if ttl is not None:
+                hop_ip = most_likely_hop(control_hops, ttl)
+                result.blocking_hop = _attribute(hop_ip, ttl, asdb)
+                result.location_class = LOC_PATH
+                result.in_path = True
+        return result
+    if endpoint_distance is None or terminating_ttl >= endpoint_distance:
+        return result  # the resolver itself answered first: not blocked
+    result.blocked = True
+    result.blocking_type = TYPE_DNSINJECT
+    hop_ip = most_likely_hop(control_hops, terminating_ttl)
+    result.blocking_hop = _attribute(hop_ip, terminating_ttl, asdb)
+    result.location_class = LOC_PATH
+    if endpoint_distance is not None:
+        result.hops_from_endpoint = max(
+            0, endpoint_distance - terminating_ttl
+        )
+    # On-path detection: any probe collecting more than one answer saw
+    # the race between the injector and the real resolver.
+    double_answers = False
+    for sweep in test_sweeps:
+        for probe in sweep.probes:
+            udp = [r for r in probe.responses if r.kind == "udp"]
+            if len(udp) >= 2:
+                double_answers = True
+    result.in_path = not double_answers
+    response = _majority_response(
+        [s for s in test_sweeps if s.terminating_response is not None]
+    )
+    if response is not None:
+        result.injected_ip_id = response.ip_id
+        result.injected_ip_tos = response.ip_tos
+        result.injected_ip_flags = response.ip_flags
+        result.injected_ttl = response.arrival_ttl
+        result.injected_initial_ttl = infer_initial_ttl(response.arrival_ttl)
+    return result
+
+
+def _probe_at(sweep: TraceSweep, ttl: Optional[int]) -> Optional[ProbeObservation]:
+    if ttl is None:
+        return None
+    for probe in sweep.probes:
+        if probe.ttl == ttl:
+            return probe
+    return None
+
+
+def _majority_response(sweeps: List[TraceSweep]) -> Optional[ResponseSummary]:
+    responses = [
+        s.terminating_response
+        for s in sweeps
+        if s.terminating_response is not None
+    ]
+    return responses[0] if responses else None
+
+
+def _quote_delta_at(control_sweeps: List[TraceSweep], ttl: int):
+    for sweep in control_sweeps:
+        probe = _probe_at(sweep, ttl)
+        if probe is None or not probe.sent_bytes:
+            continue
+        for response in probe.icmp_responses():
+            if response.quote:
+                return compare_quote(
+                    probe.sent_bytes, response.quote, sent_ttl=ttl
+                )
+    return None

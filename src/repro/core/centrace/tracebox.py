@@ -1,0 +1,145 @@
+"""Tracebox-style localization of header-modifying middleboxes (§4.1).
+
+"Following the insights from Tracebox, we utilize changes in quoted
+packet in the ICMP error response to identify at which hops the probe
+packet is altered."
+
+A CenTrace sweep already collects one quoted packet per responding hop;
+walking those quotes in hop order pinpoints the link on which each IP
+header field (TOS/DSCP, flags, ...) was rewritten — middlebox
+interference that is *not* censorship but matters for attributing the
+quote-delta clustering features to the right box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...netmodel.icmp import QuoteDelta, compare_quote
+from .results import TraceSweep
+
+
+@dataclass
+class HopQuote:
+    """The quoted-packet delta observed at one hop."""
+
+    ttl: int
+    hop_ip: Optional[str]
+    delta: QuoteDelta
+
+
+@dataclass
+class ModificationEvent:
+    """One header modification localized to a link.
+
+    The field changed somewhere after ``before_ttl``'s hop and at or
+    before ``at_ttl``'s hop (exactly Tracebox's granularity: the
+    modifying box sits on that link or inside the silent region
+    between the two quoting hops).
+    """
+
+    fieldname: str
+    at_ttl: int
+    at_hop: Optional[str]
+    before_ttl: Optional[int]
+    before_hop: Optional[str]
+
+    def describe(self) -> str:
+        left = f"hop {self.before_ttl} ({self.before_hop})" if self.before_ttl else "the client"
+        return (
+            f"{self.fieldname} modified between {left} and hop"
+            f" {self.at_ttl} ({self.at_hop})"
+        )
+
+
+# The IP-header fields Tracebox-style comparison tracks.
+_FIELD_EXTRACTORS = (
+    ("ip_tos", lambda delta: delta.tos_changed),
+    ("ip_flags", lambda delta: delta.ip_flags_changed),
+    ("ip_identification", lambda delta: delta.identification_changed),
+    ("payload", lambda delta: delta.payload_modified),
+)
+
+
+def hop_quotes(sweep: TraceSweep) -> List[HopQuote]:
+    """Per-hop quote deltas for one sweep, in hop order."""
+    quotes: List[HopQuote] = []
+    for probe in sweep.probes:
+        if not probe.sent_bytes:
+            continue
+        for response in probe.icmp_responses():
+            if not response.quote:
+                continue
+            quotes.append(
+                HopQuote(
+                    ttl=probe.ttl,
+                    hop_ip=response.src_ip,
+                    delta=compare_quote(
+                        probe.sent_bytes, response.quote, sent_ttl=probe.ttl
+                    ),
+                )
+            )
+            break
+    return quotes
+
+
+def locate_modifications(sweep: TraceSweep) -> List[ModificationEvent]:
+    """Walk a sweep's quotes and localize each header modification.
+
+    A field that is unmodified in hop k's quote but modified in hop
+    k+1's quote was rewritten on the link between them.
+    """
+    quotes = hop_quotes(sweep)
+    events: List[ModificationEvent] = []
+    previous: Dict[str, Tuple[Optional[int], Optional[str]]] = {
+        name: (None, None) for name, _ in _FIELD_EXTRACTORS
+    }
+    reported = set()
+    last_clean: Dict[str, Tuple[Optional[int], Optional[str]]] = {
+        name: (None, None) for name, _ in _FIELD_EXTRACTORS
+    }
+    for quote in quotes:
+        for name, extractor in _FIELD_EXTRACTORS:
+            if extractor(quote.delta):
+                if name not in reported:
+                    before_ttl, before_hop = last_clean[name]
+                    events.append(
+                        ModificationEvent(
+                            fieldname=name,
+                            at_ttl=quote.ttl,
+                            at_hop=quote.hop_ip,
+                            before_ttl=before_ttl,
+                            before_hop=before_hop,
+                        )
+                    )
+                    reported.add(name)
+            else:
+                last_clean[name] = (quote.ttl, quote.hop_ip)
+    return events
+
+
+def locate_modifications_aggregated(
+    sweeps: Sequence[TraceSweep],
+) -> List[ModificationEvent]:
+    """Localize modifications using all repetitions, majority-voted.
+
+    Each sweep may follow a slightly different ECMP path; an event is
+    kept when it appears (same field, same at-hop) in at least half of
+    the sweeps that produced quotes.
+    """
+    votes: Dict[Tuple[str, Optional[str]], List[ModificationEvent]] = {}
+    usable = 0
+    for sweep in sweeps:
+        events = locate_modifications(sweep)
+        if hop_quotes(sweep):
+            usable += 1
+        for event in events:
+            votes.setdefault((event.fieldname, event.at_hop), []).append(event)
+    threshold = max(1, usable // 2)
+    aggregated = []
+    for (fieldname, at_hop), instances in votes.items():
+        if len(instances) >= threshold:
+            aggregated.append(instances[0])
+    aggregated.sort(key=lambda e: e.at_ttl)
+    return aggregated

@@ -1,0 +1,173 @@
+"""FilterMap-style blockpage clustering (§3.3).
+
+Sundara Raman et al.'s FilterMap clusters observed blockpages so that
+each *class* of filter can be fingerprinted once; this paper's banner
+grabs complement it where devices don't inject pages. This module
+implements the HTML side of that pipeline:
+
+* normalize page bodies (volatile tokens — numbers, URLs, request
+  echoes — removed),
+* shingle the token stream and cluster by Jaccard similarity
+  (single linkage),
+* propose a fingerprint for each cluster from its distinctive tokens,
+  ready to be added to the :mod:`repro.core.blockpages` corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .blockpages import BlockpageFingerprint
+
+_TAG_RE = re.compile(r"<[^>]{0,200}>")
+_VOLATILE_RE = re.compile(
+    r"(https?://\S+)|(\b\d[\d.,:]*\b)|(\b[0-9a-f]{8,}\b)", re.IGNORECASE
+)
+_TOKEN_RE = re.compile(r"[a-zA-Zа-яА-Я][a-zA-Zа-яА-Я'-]+")
+
+# Tokens too common across all web pages to be distinctive.
+_STOPWORDS = frozenset(
+    """the a an and or of to in is are this that you your for by on with it
+    has have been was were not page html head body title http content type
+    text length connection close""".split()
+)
+
+
+def normalize(body: str) -> List[str]:
+    """Strip markup and volatile content; return the token stream."""
+    text = _TAG_RE.sub(" ", body)
+    text = _VOLATILE_RE.sub(" ", text)
+    return [t.lower() for t in _TOKEN_RE.findall(text)]
+
+
+def shingles(tokens: Sequence[str], k: int = 3) -> FrozenSet[Tuple[str, ...]]:
+    """k-token shingles of the normalized stream."""
+    if len(tokens) < k:
+        return frozenset({tuple(tokens)}) if tokens else frozenset()
+    return frozenset(
+        tuple(tokens[i : i + k]) for i in range(len(tokens) - k + 1)
+    )
+
+
+def jaccard(a: FrozenSet, b: FrozenSet) -> float:
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class ObservedPage:
+    """One page body observed by a measurement, plus provenance."""
+
+    body: str
+    source: str = ""  # e.g. "endpoint-ip|domain"
+    tokens: List[str] = field(default_factory=list)
+    signature: FrozenSet = frozenset()
+
+    def __post_init__(self) -> None:
+        self.tokens = normalize(self.body)
+        self.signature = shingles(self.tokens)
+
+
+@dataclass
+class PageCluster:
+    """A group of near-identical pages (one filter class)."""
+
+    pages: List[ObservedPage] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.pages)
+
+    def distinctive_tokens(self, background: Counter, top: int = 4) -> List[str]:
+        """Tokens frequent in this cluster but rare elsewhere."""
+        local = Counter()
+        for page in self.pages:
+            local.update(set(page.tokens))
+        scored = []
+        for token, count in local.items():
+            if token in _STOPWORDS or len(token) < 4:
+                continue
+            outside = background[token] - count
+            scored.append((outside, -count, token))
+        scored.sort()
+        return [token for _, _, token in scored[:top]]
+
+
+class FilterMap:
+    """Accumulates pages and clusters them by body similarity."""
+
+    def __init__(self, threshold: float = 0.6, shingle_size: int = 3) -> None:
+        self.threshold = threshold
+        self.shingle_size = shingle_size
+        self.pages: List[ObservedPage] = []
+
+    def add_page(self, body: str, source: str = "") -> ObservedPage:
+        page = ObservedPage(body=body, source=source)
+        self.pages.append(page)
+        return page
+
+    def clusters(self, min_size: int = 1) -> List[PageCluster]:
+        """Single-linkage clustering over pairwise Jaccard similarity."""
+        n = len(self.pages)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        for i in range(n):
+            for j in range(i + 1, n):
+                if (
+                    jaccard(self.pages[i].signature, self.pages[j].signature)
+                    >= self.threshold
+                ):
+                    union(i, j)
+        grouped: Dict[int, PageCluster] = {}
+        for i, page in enumerate(self.pages):
+            grouped.setdefault(find(i), PageCluster()).pages.append(page)
+        clusters = [c for c in grouped.values() if c.size >= min_size]
+        clusters.sort(key=lambda c: -c.size)
+        return clusters
+
+    def background_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for page in self.pages:
+            counts.update(set(page.tokens))
+        return counts
+
+    def suggest_fingerprints(
+        self, min_size: int = 2, name_prefix: str = "filtermap"
+    ) -> List[BlockpageFingerprint]:
+        """Propose a corpus entry per sizeable cluster.
+
+        The suggested regex requires the cluster's most distinctive
+        tokens (in any order), which is how FilterMap-derived
+        fingerprints were curated into the Censored Planet corpus.
+        """
+        background = self.background_counts()
+        suggestions = []
+        for index, cluster in enumerate(self.clusters(min_size=min_size)):
+            tokens = cluster.distinctive_tokens(background)
+            if not tokens:
+                continue
+            pattern = "".join(f"(?=.*{re.escape(t)})" for t in tokens[:3])
+            suggestions.append(
+                BlockpageFingerprint(
+                    name=f"{name_prefix}_{index}",
+                    pattern=pattern,
+                    vendor=None,
+                    category="isp",
+                )
+            )
+        return suggestions

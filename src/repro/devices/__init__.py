@@ -1,0 +1,64 @@
+"""Censorship device models: rules, parser quirks, actions, vendors."""
+
+from .actions import (
+    BlockAction,
+    InjectionSignature,
+    KIND_BLOCKPAGE,
+    KIND_DROP,
+    KIND_FIN,
+    KIND_RST,
+    TTL_COPY,
+    TTL_FIXED,
+)
+from .base import CensorshipDevice
+from .quirks import ParserQuirks, extract_http_host, extract_tls_sni
+from .rules import (
+    BlockRule,
+    Blocklist,
+    KIND_EXACT,
+    KIND_KEYWORD,
+    KIND_PREFIX,
+    KIND_SUFFIX,
+    PROTO_HTTP,
+    PROTO_TLS,
+)
+from .state import (
+    FlowInjectionCounter,
+    RESIDUAL_3TUPLE,
+    RESIDUAL_HOSTS,
+    RESIDUAL_OFF,
+    ResidualTracker,
+)
+from .vendors import ALL_PROFILES, LABELED_PROFILES, VendorProfile, make_device
+
+__all__ = [
+    "BlockAction",
+    "InjectionSignature",
+    "KIND_BLOCKPAGE",
+    "KIND_DROP",
+    "KIND_FIN",
+    "KIND_RST",
+    "TTL_COPY",
+    "TTL_FIXED",
+    "CensorshipDevice",
+    "ParserQuirks",
+    "extract_http_host",
+    "extract_tls_sni",
+    "BlockRule",
+    "Blocklist",
+    "KIND_EXACT",
+    "KIND_KEYWORD",
+    "KIND_PREFIX",
+    "KIND_SUFFIX",
+    "PROTO_HTTP",
+    "PROTO_TLS",
+    "FlowInjectionCounter",
+    "RESIDUAL_3TUPLE",
+    "RESIDUAL_HOSTS",
+    "RESIDUAL_OFF",
+    "ResidualTracker",
+    "ALL_PROFILES",
+    "LABELED_PROFILES",
+    "VendorProfile",
+    "make_device",
+]

@@ -1,0 +1,209 @@
+"""The censorship device: rules × parser quirks × action × state.
+
+A :class:`CensorshipDevice` is a :class:`~repro.netsim.interfaces.LinkDevice`
+attached to a link in a path. On every forward packet it:
+
+1. applies residual censorship if the flow's tuple is still punished;
+2. ignores packets without an application payload (handshakes pass);
+3. runs its vendor-specific HTTP/TLS parsing engine (``quirks``) over
+   the payload to extract a hostname/SNI — a parse failure means the
+   probe *evaded* inspection;
+4. matches the extracted hostname against its blocklist; on a match it
+   executes its configured action (drop / RST / FIN / blockpage) and
+   starts the residual timer.
+
+``in_path`` controls whether drops take effect (§4.1: on-path devices
+only see a copy and can inject but not drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..netmodel.http import looks_like_http_request
+from ..netmodel.packet import Packet
+from ..netmodel.tls import looks_like_client_hello
+from ..netsim.interfaces import (
+    DIRECTION_FORWARD,
+    InspectionContext,
+    LinkDevice,
+    Verdict,
+)
+from .actions import (
+    KIND_DROP,
+    BlockAction,
+    DNSBlockAction,
+    build_dns_injections,
+    build_injections,
+)
+from .quirks import (
+    ParserQuirks,
+    extract_dns_qname,
+    extract_http_host,
+    extract_tls_sni,
+    path_matches,
+)
+from .rules import PROTO_DNS, PROTO_HTTP, PROTO_TLS, Blocklist
+from .state import (
+    RESIDUAL_OFF,
+    FlowInjectionCounter,
+    ResidualTracker,
+)
+
+
+@dataclass
+class DeviceStats:
+    """Ground-truth counters (for tests and world validation only)."""
+
+    inspected: int = 0
+    triggered: int = 0
+    residual_hits: int = 0
+    evaded: int = 0
+
+
+class CensorshipDevice(LinkDevice):
+    """A configurable censorship middlebox."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        blocklist: Blocklist,
+        quirks: ParserQuirks = ParserQuirks(),
+        action: BlockAction = BlockAction(),
+        action_tls: Optional[BlockAction] = None,
+        action_dns: Optional[DNSBlockAction] = None,
+        in_path: bool = True,
+        vendor: Optional[str] = None,
+        residual_mode: str = RESIDUAL_OFF,
+        residual_duration: float = 90.0,
+        injection_limit: Optional[int] = None,
+        bidirectional: bool = True,
+    ) -> None:
+        self.name = name
+        self.blocklist = blocklist
+        self.quirks = quirks
+        self.action = action
+        # TLS blocking cannot inject a blockpage into an encrypted
+        # stream; vendors typically RST or drop instead (§5.3).
+        self.action_tls = action_tls if action_tls is not None else action
+        # Devices without a DNS action ignore DNS entirely (the common
+        # case; DNS injection is the §8 extension).
+        self.action_dns = action_dns
+        self.in_path = in_path
+        self.vendor = vendor  # ground truth; measurement code must not read
+        self.bidirectional = bidirectional
+        self.residual = ResidualTracker(mode=residual_mode, duration=residual_duration)
+        self.injections = FlowInjectionCounter(limit=injection_limit)
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+
+    def inspect(self, packet: Packet, ctx: InspectionContext) -> Verdict:
+        if packet.injected:
+            return Verdict.pass_through()
+        if packet.udp is not None:
+            return self._inspect_dns(packet, ctx)
+        if packet.tcp is None:
+            return Verdict.pass_through()
+        if ctx.direction != DIRECTION_FORWARD and not self.bidirectional:
+            return Verdict.pass_through()
+        flow = packet.flow_key()
+        # Residual censorship applies to *every* packet of a punished
+        # tuple, including fresh SYNs for the control domain.
+        if self.residual.is_punished(flow, ctx.clock):
+            self.stats.residual_hits += 1
+            return self._execute(packet, ctx, note="residual")
+        payload = packet.tcp.payload
+        if not payload:
+            return Verdict.pass_through()
+        self.stats.inspected += 1
+        hostname = None
+        path = None
+        protocol = None
+        if looks_like_client_hello(payload):
+            protocol = PROTO_TLS
+            hostname = extract_tls_sni(payload, self.quirks)
+        elif looks_like_http_request(payload) or b"\r\n" in payload or b"\n" in payload:
+            protocol = PROTO_HTTP
+            hostname, path = extract_http_host(payload, self.quirks)
+        if hostname is None or protocol is None:
+            self.stats.evaded += 1
+            return Verdict.pass_through()
+        rule = self.blocklist.match(hostname, protocol)
+        if rule is None:
+            return Verdict.pass_through()
+        if protocol == PROTO_HTTP and not path_matches(path, rule.paths, self.quirks):
+            self.stats.evaded += 1
+            return Verdict.pass_through()
+        self.stats.triggered += 1
+        self.residual.punish(flow, ctx.clock)
+        action = self.action_tls if protocol == PROTO_TLS else self.action
+        return self._execute(
+            packet, ctx, note=f"triggered:{rule.domain}", action=action
+        )
+
+    # ------------------------------------------------------------------
+
+    def _inspect_dns(self, packet: Packet, ctx: InspectionContext) -> Verdict:
+        """DNS-injection handling (the §8 extension)."""
+        if self.action_dns is None or packet.udp.dport != 53:
+            return Verdict.pass_through()
+        payload = packet.udp.payload
+        if not payload:
+            return Verdict.pass_through()
+        self.stats.inspected += 1
+        qname = extract_dns_qname(payload, self.quirks)
+        if qname is None:
+            self.stats.evaded += 1
+            return Verdict.pass_through()
+        rule = self.blocklist.match(qname, PROTO_DNS)
+        if rule is None:
+            return Verdict.pass_through()
+        self.stats.triggered += 1
+        verdict = Verdict(note=f"{self.name}:dns:{rule.domain}")
+        verdict.inject_to_client = build_dns_injections(
+            self.action_dns, packet, ctx.remaining_ttl, self.name
+        )
+        if self.in_path and self.action_dns.drop_query:
+            verdict.drop = True
+        return verdict
+
+    def _execute(
+        self,
+        packet: Packet,
+        ctx: InspectionContext,
+        note: str,
+        action: Optional[BlockAction] = None,
+    ) -> Verdict:
+        verdict = Verdict(note=f"{self.name}:{note}")
+        if action is None:
+            action = self.action
+        if action.kind == KIND_DROP:
+            verdict.drop = self.in_path
+            return verdict
+        flow = packet.flow_key()
+        if packet.tcp.payload and self.injections.may_inject(flow):
+            to_client, to_server = build_injections(
+                action, packet, ctx.remaining_ttl, self.name
+            )
+            verdict.inject_to_client = to_client
+            verdict.inject_to_server = to_server
+            self.injections.record(flow)
+        elif not packet.tcp.payload:
+            # Residual handling of handshake packets: injecting devices
+            # reset them; the client sees the connection refused.
+            to_client, to_server = build_injections(
+                action, packet, ctx.remaining_ttl, self.name
+            )
+            verdict.inject_to_client = to_client
+        if self.in_path and action.drop_original:
+            verdict.drop = True
+        return verdict
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CensorshipDevice {self.name} vendor={self.vendor}"
+            f" action={self.action.kind} in_path={self.in_path}>"
+        )

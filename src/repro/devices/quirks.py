@@ -1,0 +1,202 @@
+"""Per-vendor DPI parsing quirks.
+
+§6.3's central observation is that censorship devices implement their
+own, idiosyncratic HTTP/TLS parsers: most trigger only on certain HTTP
+methods, almost none validate the HTTP version, most require a
+well-formed ``Host:`` token, and TLS engines parse a wide variety of
+ClientHellos but trigger only on the SNI. :class:`ParserQuirks` encodes
+one vendor's engine; :func:`extract_http_host` / :func:`extract_tls_sni`
+run that engine over raw payload bytes and return the hostname the
+engine *would have seen* (or None when the engine fails to parse — i.e.
+the probe evades inspection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..netmodel.tls import (
+    CIPHER_NAMES,
+    looks_like_client_hello,
+    parse_client_hello,
+)
+
+# How the engine locates the hostname in an HTTP request.
+HOST_FROM_HEADER = "header"  # requires a recognizable Host header token
+HOST_SUBSTRING = "substring"  # scans the whole payload for censored domains
+
+# How strict the engine is about the request-line version token.
+VERSION_ANY = "any"  # any third token is fine
+VERSION_SLASH = "slash"  # third token must contain a '/'
+VERSION_VALID = "valid"  # must be literally HTTP/1.0 or HTTP/1.1
+
+# Which request paths trigger URL-scoped rules.
+SCOPE_DOMAIN = "domain"  # any path triggers
+SCOPE_URL = "url"  # only the rule's configured paths trigger
+
+DEFAULT_METHODS = frozenset({"GET", "POST", "PUT", "PATCH", "DELETE", "HEAD"})
+
+
+@dataclass(frozen=True)
+class ParserQuirks:
+    """The observable parsing behaviour of one DPI engine."""
+
+    # ---- HTTP request line ----
+    trigger_methods: FrozenSet[str] = frozenset({"GET", "POST"})
+    method_case_sensitive: bool = False
+    require_three_tokens: bool = True
+    version_rule: str = VERSION_SLASH
+    # ---- HTTP Host header ----
+    host_extraction: str = HOST_FROM_HEADER
+    host_word_case_sensitive: bool = False
+    require_host_colon: bool = True
+    # ---- delimiters ----
+    accepted_delimiters: Tuple[str, ...] = ("\r\n", "\n")
+    # ---- rule scope ----
+    path_scope: str = SCOPE_DOMAIN
+    # ---- TLS ----
+    fragile_ciphers: FrozenSet[str] = frozenset()
+    fragile_tls_versions: FrozenSet[int] = frozenset()
+    requires_sni: bool = True  # engines never trigger without an SNI
+    # ---- DNS (the DNS-injection extension; paper §8 future work) ----
+    dns_trigger_qtypes: FrozenSet[int] = frozenset({1})  # A queries only
+    dns_case_sensitive: bool = False  # True -> 0x20 encoding evades
+
+    def method_triggers(self, method: str) -> bool:
+        """Does this request method make the engine inspect further?"""
+        if not self.trigger_methods:
+            return True  # engine inspects regardless of method
+        if self.method_case_sensitive:
+            return method in self.trigger_methods
+        return method.upper() in self.trigger_methods
+
+
+def _split_lines(text: str, quirks: ParserQuirks) -> Optional[list]:
+    """Split the request into lines using an accepted delimiter."""
+    for delimiter in quirks.accepted_delimiters:
+        if delimiter in text:
+            return text.split(delimiter)
+    return None
+
+
+def extract_http_host(
+    payload: bytes, quirks: ParserQuirks
+) -> Tuple[Optional[str], Optional[str]]:
+    """Run the DPI engine over an HTTP payload.
+
+    Returns ``(hostname, path)`` as the engine sees them; ``(None, None)``
+    means the engine did not recognize a blockable HTTP request (the
+    probe evades inspection). In substring mode the hostname is the
+    whole payload text — the caller matches rules against it as a
+    keyword scan.
+    """
+    try:
+        text = payload.decode("utf-8", errors="surrogateescape")
+    except Exception:  # pragma: no cover - surrogateescape never raises
+        return None, None
+    if quirks.host_extraction == HOST_SUBSTRING:
+        # Keyword engines skip structural parsing entirely.
+        return text.lower(), "/"
+    lines = _split_lines(text, quirks)
+    if lines is None or not lines:
+        return None, None
+    request_line = lines[0]
+    if quirks.require_three_tokens:
+        # A strict engine anchors on exactly "METHOD SP PATH SP VERSION".
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            return None, None
+        method, path, version = parts
+    else:
+        parts = [t for t in request_line.split(" ") if t]
+        if len(parts) < 2:
+            return None, None
+        method, path = parts[0], parts[1]
+        version = parts[2] if len(parts) > 2 else ""
+    if not quirks.method_triggers(method):
+        return None, None
+    if quirks.version_rule == VERSION_SLASH and "/" not in version:
+        return None, None
+    if quirks.version_rule == VERSION_VALID and version not in ("HTTP/1.0", "HTTP/1.1"):
+        return None, None
+    # Locate the Host header.
+    for line in lines[1:]:
+        if not line:
+            break  # end of headers
+        if ":" in line:
+            name, _, value = line.partition(":")
+        elif quirks.require_host_colon:
+            continue
+        else:
+            bits = line.split(None, 1)
+            if len(bits) != 2:
+                continue
+            name, value = bits
+        name_token = name if quirks.host_word_case_sensitive else name.lower()
+        expected = "Host" if quirks.host_word_case_sensitive else "host"
+        if name_token == expected:
+            return value.strip(), path
+    return None, None
+
+
+def extract_tls_sni(payload: bytes, quirks: ParserQuirks) -> Optional[str]:
+    """Run the DPI engine over a TLS payload; returns the SNI it sees.
+
+    None means the engine failed to parse (fragile cipher/version) or
+    found no SNI — either way the probe evades inspection.
+    """
+    if not looks_like_client_hello(payload):
+        return None
+    hello = parse_client_hello(payload)
+    if not hello.ok:
+        return None
+    if quirks.fragile_ciphers:
+        names = {CIPHER_NAMES.get(code, "") for code in hello.cipher_suites}
+        if names & quirks.fragile_ciphers:
+            return None
+    if quirks.fragile_tls_versions:
+        offered = set(hello.supported_versions) or {hello.legacy_version}
+        if offered and offered <= quirks.fragile_tls_versions:
+            # The engine cannot handle any of the offered versions.
+            return None
+    if hello.sni is None and quirks.requires_sni:
+        return None
+    return hello.sni
+
+
+def extract_dns_qname(payload: bytes, quirks: ParserQuirks) -> Optional[str]:
+    """Run the DPI engine over a UDP payload; returns the qname it sees.
+
+    None means the engine did not recognize a blockable DNS query: not
+    DNS at all, a response, an untracked qtype, or — for case-sensitive
+    engines — a 0x20-encoded name the matcher will never hit (the
+    caller matches lowercased rules, so a case-sensitive engine must
+    see an all-lowercase qname to trigger).
+    """
+    from ..netmodel.dns import DNSMessage
+
+    try:
+        message = DNSMessage.from_bytes(payload)
+    except (ValueError, Exception):
+        return None
+    if message.is_response or not message.questions:
+        return None
+    question = message.questions[0]
+    if (
+        quirks.dns_trigger_qtypes
+        and question.qtype not in quirks.dns_trigger_qtypes
+    ):
+        return None
+    if quirks.dns_case_sensitive and question.qname != question.qname.lower():
+        return None
+    return question.qname
+
+
+def path_matches(path: Optional[str], rule_paths: Tuple[str, ...], quirks: ParserQuirks) -> bool:
+    """Does the request path satisfy the rule under this engine's scope?"""
+    if quirks.path_scope == SCOPE_DOMAIN:
+        return True
+    if path is None:
+        return True
+    return path in rule_paths

@@ -1,0 +1,304 @@
+"""Measurement campaigns: run all three tools over a study world.
+
+A campaign reproduces the paper's §4.2/§5.2/§6.2 data collection for
+one country: remote CenTraces for every (endpoint, test domain,
+protocol), in-country CenTraces where a vantage point exists, banner
+grabs on every potential device IP, and CenFuzz against blocked
+endpoints (deduplicated per blocking hop so every distinct device is
+fuzzed once — the full paper-scale sweep is available via
+``fuzz_all_blocked=True``).
+
+Campaigns are cached per configuration because several experiments
+(Table 1, Figures 3/4/5/6/9, §4.3/§5.3/§7.4) consume the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.features import EndpointFeatures, extract_features
+from ..core.blockpages import DEFAULT_MATCHER
+from ..core.cenfuzz import CenFuzz, EndpointFuzzReport
+from ..core.cenprobe import CenProbe, ProbeReport
+from ..core.centrace import (
+    CenTrace,
+    CenTraceConfig,
+    CenTraceResult,
+    PROTO_HTTP,
+    PROTO_TLS,
+)
+from ..geo.countries import StudyWorld, build_world
+
+PROTOCOLS = (PROTO_HTTP, PROTO_TLS)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one country campaign."""
+
+    repetitions: int = 3  # CenTrace sweep repetitions (paper: 11)
+    protocols: Tuple[str, ...] = PROTOCOLS
+    max_endpoints: Optional[int] = None  # further scaling for quick runs
+    fuzz_all_blocked: bool = False  # paper-scale CenFuzz
+    fuzz_max_endpoints: Optional[int] = None
+    run_fuzz: bool = True
+    run_probe: bool = True
+
+
+@dataclass
+class CountryCampaign:
+    """All measurement data collected for one country."""
+
+    world: StudyWorld
+    config: CampaignConfig
+    remote_results: List[CenTraceResult] = field(default_factory=list)
+    in_country_results: List[CenTraceResult] = field(default_factory=list)
+    fuzz_reports: List[EndpointFuzzReport] = field(default_factory=list)
+    probe_reports: Dict[str, ProbeReport] = field(default_factory=dict)
+    # (endpoint_ip, protocol) -> the blocking-hop IP the fuzz report
+    # stands in for (used for measurement re-weighting).
+    fuzz_target_hops: Dict[Tuple[str, str], Optional[str]] = field(
+        default_factory=dict
+    )
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def country(self) -> str:
+        return self.world.country
+
+    def all_trace_results(self) -> List[CenTraceResult]:
+        return self.remote_results + self.in_country_results
+
+    def blocked_remote(self) -> List[CenTraceResult]:
+        return [r for r in self.remote_results if r.blocked and r.valid]
+
+    def blocked_all(self) -> List[CenTraceResult]:
+        return [r for r in self.all_trace_results() if r.blocked and r.valid]
+
+    def potential_device_ips(self) -> List[str]:
+        """Unique in-path blocking-hop IPs (§5.2's banner targets)."""
+        ips = []
+        seen = set()
+        for result in self.blocked_all():
+            if result.in_path is not True:
+                continue
+            hop = result.blocking_hop
+            if hop is None or hop.ip is None or hop.ip == result.endpoint_ip:
+                continue
+            if hop.ip not in seen:
+                seen.add(hop.ip)
+                ips.append(hop.ip)
+        return ips
+
+    def fuzz_weights(self) -> Dict[Tuple[str, str], int]:
+        """(endpoint_ip, protocol) -> blocked-measurement weight.
+
+        CenFuzz deduplicates per blocking hop to avoid re-fuzzing the
+        same device; analyses that reproduce the paper's
+        measurement-weighted percentages (Figure 5) re-weight each
+        fuzz report by how many blocked CenTrace measurements share
+        its blocking hop.
+        """
+        hop_counts: Dict[Tuple[Optional[str], str], int] = {}
+        for result in self.blocked_remote():
+            hop_ip = result.blocking_hop.ip if result.blocking_hop else None
+            key = (hop_ip, result.protocol)
+            hop_counts[key] = hop_counts.get(key, 0) + 1
+        return {
+            (endpoint_ip, protocol): hop_counts.get((hop_ip, protocol), 1)
+            for (endpoint_ip, protocol), hop_ip in self.fuzz_target_hops.items()
+        }
+
+    def results_by_endpoint(self) -> Dict[str, List[CenTraceResult]]:
+        grouped: Dict[str, List[CenTraceResult]] = {}
+        for result in self.remote_results:
+            grouped.setdefault(result.endpoint_ip, []).append(result)
+        return grouped
+
+    def endpoint_features(self) -> List[EndpointFeatures]:
+        """One clustering feature vector per blocked endpoint (§7.1).
+
+        CenFuzz runs once per distinct blocking hop; endpoints whose
+        traffic crossed the same device inherit that device's fuzz
+        report (the probes would have met the identical engine).
+        """
+        fuzz_by_endpoint: Dict[str, List[EndpointFuzzReport]] = {}
+        fuzz_by_hop: Dict[Optional[str], List[EndpointFuzzReport]] = {}
+        for report in self.fuzz_reports:
+            fuzz_by_endpoint.setdefault(report.endpoint_ip, []).append(report)
+            hop = self.fuzz_target_hops.get(
+                (report.endpoint_ip, report.protocol)
+            )
+            if hop is not None:
+                fuzz_by_hop.setdefault(hop, []).append(report)
+        features = []
+        for endpoint_ip, results in self.results_by_endpoint().items():
+            blocked = [r for r in results if r.blocked and r.valid]
+            if not blocked:
+                continue
+            probe = None
+            for result in blocked:
+                hop = result.blocking_hop
+                if hop and hop.ip and hop.ip in self.probe_reports:
+                    probe = self.probe_reports[hop.ip]
+                    break
+            blockpage_vendor = None
+            for result in blocked:
+                if result.blockpage_fingerprint:
+                    fingerprint = next(
+                        (
+                            f
+                            for f in DEFAULT_MATCHER.fingerprints
+                            if f.name == result.blockpage_fingerprint
+                        ),
+                        None,
+                    )
+                    if fingerprint and fingerprint.vendor:
+                        blockpage_vendor = fingerprint.vendor
+                        break
+            fuzz_reports = fuzz_by_endpoint.get(endpoint_ip)
+            if not fuzz_reports:
+                for result in blocked:
+                    hop = result.blocking_hop.ip if result.blocking_hop else None
+                    if hop in fuzz_by_hop:
+                        fuzz_reports = fuzz_by_hop[hop]
+                        break
+            meta = self.world.asdb.lookup(endpoint_ip)
+            features.append(
+                extract_features(
+                    endpoint_ip,
+                    blocked,
+                    fuzz_reports or [],
+                    probe,
+                    country=self.world.country if self.world.country != "WW" else (
+                        meta.country if meta else None
+                    ),
+                    asn=meta.asn if meta else None,
+                    blockpage_vendor=blockpage_vendor,
+                )
+            )
+        return features
+
+
+def run_campaign(world: StudyWorld, config: Optional[CampaignConfig] = None) -> CountryCampaign:
+    """Collect every measurement the experiments need for ``world``."""
+    config = config or CampaignConfig()
+    campaign = CountryCampaign(world=world, config=config)
+    trace_config = CenTraceConfig(repetitions=config.repetitions)
+    tracer = CenTrace(
+        world.sim, world.remote_client, asdb=world.asdb, config=trace_config
+    )
+
+    endpoints = world.endpoints
+    if config.max_endpoints is not None:
+        endpoints = endpoints[: config.max_endpoints]
+
+    # Remote CenTraces: endpoint x test domain x protocol (§4.2).
+    for endpoint in endpoints:
+        for domain in world.test_domains:
+            for protocol in config.protocols:
+                campaign.remote_results.append(
+                    tracer.measure(
+                        endpoint.ip,
+                        domain,
+                        protocol,
+                        control_domain=world.control_domain,
+                    )
+                )
+
+    # In-country CenTraces.
+    if world.in_country_client is not None and world.in_country_targets:
+        in_tracer = CenTrace(
+            world.sim,
+            world.in_country_client,
+            asdb=world.asdb,
+            config=trace_config,
+        )
+        for target in world.in_country_targets:
+            for domain in world.test_domains:
+                for protocol in config.protocols:
+                    campaign.in_country_results.append(
+                        in_tracer.measure(
+                            target.ip,
+                            domain,
+                            protocol,
+                            control_domain=world.control_domain,
+                        )
+                    )
+
+    # Banner grabs at every potential device IP (§5.2).
+    if config.run_probe:
+        prober = CenProbe(world.topology)
+        for ip in campaign.potential_device_ips():
+            campaign.probe_reports[ip] = prober.scan(ip)
+
+    # CenFuzz against blocked endpoints (§6.2) — one endpoint per
+    # distinct blocking hop unless fuzz_all_blocked is set.
+    if config.run_fuzz:
+        fuzzer = CenFuzz(world.sim, world.remote_client)
+        targets = _fuzz_targets(campaign, config)
+        for endpoint_ip, domain, protocol in targets:
+            campaign.fuzz_reports.append(
+                fuzzer.run_endpoint(
+                    endpoint_ip,
+                    domain,
+                    protocol,
+                    control_domain=world.control_domain,
+                )
+            )
+    return campaign
+
+
+def _fuzz_targets(
+    campaign: CountryCampaign, config: CampaignConfig
+) -> List[Tuple[str, str, str]]:
+    """(endpoint, domain, protocol) triples to fuzz."""
+    targets: List[Tuple[str, str, str]] = []
+    seen_hops = set()
+    seen_endpoint_protocol = set()
+    for result in campaign.blocked_remote():
+        key_ep = (result.endpoint_ip, result.protocol)
+        if key_ep in seen_endpoint_protocol:
+            continue
+        hop_ip = result.blocking_hop.ip if result.blocking_hop else None
+        hop_key = (hop_ip, result.protocol)
+        if not config.fuzz_all_blocked:
+            if hop_ip is not None and hop_key in seen_hops:
+                continue
+        seen_hops.add(hop_key)
+        seen_endpoint_protocol.add(key_ep)
+        campaign.fuzz_target_hops[key_ep] = hop_ip
+        targets.append((result.endpoint_ip, result.test_domain, result.protocol))
+    if config.fuzz_max_endpoints is not None:
+        targets = targets[: config.fuzz_max_endpoints]
+    return targets
+
+
+# -- campaign cache ----------------------------------------------------------
+
+_CACHE: Dict[Tuple, CountryCampaign] = {}
+
+
+def get_campaign(
+    country: str,
+    *,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    repetitions: int = 3,
+    fuzz_all_blocked: bool = False,
+) -> CountryCampaign:
+    """Build (or fetch from cache) the campaign for ``country``."""
+    key = (country, scale, seed, repetitions, fuzz_all_blocked)
+    if key not in _CACHE:
+        world = build_world(country, seed=seed, scale=scale)
+        config = CampaignConfig(
+            repetitions=repetitions, fuzz_all_blocked=fuzz_all_blocked
+        )
+        _CACHE[key] = run_campaign(world, config)
+    return _CACHE[key]
+
+
+def clear_campaign_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,58 @@
+"""Figures 10-12: remote CenTrace path graphs for AZ, BY and KZ.
+
+The appendix figures draw the remote measurement trees and mark the
+blocking links. The paper's qualitative findings encoded here:
+
+* AZ (Fig 10): blocking at the link entering the country —
+  Telia (AS1299) -> Delta Telecom (AS29049);
+* BY (Fig 11): blocking close to the endpoint ASes (plus the Cogent
+  anomaly for bridges.torproject.org);
+* KZ (Fig 12): blocking near the Kazakhtelecom ingress and inside the
+  Russian transit ASes for RU-routed endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .. import viz
+from .base import ExperimentResult
+from .campaign import CountryCampaign, get_campaign
+
+PAPER_FIG10_12 = {
+    "AZ": {"blocking_link": ("TELIANET Telia Company", "Delta Telecom Ltd")},
+    "BY": {"anomaly_as": "COGENT-174", "blocking_near_endpoints": True},
+    "KZ": {"ru_transit": ("PJSC MegaFon", "JSC Kvant-telekom")},
+}
+
+
+def run(
+    countries: Sequence[str] = ("AZ", "BY", "KZ"),
+    *,
+    scale: Optional[float] = None,
+    repetitions: int = 3,
+    campaigns: Optional[Dict[str, CountryCampaign]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig10_12",
+        title="Remote CenTrace path graphs: AZ / BY / KZ (Figures 10-12)",
+        headers=["Co.", "FromAS", "ToAS", "BlockedTraces"],
+        paper_reference=PAPER_FIG10_12,
+    )
+    for country in countries:
+        campaign = (
+            campaigns[country]
+            if campaigns is not None
+            else get_campaign(country, scale=scale, repetitions=repetitions)
+        )
+        graph = viz.build_path_graph(
+            campaign.remote_results,
+            asdb=campaign.world.asdb,
+            client_label=f"{country} remote client",
+        )
+        links = viz.blocking_link_summary(graph)
+        for from_as, to_as, count in links[:8]:
+            result.rows.append((country, from_as, to_as, count))
+        result.extra[f"{country}_dot"] = viz.render_dot(graph)
+        result.extra[f"{country}_links"] = links
+    return result

@@ -1,0 +1,91 @@
+"""Figure 3: distribution of blocking type and location per country.
+
+The paper plots, per country, the count of blocked CenTraces by
+terminating-response type (RST / TIMEOUT / FIN / HTTP) stacked by
+blocking-hop location (on the path, at the endpoint, no ICMP, past the
+endpoint). The headline paper statistics this reproduces:
+
+* 94.75% of blocked CenTraces are packet drops or reset injection;
+* 73.97% of blocking hops lie on the client->endpoint path;
+* 16.19% block at the endpoint itself ("At E");
+* a "Past E" population exists in RU (TTL-copying injectors);
+* exactly one "No ICMP" trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Sequence
+
+from ..core.centrace.results import (
+    BLOCK_TYPES,
+    LOC_AT_E,
+    LOC_NO_ICMP,
+    LOC_PAST_E,
+    LOC_PATH,
+    LOCATION_CLASSES,
+    TYPE_RST,
+    TYPE_TIMEOUT,
+)
+from ..geo.countries import COUNTRIES
+from .base import ExperimentResult, percent
+from .campaign import CountryCampaign, get_campaign
+
+PAPER_FIG3 = {
+    "drops_and_resets_pct": 94.75,
+    "on_path_pct": 73.97,
+    "at_e_pct": 16.19,
+    "no_icmp_count": 1,
+    "past_e_country": "RU",
+}
+
+
+def run(
+    countries: Sequence[str] = COUNTRIES,
+    *,
+    scale: Optional[float] = None,
+    repetitions: int = 3,
+    campaigns: Optional[Dict[str, CountryCampaign]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Blocking type and location w.r.t. client and endpoint (Figure 3)",
+        headers=["Co.", "Type"] + list(LOCATION_CLASSES) + ["Total"],
+        paper_reference=PAPER_FIG3,
+    )
+    totals: Counter = Counter()
+    location_totals: Counter = Counter()
+    for country in countries:
+        campaign = (
+            campaigns[country]
+            if campaigns is not None
+            else get_campaign(country, scale=scale, repetitions=repetitions)
+        )
+        blocked = campaign.blocked_all()
+        by_type_loc: Dict[str, Counter] = {t: Counter() for t in BLOCK_TYPES}
+        for trace in blocked:
+            by_type_loc[trace.blocking_type][trace.location_class] += 1
+            totals[trace.blocking_type] += 1
+            location_totals[trace.location_class] += 1
+        for block_type in BLOCK_TYPES:
+            row_counts = [
+                by_type_loc[block_type][loc] for loc in LOCATION_CLASSES
+            ]
+            result.rows.append(
+                (country, block_type, *row_counts, sum(row_counts))
+            )
+    grand_total = sum(totals.values())
+    drops_resets = totals[TYPE_TIMEOUT] + totals[TYPE_RST]
+    result.extra["drops_and_resets_pct"] = percent(drops_resets, grand_total)
+    result.extra["on_path_pct"] = percent(location_totals[LOC_PATH], grand_total)
+    result.extra["at_e_pct"] = percent(location_totals[LOC_AT_E], grand_total)
+    result.extra["past_e_count"] = location_totals[LOC_PAST_E]
+    result.extra["no_icmp_count"] = location_totals[LOC_NO_ICMP]
+    result.notes.append(
+        f"drops+resets {result.extra['drops_and_resets_pct']:.1f}%"
+        f" (paper 94.75%), on-path {result.extra['on_path_pct']:.1f}%"
+        f" (paper 73.97%), at-E {result.extra['at_e_pct']:.1f}%"
+        f" (paper 16.19%), no-ICMP {result.extra['no_icmp_count']}"
+        f" (paper 1), past-E {result.extra['past_e_count']} (RU only)"
+    )
+    return result

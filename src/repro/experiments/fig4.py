@@ -1,0 +1,104 @@
+"""Figure 4: in-path vs on-path devices and hop distance to endpoint.
+
+Paper findings reproduced:
+
+* AZ and KZ devices are exclusively in-path (droppers); BY devices are
+  mostly on-path RST injectors; RU mixes both.
+* More than 35% of remote blocking happens one or two hops away from
+  the endpoint; AZ blocks far from endpoints (country ingress).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from statistics import median
+from typing import Dict, Optional, Sequence
+
+from ..geo.countries import COUNTRIES
+from .base import ExperimentResult, percent
+from .campaign import CountryCampaign, get_campaign
+
+PAPER_FIG4 = {
+    "az_kz_exclusively_in_path": True,
+    "by_mostly_on_path": True,
+    "blocking_within_2_hops_of_endpoint_pct": ">35",
+}
+
+
+def run(
+    countries: Sequence[str] = COUNTRIES,
+    *,
+    scale: Optional[float] = None,
+    repetitions: int = 3,
+    campaigns: Optional[Dict[str, CountryCampaign]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="In-path vs on-path devices; hops from endpoint (Figure 4)",
+        headers=[
+            "Co.",
+            "InPath",
+            "OnPath",
+            "Undetermined",
+            "MedianHopsFromE",
+            "MaxHopsFromE",
+            "Within2HopsPct",
+        ],
+        paper_reference=PAPER_FIG4,
+    )
+    near_endpoint_total = 0
+    blocked_total = 0
+    for country in countries:
+        campaign = (
+            campaigns[country]
+            if campaigns is not None
+            else get_campaign(country, scale=scale, repetitions=repetitions)
+        )
+        blocked = [
+            r for r in campaign.blocked_remote() if r.location_class is not None
+        ]
+        in_path = sum(1 for r in blocked if r.in_path is True)
+        on_path = sum(1 for r in blocked if r.in_path is False)
+        unknown = sum(1 for r in blocked if r.in_path is None)
+        hop_distances = [
+            r.hops_from_endpoint
+            for r in blocked
+            if r.hops_from_endpoint is not None
+        ]
+        near = sum(1 for d in hop_distances if d <= 2)
+        near_endpoint_total += near
+        blocked_total += len(hop_distances)
+        result.rows.append(
+            (
+                country,
+                in_path,
+                on_path,
+                unknown,
+                f"{median(hop_distances):.0f}" if hop_distances else "-",
+                max(hop_distances) if hop_distances else "-",
+                f"{percent(near, len(hop_distances)):.1f}",
+            )
+        )
+    result.extra["within_2_hops_pct"] = percent(near_endpoint_total, blocked_total)
+    result.notes.append(
+        f"overall, {result.extra['within_2_hops_pct']:.1f}% of blocking"
+        " is within 2 hops of the endpoint (paper: >35% within 1-2 hops)"
+    )
+    result.extra["hop_histogram"] = _hop_histogram(countries, campaigns, scale, repetitions)
+    return result
+
+
+def _hop_histogram(countries, campaigns, scale, repetitions) -> Dict[str, Counter]:
+    histogram: Dict[str, Counter] = {}
+    for country in countries:
+        campaign = (
+            campaigns[country]
+            if campaigns is not None
+            else get_campaign(country, scale=scale, repetitions=repetitions)
+        )
+        histogram[country] = Counter(
+            r.hops_from_endpoint
+            for r in campaign.blocked_remote()
+            if r.hops_from_endpoint is not None
+        )
+    return histogram

@@ -1,0 +1,80 @@
+"""Table 1: CenTrace measurements collected per country.
+
+Paper columns: in-country clients / CTs / blocked CTs, remote endpoints
+/ endpoint ASNs / CTs / blocked CTs. Absolute counts scale with the
+worlds' endpoint counts (RU is built at a tenth of the paper's 1,291
+endpoints by default); the blocked *fractions* are the comparable
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..geo.countries import COUNTRIES
+from .base import ExperimentResult, percent
+from .campaign import CountryCampaign, get_campaign
+
+PAPER_TABLE1 = {
+    # country: (in_clients, in_cts, in_blocked, endpoints, endpoint_asns,
+    #           remote_cts, remote_blocked)
+    "AZ": (1, 18, 6, 29, 10, 227, 96),
+    "BY": (0, 0, 0, 123, 19, 1040, 287),
+    "KZ": (1, 14, 8, 95, 29, 868, 748),
+    "RU": (1, 14, 0, 1291, 498, 10488, 418),
+}
+
+
+def run(
+    countries: Sequence[str] = COUNTRIES,
+    *,
+    scale: Optional[float] = None,
+    repetitions: int = 3,
+    campaigns: Optional[Dict[str, CountryCampaign]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="CenTrace measurements collected (Table 1)",
+        headers=[
+            "Co.",
+            "InClients",
+            "InCTs",
+            "InBlocked",
+            "Endpoints",
+            "EndpointASNs",
+            "RemoteCTs",
+            "RemoteBlocked",
+            "Blocked%",
+        ],
+        paper_reference={"table1": PAPER_TABLE1},
+    )
+    for country in countries:
+        campaign = (
+            campaigns[country]
+            if campaigns is not None
+            else get_campaign(country, scale=scale, repetitions=repetitions)
+        )
+        world = campaign.world
+        remote_blocked = len(campaign.blocked_remote())
+        in_blocked = sum(
+            1 for r in campaign.in_country_results if r.blocked and r.valid
+        )
+        endpoint_asns = len({e.asn for e in world.endpoints})
+        result.rows.append(
+            (
+                country,
+                1 if world.in_country_client else 0,
+                len(campaign.in_country_results),
+                in_blocked,
+                len(world.endpoints),
+                endpoint_asns,
+                len(campaign.remote_results),
+                remote_blocked,
+                f"{percent(remote_blocked, len(campaign.remote_results)):.1f}",
+            )
+        )
+    result.notes.append(
+        "RU endpoints are simulated at a reduced scale; compare blocked"
+        " fractions (paper: AZ 42%, BY 28%, KZ 86%, RU 4%)."
+    )
+    return result

@@ -1,0 +1,33 @@
+"""Synthetic Internet metadata and per-country study worlds."""
+
+from .asdb import ASDatabase, ASInfo, IPMetadata
+from .countries import (
+    CONTROL_DOMAIN,
+    COUNTRIES,
+    TEST_DOMAINS,
+    StudyWorld,
+    build_az_world,
+    build_blockpage_study_world,
+    build_by_world,
+    build_calibration_world,
+    build_kz_world,
+    build_ru_world,
+    build_world,
+)
+
+__all__ = [
+    "ASDatabase",
+    "ASInfo",
+    "IPMetadata",
+    "CONTROL_DOMAIN",
+    "COUNTRIES",
+    "TEST_DOMAINS",
+    "StudyWorld",
+    "build_az_world",
+    "build_blockpage_study_world",
+    "build_by_world",
+    "build_calibration_world",
+    "build_kz_world",
+    "build_ru_world",
+    "build_world",
+]

@@ -1,0 +1,111 @@
+"""Synthetic IP-to-AS/geolocation metadata (Maxmind/Routeviews analog).
+
+The paper attributes blocking hops to ASes and countries using Maxmind
+and the Routeviews project (§4.2). Our worlds allocate addresses from
+per-AS /16 prefixes, so lookups are exact — we also expose a
+``confidence`` field so analyses can treat border-router attribution as
+potentially inaccurate, which the paper lists as a limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netmodel.ip import int_to_ip, ip_to_int
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    """What we know about one autonomous system."""
+
+    asn: int
+    name: str
+    country: str
+
+
+@dataclass(frozen=True)
+class IPMetadata:
+    """The result of an IP lookup."""
+
+    ip: str
+    asn: int
+    as_name: str
+    country: str
+    confidence: float = 1.0  # <1.0 for border-router style uncertainty
+
+
+def _prefix_pool() -> Iterator[int]:
+    """Yield /16 network bases, skipping special-use first octets."""
+    skip_first_octets = {0, 10, 127, 169, 172, 192, 198, 203, 224}
+    for first in range(5, 224):
+        if first in skip_first_octets:
+            continue
+        for second in range(0, 256):
+            yield (first << 24) | (second << 16)
+
+
+class ASDatabase:
+    """Registers ASes, allocates their addresses, answers lookups."""
+
+    def __init__(self) -> None:
+        self._as_info: Dict[int, ASInfo] = {}
+        self._prefix_to_asn: Dict[int, int] = {}  # /16 base -> asn
+        self._asn_prefixes: Dict[int, List[int]] = {}
+        self._asn_counter: Dict[int, int] = {}
+        self._pool = _prefix_pool()
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, asn: int, name: str, country: str) -> ASInfo:
+        """Register an AS (idempotent) and give it its first /16."""
+        if asn in self._as_info:
+            return self._as_info[asn]
+        info = ASInfo(asn=asn, name=name, country=country)
+        self._as_info[asn] = info
+        self._grow(asn)
+        return info
+
+    def _grow(self, asn: int) -> None:
+        base = next(self._pool)
+        self._prefix_to_asn[base] = asn
+        self._asn_prefixes.setdefault(asn, []).append(base)
+
+    def allocate(self, asn: int) -> str:
+        """The next unused address inside ``asn``'s space."""
+        if asn not in self._as_info:
+            raise KeyError(f"AS{asn} not registered")
+        counter = self._asn_counter.get(asn, 0) + 1
+        self._asn_counter[asn] = counter
+        prefix_index, host = divmod(counter, 65534)
+        prefixes = self._asn_prefixes[asn]
+        while prefix_index >= len(prefixes):
+            self._grow(asn)
+            prefixes = self._asn_prefixes[asn]
+        return int_to_ip(prefixes[prefix_index] + host + 1)
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, ip: str) -> Optional[IPMetadata]:
+        base = ip_to_int(ip) & 0xFFFF0000
+        asn = self._prefix_to_asn.get(base)
+        if asn is None:
+            return None
+        info = self._as_info[asn]
+        return IPMetadata(
+            ip=ip, asn=info.asn, as_name=info.name, country=info.country
+        )
+
+    def lookup_asn(self, ip: str) -> Optional[int]:
+        meta = self.lookup(ip)
+        return meta.asn if meta else None
+
+    def lookup_country(self, ip: str) -> Optional[str]:
+        meta = self.lookup(ip)
+        return meta.country if meta else None
+
+    def as_info(self, asn: int) -> Optional[ASInfo]:
+        return self._as_info.get(asn)
+
+    def all_ases(self) -> List[ASInfo]:
+        return list(self._as_info.values())

@@ -1,0 +1,1170 @@
+"""Study worlds: the AZ / BY / KZ / RU networks of §4.2, the blockpage
+case-study network of §5.2, and the path-variance calibration network
+of §4.1.
+
+Each world mirrors the AS-level structure the paper reports:
+
+* **AZ** — centralized: one in-path dropping device on the Telia
+  (AS1299) → Delta Telecom (AS29049) ingress link carries ~89% of
+  endpoints; a handful of org-level commercial devices elsewhere.
+* **BY** — on-path RST injectors inside endpoint ASes (Beltelecom
+  AS6697 and others); an upstream drop of ``bridges.torproject.org``
+  inside Cogent (AS174), before traffic ever enters BY.
+* **KZ** — the state ISP JSC-Kazakhtelecom (AS9198) drops in-path;
+  about a third of endpoints are routed through Russian transit
+  (Megafon AS31133, Kvant-telekom AS43727) whose devices block first.
+* **RU** — decentralized: devices in many endpoint ASes, a mix of
+  droppers, RST injectors, TTL-copying injectors ("Past E") and
+  commercial boxes.
+
+Everything is seeded and deterministic. ``scale`` shrinks endpoint
+counts proportionally (RU defaults to a tenth of the paper's 1,291
+endpoints; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..devices.base import CensorshipDevice
+from ..devices.vendors import (
+    AZ_STATE,
+    BY_DPI,
+    CISCO,
+    DDOSGUARD,
+    FORTINET,
+    KASPERSKY,
+    KERIO,
+    KZ_STATE,
+    MIKROTIK,
+    NETSWEEPER,
+    PALO_ALTO,
+    SONICWALL,
+    SOPHOS,
+    SQUID,
+    TSPU_INPATH,
+    TSPU_TTLCOPY,
+    VendorProfile,
+    make_device,
+)
+from ..netmodel.icmp import QUOTE_RFC792, QUOTE_RFC1812
+from ..netsim.routing import Hop, Path, Route
+from ..netsim.simulator import Simulator
+from ..netsim.topology import Client, Endpoint, Router, Topology
+from ..services.banners import generic_linux_services
+from ..services.webserver import FilteringWebServer, ServerProfile, WebServer
+from .asdb import ASDatabase
+
+CONTROL_DOMAIN = "www.example.com"
+
+TEST_DOMAINS = {
+    "AZ": [
+        "www.azadliq.info",
+        "www.meydan.tv",
+        "www.rferl.org",
+        "www.abzas.net",
+        "www.ocmedia.az",
+    ],
+    "BY": [
+        "charter97.org",
+        "belsat.eu",
+        "www.svaboda.org",
+        "nashaniva.com",
+        "bridges.torproject.org",
+    ],
+    "KZ": [
+        "www.pokerstars.com",
+        "www.dailymotion.com",
+        "www.azattyq.org",
+        "www.bet365.com",
+        "bridges.torproject.org",
+    ],
+    "RU": [
+        "bridges.torproject.org",
+        "www.linkedin.com",
+        "rutracker.org",
+        "grani.ru",
+        "kasparov.ru",
+    ],
+}
+
+
+@dataclass
+class StudyWorld:
+    """One country's measurement environment."""
+
+    name: str
+    country: str
+    topology: Topology
+    sim: Simulator
+    asdb: ASDatabase
+    remote_client: Client
+    endpoints: List[Endpoint]
+    test_domains: List[str]
+    control_domain: str = CONTROL_DOMAIN
+    in_country_client: Optional[Client] = None
+    in_country_targets: List[Endpoint] = field(default_factory=list)
+    devices: List[CensorshipDevice] = field(default_factory=list)
+    device_host_ip: Dict[str, str] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def endpoint_by_ip(self, ip: str) -> Optional[Endpoint]:
+        node = self.topology.node_at(ip)
+        return node if isinstance(node, Endpoint) else None
+
+
+class WorldBuilder:
+    """Shared plumbing for constructing study worlds."""
+
+    # §4.3 measures 57.6% of *blocking-hop quotes* following RFC 792.
+    # Routers are assigned a quoting policy with this share, set a bit
+    # above the target because blocking hops oversample edge routers.
+    RFC792_SHARE = 0.72
+
+    def __init__(self, name: str, country: str, seed: int) -> None:
+        self.name = name
+        self.country = country
+        self.rng = random.Random(seed)
+        self.asdb = ASDatabase()
+        self.topology = Topology(name)
+        self.devices: List[CensorshipDevice] = []
+        self.device_host_ip: Dict[str, str] = {}
+        self._counter = 0
+
+    # -- nodes ------------------------------------------------------------
+
+    def register_as(self, asn: int, name: str, country: str) -> int:
+        self.asdb.register(asn, name, country)
+        return asn
+
+    def _next_name(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}{self._counter}"
+
+    def router(
+        self,
+        asn: int,
+        *,
+        rewrite_tos: Optional[int] = None,
+        rewrite_ip_flags: Optional[int] = None,
+        responds_icmp: bool = True,
+        quoting: Optional[str] = None,
+    ) -> Router:
+        if quoting is None:
+            quoting = (
+                QUOTE_RFC792
+                if self.rng.random() < self.RFC792_SHARE
+                else QUOTE_RFC1812
+            )
+        router = Router(
+            name=self._next_name("r"),
+            ip=self.asdb.allocate(asn),
+            asn=asn,
+            quoting=quoting,
+            responds_icmp=responds_icmp,
+            rewrite_tos=rewrite_tos,
+            rewrite_ip_flags=rewrite_ip_flags,
+        )
+        return self.topology.add_router(router)
+
+    def chain(self, asn: int, count: int, **kwargs) -> List[Router]:
+        return [self.router(asn, **kwargs) for _ in range(count)]
+
+    def client(self, asn: int, country: str, *, in_country: bool) -> Client:
+        client = Client(
+            name=self._next_name("client"),
+            ip=self.asdb.allocate(asn),
+            asn=asn,
+            country=country,
+            in_country=in_country,
+        )
+        return self.topology.add_client(client)
+
+    def endpoint(
+        self,
+        asn: int,
+        country: str,
+        domains: Sequence[str],
+        *,
+        server: Optional[WebServer] = None,
+        profile: Optional[ServerProfile] = None,
+    ) -> Endpoint:
+        if server is None:
+            server = WebServer(domains, profile or ServerProfile())
+        endpoint = Endpoint(
+            name=self._next_name("ep"),
+            ip=self.asdb.allocate(asn),
+            asn=asn,
+            server=server,
+            country=country,
+            domains=tuple(domains),
+        )
+        return self.topology.add_endpoint(endpoint)
+
+    # -- devices ------------------------------------------------------------
+
+    def place_device(
+        self,
+        profile: VendorProfile,
+        domains: Sequence[str],
+        host_router: Router,
+        *,
+        url_scope: Optional[bool] = None,
+        rule_kind: Optional[str] = None,
+        rule_kinds: Optional[Sequence[str]] = None,
+        with_banners: Optional[bool] = None,
+        generic_banners: bool = False,
+    ) -> CensorshipDevice:
+        """Create a device whose link leads into ``host_router``.
+
+        The caller still has to put the device on the right Hop when
+        building routes; this registers ground truth and attaches the
+        vendor's management services to the host router (the IP a
+        Control-Domain CenTrace reports as the terminating hop, which
+        is exactly where CenProbe's banner grabs go, §5.2).
+        """
+        if url_scope is None:
+            # Per-deployment coin flip weighted by how often this
+            # vendor's rules carry a path component.
+            url_scope = self.rng.random() < profile.path_scope_url_share
+        device = make_device(
+            profile,
+            self._next_name("dev"),
+            domains,
+            url_scope=url_scope,
+            rule_kind=rule_kind,
+            rule_kinds=rule_kinds,
+        )
+        expose = (
+            profile.has_management_plane if with_banners is None else with_banners
+        )
+        if expose:
+            for service in profile.management_services():
+                host_router.add_service(service)
+        elif generic_banners:
+            for service in generic_linux_services():
+                host_router.add_service(service)
+        if profile.name:
+            from ..core.cenprobe.os_probes import VENDOR_PERSONALITIES
+
+            host_router.personality = VENDOR_PERSONALITIES.get(profile.name)
+        self.devices.append(device)
+        self.device_host_ip[device.name] = host_router.ip
+        return device
+
+    # -- routes -------------------------------------------------------------
+
+    def route(
+        self,
+        client: Client,
+        endpoint: Endpoint,
+        hops: Sequence[Tuple[Router, Sequence[CensorshipDevice]]],
+        *,
+        alternates: Sequence[Sequence[Tuple[Router, Sequence[CensorshipDevice]]]] = (),
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Register the route client -> endpoint.
+
+        ``hops`` is the primary path as (router, devices-on-link-to-it)
+        pairs, endpoint excluded (appended automatically).
+        """
+
+        def to_path(pairs) -> Path:
+            hop_list = [
+                Hop(router.name, link_devices=list(devices))
+                for router, devices in pairs
+            ]
+            hop_list.append(Hop(endpoint.name))
+            return Path(hop_list)
+
+        paths = [to_path(hops)] + [to_path(alt) for alt in alternates]
+        self.topology.add_route(
+            client.ip, endpoint.ip, Route(paths, weights=weights)
+        )
+
+    def finish(
+        self,
+        remote_client: Client,
+        endpoints: List[Endpoint],
+        test_domains: List[str],
+        *,
+        seed: int = 0,
+        loss_rate: float = 0.002,
+        **extra,
+    ) -> StudyWorld:
+        sim = Simulator(self.topology, seed=seed, loss_rate=loss_rate)
+        return StudyWorld(
+            name=self.name,
+            country=self.country,
+            topology=self.topology,
+            sim=sim,
+            asdb=self.asdb,
+            remote_client=remote_client,
+            endpoints=endpoints,
+            test_domains=test_domains,
+            devices=self.devices,
+            device_host_ip=self.device_host_ip,
+            **extra,
+        )
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, round(count * scale))
+
+
+def _spread(rng: random.Random, items: List, buckets: int) -> List[List]:
+    """Distribute ``items`` round-robin into ``buckets`` groups."""
+    groups: List[List] = [[] for _ in range(buckets)]
+    for i, item in enumerate(items):
+        groups[i % buckets].append(item)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Azerbaijan
+# ---------------------------------------------------------------------------
+
+
+def build_az_world(seed: int = 11, scale: float = 1.0) -> StudyWorld:
+    """Azerbaijan: centralized blocking at the Telia -> Delta Telecom
+    ingress, plus a few org-level commercial devices (§4.3, §5.3)."""
+    b = WorldBuilder("AZ-study", "AZ", seed)
+    domains = TEST_DOMAINS["AZ"]
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    as_telia = b.register_as(1299, "TELIANET Telia Company", "SE")
+    as_retn = b.register_as(9002, "RETN-AS", "EU")
+    as_delta = b.register_as(29049, "Delta Telecom Ltd", "AZ")
+    endpoint_ases = [
+        b.register_as(8503, "AzTelecomNet", "AZ"),
+        b.register_as(41997, "AzMobile LLC", "AZ"),
+        b.register_as(28787, "AzInternet", "AZ"),
+        b.register_as(57293, "BakuNet", "AZ"),
+        b.register_as(49800, "AzEduNet", "AZ"),
+        b.register_as(197712, "AzHost Solutions", "AZ"),
+        b.register_as(39232, "CaspianNet", "AZ"),
+        b.register_as(209092, "GanjaNet", "AZ"),
+        b.register_as(34876, "AzDataCom", "AZ"),
+        as_delta,
+    ]
+
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    telia = b.chain(as_telia, 2)
+    telia[1].rewrite_tos = 0x28  # transit DSCP remarking (quoted-delta source)
+    retn = b.chain(as_retn, 2)
+    delta_ingress = b.router(as_delta)
+    delta_core = b.chain(as_delta, 2)
+
+    # The centralized state device on the Telia -> Delta link: the
+    # terminating hop (and thus the "potential device IP") is Delta's
+    # ingress router, which exposes no services.
+    state_device = b.place_device(
+        AZ_STATE, domains[:2], delta_ingress, url_scope=True,
+        rule_kinds=("exact", "suffix"),
+    )
+
+    # Org-level commercial devices on RETN-routed paths.
+    as_cisco_org = endpoint_ases[4]  # AzEduNet
+    cisco_edge = b.router(as_cisco_org)
+    cisco_device = b.place_device(CISCO, [domains[2], domains[3]], cisco_edge)
+    as_forti_org = endpoint_ases[5]  # AzHost
+    forti_edge = b.router(as_forti_org)
+    forti_device = b.place_device(FORTINET, domains[:3], forti_edge)
+    as_pa_org = endpoint_ases[6]  # CaspianNet
+    pa_edge = b.router(as_pa_org)
+    pa_device = b.place_device(PALO_ALTO, [domains[0]], pa_edge)
+
+    endpoints: List[Endpoint] = []
+    total = _scaled(29, scale)
+    retn_count = max(3, round(total * 0.12)) if total >= 8 else 1
+    telia_count = total - retn_count
+
+    # Telia-routed endpoints (behind the state device).
+    telia_as_pool = endpoint_ases[:4] + endpoint_ases[7:]
+    for i in range(telia_count):
+        asn = telia_as_pool[i % len(telia_as_pool)]
+        edge = b.router(asn)
+        if i < 2:
+            # Local (endpoint/NAT) filtering of a domain the upstream
+            # device does NOT block — the paper's "At E" cases.
+            server = FilteringWebServer(
+                [f"org{i}.az"], [domains[3]], mode="drop"
+            )
+            ep = b.endpoint(asn, "AZ", [f"org{i}.az"], server=server)
+        else:
+            ep = b.endpoint(asn, "AZ", [f"org{i}.az"])
+        hops = (
+            [(r, []) for r in client_side]
+            + [(telia[0], []), (telia[1], [])]
+            + [(delta_ingress, [state_device])]
+            + [(r, []) for r in delta_core]
+            + [(edge, [])]
+        )
+        alt = (
+            [(r, []) for r in client_side]
+            + [(telia[0], []), (b.router(as_telia), [])]
+            + [(delta_ingress, [state_device])]
+            + [(r, []) for r in delta_core]
+            + [(edge, [])]
+        )
+        if i % 4 == 0:
+            b.route(remote, ep, hops, alternates=[alt], weights=[0.8, 0.2])
+        else:
+            b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    # RETN-routed endpoints (org-level devices).
+    org_devices = [
+        (as_cisco_org, cisco_edge, cisco_device),
+        (as_forti_org, forti_edge, forti_device),
+        (as_pa_org, pa_edge, pa_device),
+    ]
+    for i in range(retn_count):
+        asn, edge, device = org_devices[i % len(org_devices)]
+        ep = b.endpoint(asn, "AZ", [f"retnorg{i}.az"])
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in retn]
+            + [(edge, [device])]
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    # In-country client inside Delta Telecom, two hops from the device.
+    in_client = b.client(as_delta, "AZ", in_country=True)
+    delta_access = b.router(as_delta)
+    as_origin = b.register_as(16509, "GLOBAL-ORIGIN-HOSTING", "US")
+    origin_edge = b.chain(as_origin, 2)
+    targets = []
+    for i, origin_domain in enumerate([domains[0], domains[4]]):
+        origin = b.endpoint(as_origin, "US", [origin_domain])
+        hops = (
+            [(delta_access, [])]
+            + [(delta_ingress, [state_device])]
+            + [(telia[1], []), (telia[0], [])]
+            + [(r, []) for r in origin_edge]
+        )
+        b.route(in_client, origin, hops)
+        targets.append(origin)
+
+    world = b.finish(
+        remote,
+        endpoints,
+        domains,
+        seed=seed,
+        in_country_client=in_client,
+        in_country_targets=targets,
+    )
+    world.notes["state_device"] = state_device.name
+    world.notes["ingress_ip"] = delta_ingress.ip
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Belarus
+# ---------------------------------------------------------------------------
+
+
+def build_by_world(seed: int = 13, scale: float = 1.0) -> StudyWorld:
+    """Belarus: on-path RST injectors in endpoint ASes; an upstream
+    Cogent drop of bridges.torproject.org before traffic enters BY."""
+    b = WorldBuilder("BY-study", "BY", seed)
+    domains = TEST_DOMAINS["BY"]
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    as_cogent = b.register_as(174, "COGENT-174", "US")
+    as_telia = b.register_as(1299, "TELIANET Telia Company", "SE")
+    as_beltel = b.register_as(6697, "Beltelecom", "BY")
+    other_ases = [
+        b.register_as(60280, "NTEC Belarus", "BY"),
+        b.register_as(21274, "MinskTrans Net", "BY"),
+        b.register_as(50685, "BelCloud", "BY"),
+        b.register_as(198252, "ByFiber", "BY"),
+        b.register_as(44087, "GomelNet", "BY"),
+        b.register_as(205943, "BrestTelecom", "BY"),
+        b.register_as(31143, "VitebskNet", "BY"),
+        b.register_as(56740, "MogilevOnline", "BY"),
+        b.register_as(197695, "ByHosting", "BY"),
+        b.register_as(39187, "GrodnoLink", "BY"),
+        b.register_as(50294, "PolotskNet", "BY"),
+        b.register_as(208575, "BarysawNet", "BY"),
+        b.register_as(35647, "SlutskCom", "BY"),
+        b.register_as(49711, "PinskNet", "BY"),
+        b.register_as(60330, "OrshaTele", "BY"),
+        b.register_as(199995, "LidaNet", "BY"),
+        b.register_as(43395, "BabruyskISP", "BY"),
+        b.register_as(197348, "NavapolackNet", "BY"),
+    ]
+    endpoint_ases = [as_beltel] + other_ases  # 19 ASes, as in Table 1
+
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    cogent = b.chain(as_cogent, 2, quoting=QUOTE_RFC792)
+    telia = b.chain(as_telia, 2)
+    telia[0].rewrite_tos = 0x20  # only the minority Telia-routed paths
+    beltel_backbone = b.chain(as_beltel, 2)
+
+    # The upstream anomaly: Cogent drops bridges.torproject.org inside
+    # its own network, before traffic enters BY (§4.3).
+    cogent_device = b.place_device(
+        TSPU_INPATH, ["bridges.torproject.org"], cogent[1], with_banners=False
+    )
+
+    endpoints: List[Endpoint] = []
+    total = _scaled(123, scale)
+    # Half the endpoints sit in ASes that deploy on-path RST injectors.
+    device_as_share = endpoint_ases[: len(endpoint_ases) // 2 + 1]
+    devices_by_as: Dict[int, Tuple[Router, CensorshipDevice]] = {}
+    for i, asn in enumerate(device_as_share):
+        edge = b.router(asn)
+        blocked = domains[:2] if i % 2 == 0 else domains[:1]
+        device = b.place_device(
+            BY_DPI, blocked, edge, with_banners=False,
+            generic_banners=(i % 4 == 0),
+        )
+        devices_by_as[asn] = (edge, device)
+
+    for i in range(total):
+        asn = endpoint_ases[i % len(endpoint_ases)]
+        via_cogent = (i % 9) != 0  # ~89% of paths transit Cogent
+        at_e = i % 13 == 7
+        if at_e:
+            server = FilteringWebServer(
+                [f"org{i}.by"], [domains[2], domains[3]], mode="reset"
+            )
+            ep = b.endpoint(asn, "BY", [f"org{i}.by"], server=server)
+        else:
+            ep = b.endpoint(asn, "BY", [f"org{i}.by"])
+        if asn in devices_by_as:
+            edge, device = devices_by_as[asn]
+            last = [(edge, [device])]
+        else:
+            last = [(b.router(asn), [])] if i % 3 == 0 else [
+                (beltel_backbone[1], [])
+            ]
+        transit = (
+            [(cogent[0], []), (cogent[1], [cogent_device])]
+            if via_cogent
+            else [(r, []) for r in telia]
+        )
+        hops = (
+            [(r, []) for r in client_side]
+            + transit
+            + [(beltel_backbone[0], [])]
+            + last
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    world = b.finish(remote, endpoints, domains, seed=seed)
+    world.notes["cogent_device"] = cogent_device.name
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Kazakhstan
+# ---------------------------------------------------------------------------
+
+
+def build_kz_world(seed: int = 17, scale: float = 1.0) -> StudyWorld:
+    """Kazakhstan: JSC-Kazakhtelecom drops in-path; a third of remote
+    endpoints are reached through Russian transit whose devices block
+    first (§4.3's extraterritorial observation)."""
+    b = WorldBuilder("KZ-study", "KZ", seed)
+    domains = TEST_DOMAINS["KZ"]
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    as_telia = b.register_as(1299, "TELIANET Telia Company", "SE")
+    as_rostelecom = b.register_as(12389, "ROSTELECOM-AS", "RU")
+    as_megafon = b.register_as(31133, "PJSC MegaFon", "RU")
+    as_kvant = b.register_as(43727, "JSC Kvant-telekom", "RU")
+    as_kaztel = b.register_as(9198, "JSC Kazakhtelecom", "KZ")
+    as_hosting = b.register_as(203087, "KZ Hosting Provider", "KZ")
+    other_ases = [
+        b.register_as(21299, "Kar-Tel LLC", "KZ"),
+        b.register_as(35104, "AlmatyNet", "KZ"),
+        b.register_as(48503, "AstanaCom", "KZ"),
+        b.register_as(206026, "QazCloud", "KZ"),
+        b.register_as(29555, "ShymkentISP", "KZ"),
+        b.register_as(50482, "AktobeNet", "KZ"),
+        b.register_as(197156, "KaragandaTele", "KZ"),
+        b.register_as(61343, "PavlodarLink", "KZ"),
+        b.register_as(21131, "TarazNet", "KZ"),
+        b.register_as(51341, "AtyrauCom", "KZ"),
+        b.register_as(204997, "KostanayNet", "KZ"),
+        b.register_as(44725, "SemeyOnline", "KZ"),
+        b.register_as(34922, "OralISP", "KZ"),
+        b.register_as(208950, "AktauTele", "KZ"),
+        b.register_as(49151, "KyzylordaNet", "KZ"),
+        b.register_as(198835, "TaldykorganCom", "KZ"),
+        b.register_as(35168, "KokshetauLink", "KZ"),
+        b.register_as(209750, "TurkistanNet", "KZ"),
+        b.register_as(43994, "EkibastuzISP", "KZ"),
+        b.register_as(50597, "RudnyNet", "KZ"),
+        b.register_as(197695 + 100000, "ZhezkazganTele", "KZ"),
+        b.register_as(61020, "BalkashCom", "KZ"),
+        b.register_as(48502, "KentauNet", "KZ"),
+        b.register_as(29046, "TemirtauISP", "KZ"),
+        b.register_as(203999, "KulsaryLink", "KZ"),
+        b.register_as(60771, "ZhanaozenNet", "KZ"),
+        b.register_as(49532, "StepnogorskCom", "KZ"),
+    ]
+    endpoint_ases = [as_kaztel, as_hosting] + other_ases  # 29 ASes
+
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    telia = b.chain(as_telia, 2)
+    rostelecom = b.chain(as_rostelecom, 2)
+    rostelecom[1].rewrite_tos = 0x48
+    megafon = b.chain(as_megafon, 2)
+    kvant = b.chain(as_kvant, 2)
+    kaztel_ingress_w = b.router(as_kaztel)  # western (Telia) ingress
+    kaztel_ingress_n = b.router(as_kaztel)  # northern (RU) ingress
+    kaztel_core = b.chain(as_kaztel, 2)
+
+    # State devices at both Kazakhtelecom ingress links. The state
+    # blocklist covers four of the five test domains; the fifth
+    # (bridges.torproject.org) is blocked upstream in Russian transit
+    # for RU-routed endpoints and locally at a few "At E" endpoints.
+    kz_blocklist = domains[:4]
+    # pokerstars/dailymotion carry exact rules (their subdomain/padded
+    # variants evade, §6.3's circumvention examples); the rest wildcard.
+    state_rule_kinds = ("exact", "exact", "suffix", "suffix")
+    kz_device_w = b.place_device(
+        KZ_STATE, kz_blocklist, kaztel_ingress_w, url_scope=True,
+        rule_kinds=state_rule_kinds,
+    )
+    kz_device_n = b.place_device(
+        KZ_STATE, kz_blocklist, kaztel_ingress_n, url_scope=True,
+        rule_kinds=state_rule_kinds,
+    )
+    # Russian transit devices (extraterritorial blocking): both block
+    # the domains Russia censors among our KZ test list.
+    ru_blocked = ["bridges.torproject.org", "www.bet365.com"]
+    megafon_device = b.place_device(
+        TSPU_INPATH, ru_blocked, megafon[1], with_banners=False
+    )
+    kvant_device = b.place_device(
+        TSPU_INPATH, ru_blocked, kvant[1], with_banners=False
+    )
+
+    # Commercial org-level devices in directly-peered endpoint ASes
+    # (they bypass the state device, so their own blocking terminates
+    # there — these are the banner-grab targets of §5.3).
+    org_profiles = [
+        (CISCO, [domains[0], domains[3]]),
+        (CISCO, [domains[0]]),
+        (FORTINET, domains[:3]),
+        (FORTINET, [domains[0], domains[1]]),
+        (KERIO, [domains[0]]),
+        (KERIO, [domains[0], domains[3]]),
+        (MIKROTIK, [domains[0]]),
+    ]
+    org_devices = []
+    for i, (profile, blocked) in enumerate(org_profiles):
+        asn = other_ases[i]
+        edge = b.router(asn)
+        device = b.place_device(profile, blocked, edge)
+        org_devices.append((asn, edge, device))
+
+    endpoints: List[Endpoint] = []
+    total = _scaled(95, scale)
+    ru_routed = round(total * 0.34)
+    direct_peered = min(len(org_devices) * 2, max(2, round(total * 0.14)))
+    telia_routed = total - ru_routed - direct_peered
+
+    index = 0
+    for i in range(telia_routed):
+        asn = endpoint_ases[index % len(endpoint_ases)]
+        index += 1
+        if i % 11 == 6:
+            # "At E": the endpoint locally filters the one test domain
+            # the state device does not block.
+            server = FilteringWebServer(
+                [f"org{i}.kz"], [domains[4]], mode="drop"
+            )
+            ep = b.endpoint(asn, "KZ", [f"org{i}.kz"], server=server)
+        else:
+            ep = b.endpoint(asn, "KZ", [f"org{i}.kz"])
+        # Kazakhtelecom's internal depth varies: roughly half the
+        # endpoints hang directly off the backbone (blocking two hops
+        # away), the rest sit one AS-edge deeper (Figure 4's KZ
+        # hop-distance spread).
+        if i % 2 == 0:
+            tail = [(kaztel_core[0], []), (b.router(asn), [])]
+        else:
+            tail = [(kaztel_core[1], [])]
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in telia]
+            + [(kaztel_ingress_w, [kz_device_w])]
+            + tail
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    for i in range(ru_routed):
+        asn = endpoint_ases[index % len(endpoint_ases)]
+        index += 1
+        ep = b.endpoint(asn, "KZ", [f"ruorg{i}.kz"])
+        ru_leg = megafon if i % 2 == 0 else kvant
+        ru_device = megafon_device if i % 2 == 0 else kvant_device
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in rostelecom]
+            + [(ru_leg[0], []), (ru_leg[1], [ru_device])]
+            + [(kaztel_ingress_n, [kz_device_n])]
+            + [(kaztel_core[0], [])]
+            + [(b.router(asn), [])]
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    for i in range(direct_peered):
+        asn, edge, device = org_devices[i % len(org_devices)]
+        if i % 5 == 4:
+            # "At E": the endpoint itself filters a domain its own
+            # org device does not (visible because these paths bypass
+            # the state device).
+            server = FilteringWebServer(
+                [f"peerorg{i}.kz"], [domains[2]], mode="drop"
+            )
+            ep = b.endpoint(asn, "KZ", [f"peerorg{i}.kz"], server=server)
+        else:
+            ep = b.endpoint(asn, "KZ", [f"peerorg{i}.kz"])
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in telia]
+            + [(edge, [device])]
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    # In-country client: a hosting provider downstream of AS9198; the
+    # state device sits three hops away (§4.3 / Figure 1).
+    in_client = b.client(as_hosting, "KZ", in_country=True)
+    hosting_edge = b.router(as_hosting)
+    kaztel_access = b.router(as_kaztel)
+    as_origin = b.register_as(16509, "GLOBAL-ORIGIN-HOSTING", "US")
+    origin_edge = b.chain(as_origin, 2)
+    origin_specs = [
+        ("www.pokerstars.com", ServerProfile.lenient("www.pokerstars.com")),
+        (
+            "www.dailymotion.com",
+            ServerProfile(wildcard_subdomains=True, requires_valid_version=True),
+        ),
+        ("www.azattyq.org", ServerProfile()),
+        ("neutral-origin.example", ServerProfile()),
+        ("static-cdn.example", ServerProfile()),
+    ]
+    targets = []
+    for origin_domain, profile in origin_specs:
+        origin = b.endpoint(as_origin, "US", [origin_domain], profile=profile)
+        hops = (
+            [(hosting_edge, []), (kaztel_access, [])]
+            + [(kaztel_ingress_w, [kz_device_w])]
+            + [(telia[1], []), (telia[0], [])]
+            + [(r, []) for r in origin_edge]
+        )
+        b.route(in_client, origin, hops)
+        targets.append(origin)
+
+    world = b.finish(
+        remote,
+        endpoints,
+        domains,
+        seed=seed,
+        in_country_client=in_client,
+        in_country_targets=targets,
+    )
+    world.notes["state_device_w"] = kz_device_w.name
+    world.notes["ru_transit_asns"] = (31133, 43727)
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Russia
+# ---------------------------------------------------------------------------
+
+
+def build_ru_world(seed: int = 19, scale: float = 0.1) -> StudyWorld:
+    """Russia: decentralized censorship — devices in many endpoint ASes
+    with heterogeneous actions, including TTL-copying injectors.
+
+    ``scale`` defaults to 0.1 of the paper's 1,291 endpoints; the
+    *shape* of the results (who blocks, how, where) is scale-free.
+    """
+    b = WorldBuilder("RU-study", "RU", seed)
+    domains = TEST_DOMAINS["RU"]
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    as_telia = b.register_as(1299, "TELIANET Telia Company", "SE")
+    as_rostelecom = b.register_as(12389, "ROSTELECOM-AS", "RU")
+    rng = b.rng
+
+    named_ases = [
+        (8359, "MTS PJSC"),
+        (3216, "PJSC Vimpelcom"),
+        (31133, "PJSC MegaFon"),
+        (20764, "RASCOM CJSC"),
+        (12714, "PJSC TransTeleCom"),
+        (8732, "JSC Comcor"),
+        (25513, "PJSC Moscow city telephone network"),
+        (42610, "Rostelecom Macro NCC"),
+        (41661, "ER-Telecom Holding Izhevsk"),
+        (9049, "JSC ER-Telecom Holding"),
+    ]
+    endpoint_ases: List[int] = []
+    for asn, name in named_ases:
+        endpoint_ases.append(b.register_as(asn, name, "RU"))
+    for i in range(40):
+        endpoint_ases.append(
+            b.register_as(210000 + i, f"RU Regional ISP {i}", "RU")
+        )
+
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    telia = b.chain(as_telia, 2)
+    backbone = b.chain(as_rostelecom, 3)
+    backbone[1].rewrite_tos = 0x68  # about half the paths see remarking
+    # Exactly one path remarks the IP flags field (§4.3 reports a
+    # single trace with a different-flags quote).
+    flags_router = b.router(as_rostelecom, rewrite_ip_flags=0x0)
+
+    # Device deployment: ~40% of endpoint ASes run a device, with a mix
+    # of behaviours reflecting §4.3/§5.3.
+    device_plan = (
+        [TSPU_INPATH] * 10
+        + [TSPU_TTLCOPY] * 3
+        + [BY_DPI] * 2  # on-path RST injectors also exist in RU (Fig 4)
+        + [CISCO] * 3
+        + [FORTINET, KASPERSKY, DDOSGUARD, PALO_ALTO]
+    )
+    devices_by_as: Dict[int, Tuple[Router, CensorshipDevice]] = {}
+    for i, profile in enumerate(device_plan):
+        asn = endpoint_ases[i]
+        edge = b.router(asn)
+        # Decentralized policy: each AS blocks its own subset.
+        count = rng.choice([1, 2, 2, 3])
+        blocked = rng.sample(domains, count)
+        device = b.place_device(
+            profile,
+            blocked,
+            edge,
+            generic_banners=(profile.name is None and i % 3 == 0),
+        )
+        devices_by_as[asn] = (edge, device)
+
+    # One path segment without ICMP responses (the "No ICMP" case):
+    # an RST injector whose terminating hop and the hop before it both
+    # stay silent, so the injected reset is the only signal there.
+    silent_asn = endpoint_ases[0]
+    silent_router = b.router(silent_asn, responds_icmp=False)
+    silent_prev = b.router(silent_asn, responds_icmp=False)
+    noicmp_device = b.place_device(
+        BY_DPI, [domains[0]], silent_router, with_banners=False
+    )
+
+    endpoints: List[Endpoint] = []
+    total = _scaled(1291, scale)
+    device_as_count = len(device_plan)
+    for i in range(total):
+        # Devices' ASes hold ~1/6 of endpoints; the rest are clean.
+        if i % 6 == 0:
+            asn = endpoint_ases[(i // 6) % device_as_count]
+        else:
+            asn = endpoint_ases[device_as_count + (i % (len(endpoint_ases) - device_as_count))]
+        at_e = i % 17 == 3
+        if at_e:
+            server = FilteringWebServer(
+                [f"org{i}.ru"], [rng.choice(domains)], mode=rng.choice(["drop", "reset"])
+            )
+            ep = b.endpoint(asn, "RU", [f"org{i}.ru"], server=server)
+        else:
+            ep = b.endpoint(asn, "RU", [f"org{i}.ru"])
+        if asn in devices_by_as:
+            edge, device = devices_by_as[asn]
+            if i == 0:
+                # The No-ICMP case: neither the hop the device's link
+                # leads to nor the one before it answers with ICMP.
+                last = [(silent_prev, []), (silent_router, [noicmp_device])]
+            else:
+                last = [(edge, [device])]
+        else:
+            last = [(b.router(asn), [])]
+        middle = [(backbone[0], []), (backbone[rng.choice([1, 2])], [])]
+        if i == 6:
+            middle.append((flags_router, []))
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in telia]
+            + middle
+            + last
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    # In-country client (Moscow hosting, clean upstream): observes no
+    # censorship, matching §4.3.
+    as_mskhost = b.register_as(198610, "Moscow Hosting JSC", "RU")
+    in_client = b.client(as_mskhost, "RU", in_country=True)
+    msk_edge = b.chain(as_mskhost, 2)
+    as_origin = b.register_as(16509, "GLOBAL-ORIGIN-HOSTING", "US")
+    origin_edge = b.chain(as_origin, 2)
+    targets = []
+    for origin_domain in ["neutral-origin.example", "static-cdn.example"]:
+        origin = b.endpoint(as_origin, "US", [origin_domain])
+        hops = (
+            [(r, []) for r in msk_edge]
+            + [(backbone[0], [])]
+            + [(telia[1], []), (telia[0], [])]
+            + [(r, []) for r in origin_edge]
+        )
+        b.route(in_client, origin, hops)
+        targets.append(origin)
+
+    world = b.finish(
+        remote,
+        endpoints,
+        domains,
+        seed=seed,
+        in_country_client=in_client,
+        in_country_targets=targets,
+    )
+    world.notes["scale"] = scale
+    return world
+
+
+# ---------------------------------------------------------------------------
+# §5.2 blockpage case-study world
+# ---------------------------------------------------------------------------
+
+
+def build_blockpage_study_world(seed: int = 23, scale: float = 1.0) -> StudyWorld:
+    """Worldwide endpoints behind blockpage-injecting in-path devices.
+
+    Models §5.2's validation set: Censored Planet saw blockpage
+    injection toward these endpoints; CenTrace finds the device IP,
+    CenProbe grabs banners, and blockpage labels validate banner labels.
+    Vendor mix: commercial filters whose blockpages are fingerprintable.
+    """
+    b = WorldBuilder("blockpage-study", "WW", seed)
+    blocked_domains = [
+        "www.blockedcontent.example",
+        "adult.example",
+        "gambling-site.example",
+        "proxysite.example",
+        "streaming.example",
+    ]
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    as_transit = b.register_as(3356, "LEVEL3", "US")
+    transit = b.chain(as_transit, 2)
+
+    vendor_mix = (
+        [FORTINET] * 18
+        + [NETSWEEPER] * 16
+        + [SONICWALL] * 12
+        + [SQUID] * 16
+        + [SOPHOS] * 14
+    )
+    countries = ["IN", "ID", "TH", "TR", "EG", "SA", "PK", "VN", "MX", "BR"]
+    endpoints: List[Endpoint] = []
+    total = _scaled(76, scale)
+    for i in range(total):
+        profile = vendor_mix[i % len(vendor_mix)]
+        country = countries[i % len(countries)]
+        asn = b.register_as(300000 + i, f"{country} Org Network {i}", country)
+        edge = b.router(asn)
+        # Banner exposure (§5.3 case study): 87% of device IPs expose at
+        # least one service; of those, ~39% carry an explicit vendor
+        # indication, the rest look generic.
+        roll = i % 8
+        if roll < 3:
+            with_banners, generic = True, False
+        elif roll < 7:
+            with_banners, generic = False, True
+        else:
+            with_banners, generic = False, False
+        blocked = blocked_domains[: 2 + (i % 3)]
+        device = b.place_device(
+            profile, blocked, edge, with_banners=with_banners,
+            generic_banners=generic,
+        )
+        ep = b.endpoint(asn, country, [f"org{i}.example"])
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in transit]
+            + [(b.router(asn), [])]
+            + [(edge, [device])]
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    return b.finish(remote, endpoints, blocked_domains, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# §4.1 path-variance calibration world
+# ---------------------------------------------------------------------------
+
+
+def build_calibration_world(seed: int = 29) -> StudyWorld:
+    """20 endpoints with ECMP path diversity, one with extreme variance.
+
+    Reproduces §4.1's calibration experiment: 200 traceroutes per
+    endpoint; ~90% of each endpoint's paths covered within ~11 traces;
+    a single endpoint with >100 unique paths.
+    """
+    b = WorldBuilder("calibration", "WW", seed)
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    rng = b.rng
+
+    endpoints: List[Endpoint] = []
+    for i in range(19):
+        asn = b.register_as(310000 + i, f"Calib Net {i}", "WW")
+        n_paths = rng.choice([1, 1, 2, 2, 3])
+        shared_tail = b.chain(asn, 2)
+        ep = b.endpoint(asn, "WW", [f"calib{i}.example"])
+        paths = []
+        for _ in range(n_paths):
+            middle = b.chain(asn, 2)
+            paths.append(
+                [(r, []) for r in client_side]
+                + [(r, []) for r in middle]
+                + [(r, []) for r in shared_tail]
+            )
+        weights = [6.0] + [1.0] * (len(paths) - 1)
+        b.route(
+            remote, ep, paths[0], alternates=paths[1:], weights=weights
+        )
+        endpoints.append(ep)
+
+    # The pathological endpoint: three ECMP stages of five choices each
+    # -> 125 possible paths.
+    asn = b.register_as(319999, "Calib Megapath Net", "WW")
+    stage1 = b.chain(asn, 5)
+    stage2 = b.chain(asn, 5)
+    stage3 = b.chain(asn, 5)
+    ep = b.endpoint(asn, "WW", ["calib-mega.example"])
+    paths = []
+    for r1 in stage1:
+        for r2 in stage2:
+            for r3 in stage3:
+                paths.append(
+                    [(r, []) for r in client_side]
+                    + [(r1, []), (r2, []), (r3, [])]
+                )
+    b.route(remote, ep, paths[0], alternates=paths[1:])
+    endpoints.append(ep)
+
+    return b.finish(remote, endpoints, ["calib.example"], seed=seed, loss_rate=0.0)
+
+
+# ---------------------------------------------------------------------------
+# DNS-injection demo world (the §8 extension)
+# ---------------------------------------------------------------------------
+
+
+def build_dns_world(seed: int = 31) -> StudyWorld:
+    """A network with DNS-injecting devices (§8's future-work protocol).
+
+    Open resolvers sit behind two kinds of devices: an on-path injector
+    that races forged A records against the real resolver (the
+    Great-Firewall pattern) and an in-path device that swallows the
+    query and answers with a rotating set of bogus addresses.
+    """
+    from ..devices.actions import DNSBlockAction
+    from ..devices.rules import Blocklist, BlockRule
+    from ..services.dnsresolver import DNSResolver
+
+    b = WorldBuilder("DNS-study", "XX", seed)
+    blocked = ["www.blocked.example", "news.banned.example"]
+    all_protocols = ("http", "tls", "dns")
+    dns_blocklist = Blocklist(
+        [BlockRule(d, protocols=all_protocols) for d in blocked]
+    )
+
+    as_us = b.register_as(394089, "MEASUREMENT-LAB-US", "US")
+    as_transit = b.register_as(3356, "LEVEL3", "US")
+    as_isp = b.register_as(64600, "Filtering ISP", "XX")
+    remote = b.client(as_us, "US", in_country=False)
+    client_side = b.chain(as_us, 2)
+    transit = b.chain(as_transit, 2)
+    isp = b.chain(as_isp, 2)
+
+    onpath_injector = make_device(BY_DPI, b._next_name("dev"), blocked)
+    onpath_injector.blocklist = dns_blocklist
+    onpath_injector.action_dns = DNSBlockAction(
+        fake_addresses=("198.18.0.66", "198.18.22.99", "198.18.7.11"),
+        drop_query=False,
+    )
+    b.devices.append(onpath_injector)
+    b.device_host_ip[onpath_injector.name] = isp[0].ip
+
+    inpath_injector = make_device(KZ_STATE, b._next_name("dev"), blocked)
+    inpath_injector.blocklist = dns_blocklist
+    inpath_injector.action_dns = DNSBlockAction(
+        fake_addresses=("198.18.99.1",), drop_query=True
+    )
+    b.devices.append(inpath_injector)
+    b.device_host_ip[inpath_injector.name] = isp[1].ip
+
+    endpoints = []
+    for i in range(6):
+        resolver = DNSResolver(zone={d: f"192.0.2.{10 + i}" for d in blocked})
+        ep = b.endpoint(as_isp, "XX", [f"resolver{i}.example"])
+        ep.resolver = resolver
+        device = onpath_injector if i % 2 == 0 else inpath_injector
+        host = isp[0] if i % 2 == 0 else isp[1]
+        hops = (
+            [(r, []) for r in client_side]
+            + [(r, []) for r in transit]
+            + [(host, [device])]
+            + ([(isp[1], [])] if i % 2 == 0 else [])
+            + [(b.router(as_isp), [])]
+        )
+        b.route(remote, ep, hops)
+        endpoints.append(ep)
+
+    world = b.finish(remote, endpoints, blocked, seed=seed, loss_rate=0.0)
+    world.notes["onpath_injector"] = onpath_injector.name
+    world.notes["inpath_injector"] = inpath_injector.name
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+_BUILDERS = {
+    "AZ": build_az_world,
+    "BY": build_by_world,
+    "KZ": build_kz_world,
+    "RU": build_ru_world,
+}
+
+COUNTRIES = tuple(_BUILDERS)
+
+
+def build_world(country: str, *, seed: Optional[int] = None, scale: Optional[float] = None) -> StudyWorld:
+    """Build the study world for ``country`` ("AZ", "BY", "KZ", "RU")."""
+    try:
+        builder = _BUILDERS[country.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown country {country!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if scale is not None:
+        kwargs["scale"] = scale
+    return builder(**kwargs)

@@ -1,0 +1,51 @@
+"""Byte-accurate packet models: IPv4, TCP, ICMP, HTTP and TLS.
+
+This is the lowest substrate of the reproduction: every probe CenTrace,
+CenFuzz, or CenProbe sends -- and every response a router, endpoint or
+censorship device produces -- is one of these packets.
+"""
+
+from .http import HTTPRequest, HTTPResponse, ParsedRequest, RawHeader, parse_request
+from .icmp import (
+    ICMPMessage,
+    QuoteDelta,
+    compare_quote,
+    time_exceeded,
+)
+from .dns import DNSAnswer, DNSMessage, DNSQuestion, query as dns_query
+from .ip import FlowKey, IPHeader, int_to_ip, ip_to_int
+from .packet import Packet, icmp_packet, tcp_packet, udp_packet
+from .tcp import TCPOption, TCPSegment
+from .udp import UDPDatagram
+from .tls import ClientHello, ParsedClientHello, ServerHello, parse_client_hello
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "ParsedRequest",
+    "RawHeader",
+    "parse_request",
+    "ICMPMessage",
+    "QuoteDelta",
+    "compare_quote",
+    "time_exceeded",
+    "FlowKey",
+    "IPHeader",
+    "int_to_ip",
+    "ip_to_int",
+    "Packet",
+    "icmp_packet",
+    "tcp_packet",
+    "udp_packet",
+    "UDPDatagram",
+    "DNSAnswer",
+    "DNSMessage",
+    "DNSQuestion",
+    "dns_query",
+    "TCPOption",
+    "TCPSegment",
+    "ClientHello",
+    "ParsedClientHello",
+    "ServerHello",
+    "parse_client_hello",
+]

@@ -1,0 +1,203 @@
+"""DNS message model: queries, responses, injection-relevant fields.
+
+Implements the wire format of RFC 1035 for the subset the DNS-censorship
+extension needs: A/AAAA questions, A answers, NXDOMAIN responses, and
+the header bits a client uses to tell a forged answer from a resolver's
+(ID matching, RA bit, answer contents). Name compression is emitted
+never and tolerated on parse (forged responses from real injectors
+often echo the uncompressed question).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+QTYPE_A = 1
+QTYPE_AAAA = 28
+QTYPE_TXT = 16
+QCLASS_IN = 1
+
+RCODE_NOERROR = 0
+RCODE_NXDOMAIN = 3
+RCODE_SERVFAIL = 2
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels."""
+    out = bytearray()
+    for label in name.strip(".").split("."):
+        raw = label.encode("idna") if any(ord(c) > 127 for c in label) else label.encode()
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"invalid DNS label: {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next offset)."""
+    labels: List[str] = []
+    jumped = False
+    next_offset = offset
+    seen = set()
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        if length == 0:
+            if not jumped:
+                next_offset = offset + 1
+            break
+        if length & 0xC0 == 0xC0:
+            if offset + 1 >= len(data):
+                raise ValueError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if pointer in seen:
+                raise ValueError("compression loop")
+            seen.add(pointer)
+            if not jumped:
+                next_offset = offset + 2
+            offset = pointer
+            jumped = True
+            continue
+        if length >= 64:
+            raise ValueError(f"invalid label length: {length}")
+        labels.append(data[offset + 1 : offset + 1 + length].decode("ascii", "replace"))
+        offset += 1 + length
+    return ".".join(labels), next_offset
+
+
+@dataclass
+class DNSQuestion:
+    qname: str
+    qtype: int = QTYPE_A
+    qclass: int = QCLASS_IN
+
+
+@dataclass
+class DNSAnswer:
+    name: str
+    rtype: int = QTYPE_A
+    ttl: int = 300
+    address: str = "0.0.0.0"  # A-record data
+
+    def rdata(self) -> bytes:
+        if self.rtype == QTYPE_A:
+            return bytes(int(part) for part in self.address.split("."))
+        return self.address.encode()
+
+
+@dataclass
+class DNSMessage:
+    """A DNS query or response."""
+
+    txid: int = 0
+    is_response: bool = False
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    authoritative: bool = False
+    rcode: int = RCODE_NOERROR
+    questions: List[DNSQuestion] = field(default_factory=list)
+    answers: List[DNSAnswer] = field(default_factory=list)
+
+    @property
+    def qname(self) -> Optional[str]:
+        return self.questions[0].qname if self.questions else None
+
+    def to_bytes(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        if self.authoritative:
+            flags |= 0x0400
+        if self.recursion_desired:
+            flags |= 0x0100
+        if self.recursion_available:
+            flags |= 0x0080
+        flags |= self.rcode & 0xF
+        out = bytearray(
+            _HEADER.pack(
+                self.txid & 0xFFFF,
+                flags,
+                len(self.questions),
+                len(self.answers),
+                0,
+                0,
+            )
+        )
+        for question in self.questions:
+            out.extend(encode_name(question.qname))
+            out.extend(struct.pack("!HH", question.qtype, question.qclass))
+        for answer in self.answers:
+            out.extend(encode_name(answer.name))
+            rdata = answer.rdata()
+            out.extend(
+                struct.pack(
+                    "!HHIH", answer.rtype, QCLASS_IN, answer.ttl, len(rdata)
+                )
+            )
+            out.extend(rdata)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DNSMessage":
+        if len(data) < 12:
+            raise ValueError("truncated DNS header")
+        txid, flags, qdcount, ancount, _ns, _ar = _HEADER.unpack(data[:12])
+        message = cls(
+            txid=txid,
+            is_response=bool(flags & 0x8000),
+            authoritative=bool(flags & 0x0400),
+            recursion_desired=bool(flags & 0x0100),
+            recursion_available=bool(flags & 0x0080),
+            rcode=flags & 0xF,
+        )
+        offset = 12
+        for _ in range(qdcount):
+            qname, offset = decode_name(data, offset)
+            qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+            offset += 4
+            message.questions.append(DNSQuestion(qname, qtype, qclass))
+        for _ in range(ancount):
+            name, offset = decode_name(data, offset)
+            rtype, _rclass, ttl, rdlength = struct.unpack(
+                "!HHIH", data[offset : offset + 10]
+            )
+            offset += 10
+            rdata = data[offset : offset + rdlength]
+            offset += rdlength
+            if rtype == QTYPE_A and rdlength == 4:
+                address = ".".join(str(b) for b in rdata)
+            else:
+                address = rdata.decode("ascii", "replace")
+            message.answers.append(DNSAnswer(name, rtype, ttl, address))
+        return message
+
+
+def query(domain: str, txid: int = 0x1234, qtype: int = QTYPE_A) -> DNSMessage:
+    """Build a standard recursive query."""
+    return DNSMessage(
+        txid=txid, questions=[DNSQuestion(domain, qtype)]
+    )
+
+
+def looks_like_dns(data: bytes) -> bool:
+    """Loose sniff: plausible DNS header with at least one question."""
+    if len(data) < 12:
+        return False
+    qdcount = struct.unpack("!H", data[4:6])[0]
+    return 1 <= qdcount <= 4
+
+
+def extract_qname(data: bytes) -> Optional[str]:
+    """The first question name of raw DNS bytes (None if unparseable)."""
+    try:
+        message = DNSMessage.from_bytes(data)
+    except (ValueError, struct.error):
+        return None
+    return message.qname

@@ -1,0 +1,191 @@
+"""Composite packets flowing through the simulator.
+
+A :class:`Packet` is an IPv4 header plus either a TCP segment or an ICMP
+message. Packets serialize to real bytes (needed for ICMP quoting and
+Tracebox-style delta analysis) and carry a little simulator-side
+provenance (who actually emitted the packet) that real measurement code
+is *not* allowed to read — it exists so tests can assert ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .icmp import ICMPMessage
+from .ip import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowKey, IPHeader
+from .tcp import ACK, FIN, PSH, RST, SYN, TCPSegment
+from .udp import UDPDatagram
+
+_ip_id_counter = itertools.count(1)
+
+
+def next_ip_id() -> int:
+    """A monotonically increasing IP identification value."""
+    return next(_ip_id_counter) & 0xFFFF
+
+
+@dataclass
+class Packet:
+    """An IP packet with a TCP, UDP or ICMP payload."""
+
+    ip: IPHeader
+    tcp: Optional[TCPSegment] = None
+    icmp: Optional[ICMPMessage] = None
+    udp: Optional[UDPDatagram] = None
+    # --- simulator ground truth, not visible to measurement tools ---
+    emitted_by: Optional[str] = None  # node/device name that created this
+    injected: bool = False  # True when a censorship device forged it
+
+    def __post_init__(self) -> None:
+        payloads = sum(
+            1 for p in (self.tcp, self.icmp, self.udp) if p is not None
+        )
+        if payloads != 1:
+            raise ValueError("packet must carry exactly one of tcp/icmp/udp")
+        if self.tcp is not None:
+            self.ip.protocol = PROTO_TCP
+        elif self.udp is not None:
+            self.ip.protocol = PROTO_UDP
+        else:
+            self.ip.protocol = PROTO_ICMP
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.tcp is not None
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.icmp is not None
+
+    @property
+    def is_udp(self) -> bool:
+        return self.udp is not None
+
+    def flow_key(self) -> FlowKey:
+        if self.tcp is not None:
+            return FlowKey(
+                src=self.ip.src,
+                dst=self.ip.dst,
+                sport=self.tcp.sport,
+                dport=self.tcp.dport,
+                protocol=PROTO_TCP,
+            )
+        if self.udp is not None:
+            return FlowKey(
+                src=self.ip.src,
+                dst=self.ip.dst,
+                sport=self.udp.sport,
+                dport=self.udp.dport,
+                protocol=PROTO_UDP,
+            )
+        raise ValueError("ICMP packets have no flow key")
+
+    def to_bytes(self) -> bytes:
+        """Full serialized packet (IP header + transport)."""
+        if self.tcp is not None:
+            transport = self.tcp.to_bytes(self.ip.src, self.ip.dst)
+        elif self.udp is not None:
+            transport = self.udp.to_bytes(self.ip.src, self.ip.dst)
+        else:
+            transport = self.icmp.to_bytes()
+        return self.ip.to_bytes(payload_len=len(transport)) + transport
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        ip, header_len = IPHeader.from_bytes(data)
+        rest = data[header_len:]
+        if ip.protocol == PROTO_TCP:
+            return cls(ip=ip, tcp=TCPSegment.from_bytes(rest))
+        if ip.protocol == PROTO_UDP:
+            return cls(ip=ip, udp=UDPDatagram.from_bytes(rest))
+        if ip.protocol == PROTO_ICMP:
+            return cls(ip=ip, icmp=ICMPMessage.from_bytes(rest))
+        raise ValueError(f"unsupported protocol: {ip.protocol}")
+
+    def brief(self) -> str:
+        """One-line human-readable summary (for debugging and logs)."""
+        if self.tcp is not None:
+            return (
+                f"{self.ip.src}:{self.tcp.sport} > {self.ip.dst}:{self.tcp.dport}"
+                f" [{self.tcp.describe_flags()}] ttl={self.ip.ttl}"
+                f" len={len(self.tcp.payload)}"
+            )
+        if self.udp is not None:
+            return (
+                f"{self.ip.src}:{self.udp.sport} > {self.ip.dst}:{self.udp.dport}"
+                f" UDP ttl={self.ip.ttl} len={len(self.udp.payload)}"
+            )
+        return (
+            f"{self.ip.src} > {self.ip.dst} ICMP type={self.icmp.icmp_type}"
+            f" code={self.icmp.code} ttl={self.ip.ttl}"
+        )
+
+
+def tcp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    *,
+    flags: int = SYN,
+    seq: int = 0,
+    ack: int = 0,
+    ttl: int = 64,
+    payload: bytes = b"",
+    tos: int = 0,
+    ip_id: Optional[int] = None,
+    window: int = 65535,
+) -> Packet:
+    """Convenience constructor for a TCP packet."""
+    return Packet(
+        ip=IPHeader(
+            src=src,
+            dst=dst,
+            ttl=ttl,
+            tos=tos,
+            identification=next_ip_id() if ip_id is None else ip_id,
+        ),
+        tcp=TCPSegment(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            payload=payload,
+        ),
+    )
+
+
+def icmp_packet(src: str, dst: str, message: ICMPMessage, *, ttl: int = 64) -> Packet:
+    """Convenience constructor for an ICMP packet."""
+    return Packet(
+        ip=IPHeader(src=src, dst=dst, ttl=ttl, identification=next_ip_id()),
+        icmp=message,
+    )
+
+
+def udp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    *,
+    payload: bytes = b"",
+    ttl: int = 64,
+    tos: int = 0,
+    ip_id: Optional[int] = None,
+) -> Packet:
+    """Convenience constructor for a UDP packet."""
+    return Packet(
+        ip=IPHeader(
+            src=src,
+            dst=dst,
+            ttl=ttl,
+            tos=tos,
+            identification=next_ip_id() if ip_id is None else ip_id,
+        ),
+        udp=UDPDatagram(sport=sport, dport=dport, payload=payload),
+    )

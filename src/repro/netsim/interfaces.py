@@ -1,0 +1,91 @@
+"""Interfaces between the simulator and the things plugged into it.
+
+``repro.devices`` implements :class:`LinkDevice` (censorship middleboxes
+attached to links) and ``repro.services`` implements
+:class:`ApplicationServer` (the payload-level behaviour of endpoints).
+Keeping the interfaces here avoids circular imports and documents exactly
+what a device may observe and do.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netmodel.packet import Packet
+
+DIRECTION_FORWARD = "forward"  # client -> endpoint
+DIRECTION_REVERSE = "reverse"  # endpoint -> client
+
+
+@dataclass
+class InspectionContext:
+    """What a device knows when a packet passes its attachment point."""
+
+    clock: float
+    remaining_ttl: int  # the packet's TTL on the wire at this link
+    link_index: int  # 0 = link leaving the client
+    direction: str = DIRECTION_FORWARD
+
+
+@dataclass
+class Verdict:
+    """The action a device takes on a packet.
+
+    ``inject_to_client``/``inject_to_server`` carry fully-formed spoofed
+    packets; the simulator walks them to their destinations with normal
+    TTL decrementing (so TTL-copying injections can die en route, which
+    is what produces the paper's "Past E" observations).
+    """
+
+    drop: bool = False
+    inject_to_client: List[Packet] = field(default_factory=list)
+    inject_to_server: List[Packet] = field(default_factory=list)
+    note: str = ""  # ground-truth annotation for tests/debugging
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.drop or self.inject_to_client or self.inject_to_server)
+
+    @classmethod
+    def pass_through(cls) -> "Verdict":
+        return cls()
+
+
+class LinkDevice(abc.ABC):
+    """A middlebox attached to a link.
+
+    ``in_path`` devices sit in the link: they may drop or modify traffic
+    at line rate. On-path devices receive a *copy* of each packet: they
+    may inject but their ``drop`` verdicts are ignored by the simulator.
+    """
+
+    name: str = "device"
+    in_path: bool = True
+
+    @abc.abstractmethod
+    def inspect(self, packet: Packet, ctx: InspectionContext) -> Verdict:
+        """Observe ``packet``; return the device's action."""
+
+
+@dataclass
+class AppReply:
+    """An application server's reaction to a payload."""
+
+    responses: List[bytes] = field(default_factory=list)  # payload bytes
+    drop: bool = False  # silently ignore (endpoint-local filtering)
+    reset: bool = False  # respond with TCP RST
+    close: bool = False  # send FIN after responses
+
+    @classmethod
+    def respond(cls, *payloads: bytes, close: bool = False) -> "AppReply":
+        return cls(responses=list(payloads), close=close)
+
+
+class ApplicationServer(abc.ABC):
+    """Payload-level behaviour of an endpoint (one per endpoint)."""
+
+    @abc.abstractmethod
+    def handle_payload(self, payload: bytes, client_ip: str) -> AppReply:
+        """React to application-layer ``payload`` from ``client_ip``."""

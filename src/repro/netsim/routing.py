@@ -1,0 +1,128 @@
+"""Routes, paths and flow-hash path selection.
+
+Real networks load-balance flows across equal-cost paths keyed on the
+5-tuple (the reason Paris traceroute keeps ports fixed, §4.1). CenTrace
+*cannot* keep the source port fixed — every probe is a fresh TCP
+connection — so it repeats measurements and uses per-hop probability
+distributions instead. The simulator reproduces that: each
+(client, endpoint) pair has a :class:`Route` holding one or more
+:class:`Path` objects, and the path actually taken by a packet is chosen
+by hashing its flow key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netmodel.ip import FlowKey
+from .interfaces import LinkDevice
+
+
+@dataclass
+class Hop:
+    """One traversal step: the devices on the incoming link, then a node.
+
+    ``node_name`` refers to a Router (or, for the final hop, an
+    Endpoint) registered in the topology. ``link_devices`` sit on the
+    link *leading to* this node — a probe whose TTL expires at the
+    previous node never reaches them.
+    """
+
+    node_name: str
+    link_devices: List[LinkDevice] = field(default_factory=list)
+
+
+@dataclass
+class Path:
+    """An ordered list of hops from (but excluding) the client to the
+    endpoint (inclusive, as the final hop)."""
+
+    hops: List[Hop]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a path needs at least the endpoint hop")
+
+    @property
+    def length(self) -> int:
+        """Number of hops including the endpoint."""
+        return len(self.hops)
+
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(h.node_name for h in self.hops)
+
+    def devices(self) -> List[Tuple[int, LinkDevice]]:
+        """All (link_index, device) pairs on this path.
+
+        ``link_index`` is the 0-based index of the hop the device's link
+        leads to; the device is roughly ``link_index`` hops from the
+        client (between nodes ``link_index-1`` and ``link_index``).
+        """
+        found = []
+        for i, hop in enumerate(self.hops):
+            for device in hop.link_devices:
+                found.append((i, device))
+        return found
+
+
+class Route:
+    """The set of candidate paths between one client and one endpoint."""
+
+    def __init__(self, paths: Sequence[Path], weights: Optional[Sequence[float]] = None):
+        if not paths:
+            raise ValueError("route needs at least one path")
+        self.paths = list(paths)
+        if weights is None:
+            weights = [1.0] * len(self.paths)
+        if len(weights) != len(self.paths):
+            raise ValueError("weights must match paths")
+        total = float(sum(weights))
+        self.weights = [w / total for w in weights]
+
+    def select(self, flow: FlowKey, seed: int = 0) -> Path:
+        """Deterministically pick the path this flow takes.
+
+        Uses a hash of the 5-tuple (like real ECMP) mapped onto the
+        weighted path distribution.
+        """
+        if len(self.paths) == 1:
+            return self.paths[0]
+        digest = hashlib.blake2b(
+            f"{flow.src}|{flow.dst}|{flow.sport}|{flow.dport}|{flow.protocol}|{seed}".encode(),
+            digest_size=8,
+        ).digest()
+        point = int.from_bytes(digest, "big") / 2**64
+        cumulative = 0.0
+        for path, weight in zip(self.paths, self.weights):
+            cumulative += weight
+            if point < cumulative:
+                return path
+        return self.paths[-1]
+
+    def all_devices(self) -> List[Tuple[int, LinkDevice]]:
+        """Union of devices across all candidate paths (deduplicated)."""
+        seen = set()
+        result = []
+        for path in self.paths:
+            for link_index, device in path.devices():
+                key = (link_index, id(device))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((link_index, device))
+        return result
+
+
+def single_path_route(node_names: Sequence[str], devices_at: Optional[Dict[int, List[LinkDevice]]] = None) -> Route:
+    """Convenience: build a Route with one path through ``node_names``.
+
+    ``devices_at`` maps hop index -> devices on the link leading to that
+    hop.
+    """
+    devices_at = devices_at or {}
+    hops = [
+        Hop(node_name=name, link_devices=list(devices_at.get(i, [])))
+        for i, name in enumerate(node_names)
+    ]
+    return Route([Path(hops)])

@@ -1,0 +1,443 @@
+"""The packet-walking network simulator.
+
+The simulator is synchronous and deterministic: a client hands it a
+packet, the packet walks the selected path hop by hop, and every packet
+that makes it back to the client is returned in arrival order. Virtual
+time only moves when someone advances the clock, so the 120-second
+"stateful blocking" waits the paper's tools perform are free.
+
+Mechanics reproduced from the paper (§4.1):
+
+* TTL decrement at every router; expiry produces ICMP Time Exceeded
+  with per-router quoting policy (RFC 792 vs RFC 1812) — or silence for
+  routers that do not respond with ICMP errors.
+* In-path devices inspect at line rate and may drop/inject; on-path
+  devices see a copy and may only inject (their drops are ignored).
+* Injected packets walk the reverse path with normal TTL decrementing,
+  so TTL-copying injectors ("Past E" in Figure 3) behave exactly as
+  described in §4.3.
+* Routers may rewrite the IP TOS byte or IP flags in flight; the quoted
+  packet in later ICMP errors then differs from what was sent (§4.3:
+  32.06% of quotes show a TOS delta).
+* Optional per-hop random loss exercises CenTrace's retry logic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netmodel.icmp import time_exceeded
+from ..netmodel.ip import FlowKey
+from ..netmodel.packet import Packet, icmp_packet
+from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
+from .routing import Path
+from .topology import Endpoint, Router, Topology
+
+
+@dataclass
+class CaptureRecord:
+    """One event in the simulator's pcap-like capture log."""
+
+    clock: float
+    location: str
+    event: str
+    detail: str
+
+
+class Simulator:
+    """Walks packets through a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        capture: bool = False,
+        per_packet_time: float = 0.01,
+    ) -> None:
+        self.topology = topology
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.clock = 0.0
+        self.per_packet_time = per_packet_time
+        self._rng = random.Random(seed)
+        self._capture_enabled = capture
+        self.capture: List[CaptureRecord] = []
+        self._endpoint_stacks: Dict[str, "EndpointStack"] = {}
+
+    # -- time -----------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self.clock += seconds
+
+    # -- capture ----------------------------------------------------------
+
+    def _record(self, location: str, event: str, detail: str) -> None:
+        if self._capture_enabled:
+            self.capture.append(
+                CaptureRecord(self.clock, location, event, detail)
+            )
+
+    # -- endpoint stacks ---------------------------------------------------
+
+    def _stack_for(self, endpoint: Endpoint) -> "EndpointStack":
+        stack = self._endpoint_stacks.get(endpoint.ip)
+        if stack is None:
+            stack = EndpointStack(endpoint)
+            self._endpoint_stacks[endpoint.ip] = stack
+        return stack
+
+    # -- the walk ---------------------------------------------------------
+
+    def send_from_client(self, packet: Packet) -> List[Packet]:
+        """Send ``packet`` from the client whose IP is ``packet.ip.src``.
+
+        Returns every packet delivered back to that client, in arrival
+        order. An empty list is a timeout.
+        """
+        self.clock += self.per_packet_time
+        # Work on a copy: routers transform headers in flight and the
+        # caller's packet must keep reflecting what was actually sent.
+        packet = Packet(
+            ip=packet.ip.copy(),
+            tcp=packet.tcp,
+            icmp=packet.icmp,
+            udp=packet.udp,
+            emitted_by=packet.emitted_by,
+            injected=packet.injected,
+        )
+        client_ip = packet.ip.src
+        route = self.topology.route_between(client_ip, packet.ip.dst)
+        flow = (
+            packet.flow_key()
+            if packet.is_tcp
+            else FlowKey(packet.ip.src, packet.ip.dst, 0, 0, 1)
+        )
+        path = route.select(flow, seed=self.seed)
+        deliveries: List[Packet] = []
+        self._walk_forward(packet, path, deliveries, client_ip)
+        return deliveries
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def _walk_forward(
+        self,
+        packet: Packet,
+        path: Path,
+        deliveries: List[Packet],
+        client_ip: str,
+        start_index: int = 0,
+    ) -> None:
+        """Walk ``packet`` from link ``start_index`` toward the endpoint."""
+        ttl = packet.ip.ttl
+        # TTL spent before reaching start_index (for injected-to-server
+        # packets this is 0: they start fresh at the device).
+        for index in range(start_index, len(path.hops)):
+            hop = path.hops[index]
+            # 1. The link leading to this hop: loss, then devices.
+            if self._lost():
+                self._record(hop.node_name, "loss", packet.brief())
+                return
+            for device in hop.link_devices:
+                ctx = InspectionContext(
+                    clock=self.clock,
+                    remaining_ttl=ttl,
+                    link_index=index,
+                    direction=DIRECTION_FORWARD,
+                )
+                verdict = device.inspect(packet, ctx)
+                if verdict.acted:
+                    self._record(
+                        device.name, "device", f"{verdict.note} {packet.brief()}"
+                    )
+                self._dispatch_injections(
+                    verdict, path, index, deliveries, client_ip
+                )
+                if verdict.drop and device.in_path:
+                    return
+            # 2. Arrive at the node.
+            node = self.topology.nodes_by_ip.get(
+                self._hop_ip(path, index)
+            )
+            if isinstance(node, Router):
+                ttl -= 1
+                if ttl <= 0:
+                    self._expire_at_router(
+                        node, packet, path, index, deliveries, client_ip
+                    )
+                    return
+                self._apply_router_transforms(node, packet)
+            elif isinstance(node, Endpoint):
+                packet.ip.ttl = ttl
+                self._deliver_to_endpoint(
+                    node, packet, path, index, deliveries, client_ip
+                )
+                return
+            else:  # pragma: no cover - defensive: unknown hop node
+                return
+
+    def _hop_ip(self, path: Path, index: int) -> str:
+        name = path.hops[index].node_name
+        node = (
+            self.topology.routers.get(name)
+            or self.topology.endpoints.get(name)
+            or self.topology.clients.get(name)
+        )
+        if node is None:
+            raise KeyError(f"unknown hop node: {name}")
+        return node.ip
+
+    def _apply_router_transforms(self, router: Router, packet: Packet) -> None:
+        if router.rewrite_tos is not None and packet.ip.tos != router.rewrite_tos:
+            packet.ip = packet.ip.copy(tos=router.rewrite_tos)
+        if (
+            router.rewrite_ip_flags is not None
+            and packet.ip.flags != router.rewrite_ip_flags
+        ):
+            packet.ip = packet.ip.copy(flags=router.rewrite_ip_flags)
+
+    def _expire_at_router(
+        self,
+        router: Router,
+        packet: Packet,
+        path: Path,
+        index: int,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        """TTL hit zero at ``router``: maybe emit ICMP Time Exceeded."""
+        self._record(router.name, "ttl-expired", packet.brief())
+        if not router.responds_icmp:
+            return
+        # The quoted copy reflects the packet as received here: any
+        # in-flight header rewrites are visible, and the TTL has been
+        # decremented all the way down.
+        packet.ip = packet.ip.copy(ttl=1)
+        quoted = packet.to_bytes()
+        message = time_exceeded(quoted, policy=router.quoting)
+        response = icmp_packet(router.ip, client_ip, message, ttl=64)
+        response.emitted_by = router.name
+        self._walk_reverse(response, path, index, deliveries, client_ip)
+
+    def _deliver_to_endpoint(
+        self,
+        endpoint: Endpoint,
+        packet: Packet,
+        path: Path,
+        index: int,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        self._record(endpoint.name, "delivered", packet.brief())
+        if packet.is_udp:
+            if endpoint.resolver is not None:
+                for response in endpoint.resolver.handle_query(
+                    packet, endpoint.ip
+                ):
+                    self._walk_reverse(
+                        response, path, index, deliveries, client_ip
+                    )
+            return
+        if not packet.is_tcp:
+            return
+        stack = self._stack_for(endpoint)
+        responses = stack.receive(packet, self.clock)
+        for response in responses:
+            self._walk_reverse(response, path, index, deliveries, client_ip)
+
+    def _dispatch_injections(
+        self,
+        verdict: Verdict,
+        path: Path,
+        link_index: int,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        for injected in verdict.inject_to_client:
+            # The device sits on the link leading to hop ``link_index``,
+            # so its injections must cross every router at indices
+            # link_index-1 .. 0 — exactly what _walk_reverse does when
+            # told the packet originates "at" hop link_index.
+            self._walk_reverse(
+                injected, path, link_index, deliveries, client_ip
+            )
+        for injected in verdict.inject_to_server:
+            self._walk_injected_to_server(injected, path, link_index)
+
+    def _walk_injected_to_server(
+        self, packet: Packet, path: Path, start_index: int
+    ) -> None:
+        """Carry a device-forged packet the rest of the way to the endpoint.
+
+        Device injections are not re-inspected by other devices and we
+        give them a fresh TTL, so they reach the endpoint unless lost.
+        """
+        if self._lost():
+            return
+        final = path.hops[-1].node_name
+        endpoint = self.topology.endpoints.get(final)
+        if endpoint is None:
+            return
+        stack = self._stack_for(endpoint)
+        stack.receive(packet, self.clock)
+
+    def _walk_reverse(
+        self,
+        packet: Packet,
+        path: Path,
+        from_index: int,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        """Walk ``packet`` from hop ``from_index`` back to the client.
+
+        ``from_index`` is the index of the *last hop already behind* the
+        packet: the packet still has to traverse hops from_index-1 .. 0
+        when it originates at hop ``from_index`` itself... concretely, a
+        packet emitted by the node at ``from_index`` must cross every
+        router at indices < from_index. Routers decrement TTL; a packet
+        that runs out dies silently (the resulting ICMP would go to the
+        spoofed source, not to our client).
+        """
+        ttl = packet.ip.ttl
+        for index in range(from_index - 1, -1, -1):
+            if self._lost():
+                self._record(
+                    path.hops[index].node_name, "loss-reverse", packet.brief()
+                )
+                return
+            node = self.topology.nodes_by_ip.get(self._hop_ip(path, index))
+            if isinstance(node, Router):
+                ttl -= 1
+                if ttl <= 0:
+                    self._record(node.name, "reverse-ttl-expired", packet.brief())
+                    return
+        # Final link to the client.
+        if self._lost():
+            return
+        arrived = packet
+        arrived.ip = arrived.ip.copy(ttl=ttl)
+        self._record(client_ip, "arrived", arrived.brief())
+        deliveries.append(arrived)
+
+
+class EndpointStack:
+    """A minimal TCP state machine living at an endpoint.
+
+    Supports exactly what the measurement tools exercise: handshakes,
+    one or more data segments answered by the application server, RST
+    teardown (including device-forged RSTs arriving from the network),
+    and FIN close.
+    """
+
+    ISN = 1_000_000
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+        # canonical flow tuple -> (state, next_expected_client_seq)
+        self.flows: Dict[Tuple, str] = {}
+
+    def receive(self, packet: Packet, clock: float) -> List[Packet]:
+        from ..netmodel import tcp as tcpmod
+
+        if packet.tcp is None:
+            return []
+        segment = packet.tcp
+        if packet.ip.dst != self.endpoint.ip:
+            return []
+        flow = packet.flow_key().canonical()
+        responses: List[Packet] = []
+
+        def reply(flags: int, payload: bytes = b"", seq: int = 0, ack: int = 0) -> Packet:
+            from ..netmodel.packet import next_ip_id
+
+            reply_packet = Packet(
+                ip=packet.ip.copy(
+                    src=self.endpoint.ip,
+                    dst=packet.ip.src,
+                    ttl=64,
+                    tos=0,
+                    identification=next_ip_id(),
+                ),
+                tcp=tcpmod.TCPSegment(
+                    sport=segment.dport,
+                    dport=segment.sport,
+                    seq=seq,
+                    ack=ack,
+                    flags=flags,
+                    payload=payload,
+                ),
+            )
+            reply_packet.emitted_by = self.endpoint.name
+            return reply_packet
+
+        if segment.flags & tcpmod.RST:
+            self.flows.pop(flow, None)
+            return []
+        if segment.flags & tcpmod.SYN and not (segment.flags & tcpmod.ACK):
+            if segment.dport not in (80, 443) and segment.dport not in self.endpoint.services:
+                return [
+                    reply(tcpmod.RST | tcpmod.ACK, ack=segment.seq + 1)
+                ]
+            self.flows[flow] = "SYN_RECEIVED"
+            return [
+                reply(
+                    tcpmod.SYN | tcpmod.ACK,
+                    seq=self.ISN,
+                    ack=segment.seq + 1,
+                )
+            ]
+        state = self.flows.get(flow)
+        if state is None:
+            # Data for a torn-down or unknown flow: real stacks reset.
+            return [reply(tcpmod.RST, seq=segment.ack)]
+        if segment.flags & tcpmod.FIN:
+            self.flows.pop(flow, None)
+            return [
+                reply(
+                    tcpmod.FIN | tcpmod.ACK,
+                    seq=self.ISN + 1,
+                    ack=segment.seq + 1,
+                )
+            ]
+        if state == "SYN_RECEIVED" and segment.flags & tcpmod.ACK and not segment.payload:
+            self.flows[flow] = "ESTABLISHED"
+            return []
+        if segment.payload:
+            self.flows[flow] = "ESTABLISHED"
+            server = self.endpoint.server
+            if server is None:
+                return [reply(tcpmod.RST, seq=segment.ack)]
+            app = server.handle_payload(segment.payload, packet.ip.src)
+            if app.drop:
+                return []
+            if app.reset:
+                return [reply(tcpmod.RST | tcpmod.ACK, seq=segment.ack, ack=segment.seq)]
+            ack_value = segment.seq + len(segment.payload)
+            for i, body in enumerate(app.responses):
+                responses.append(
+                    reply(
+                        tcpmod.PSH | tcpmod.ACK,
+                        payload=body,
+                        seq=self.ISN + 1 + i,
+                        ack=ack_value,
+                    )
+                )
+            if app.close:
+                responses.append(
+                    reply(
+                        tcpmod.FIN | tcpmod.ACK,
+                        seq=self.ISN + 1 + len(app.responses),
+                        ack=ack_value,
+                    )
+                )
+                self.flows.pop(flow, None)
+            return responses
+        return responses

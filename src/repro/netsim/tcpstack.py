@@ -1,0 +1,182 @@
+"""Client-side TCP connection emulation.
+
+CenTrace's probes are stateful: it completes a real TCP handshake at
+full TTL, then sends the application payload (HTTP request or TLS
+ClientHello) with a *limited* TTL — and every probe uses a fresh
+connection with a fresh source port (§4.1, "Network path variance").
+This module provides exactly that workflow on top of the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netmodel import tcp as tcpmod
+from ..netmodel.packet import Packet, tcp_packet
+from .simulator import Simulator
+from .topology import Client
+
+_EPHEMERAL_PORTS = itertools.count(32768)
+
+
+def next_ephemeral_port() -> int:
+    """A fresh client source port (wraps within the ephemeral range)."""
+    port = next(_EPHEMERAL_PORTS)
+    return 32768 + ((port - 32768) % 28000)
+
+
+@dataclass
+class ProbeResult:
+    """Everything the client received in reaction to one sent segment."""
+
+    sent: Packet
+    sent_bytes: bytes
+    received: List[Packet] = field(default_factory=list)
+
+    @property
+    def timed_out(self) -> bool:
+        return not self.received
+
+
+class Connection:
+    """One client TCP connection through the simulator."""
+
+    CLIENT_ISN = 42_000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Client,
+        dst_ip: str,
+        dst_port: int,
+        sport: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.sport = sport if sport is not None else next_ephemeral_port()
+        self.established = False
+        self.server_isn: Optional[int] = None
+        self._next_seq = self.CLIENT_ISN + 1
+
+    # -- handshake ------------------------------------------------------
+
+    def connect(self, retries: int = 2) -> bool:
+        """Perform the three-way handshake at full TTL.
+
+        Returns True when a SYN-ACK came back (retrying to ride out
+        simulated loss). A censored or unreachable endpoint leaves the
+        connection unestablished.
+        """
+        for _ in range(retries + 1):
+            syn = tcp_packet(
+                self.client.ip,
+                self.dst_ip,
+                self.sport,
+                self.dst_port,
+                flags=tcpmod.SYN,
+                seq=self.CLIENT_ISN,
+                ttl=64,
+            )
+            responses = self.sim.send_from_client(syn)
+            for response in responses:
+                if (
+                    response.is_tcp
+                    and response.tcp.flags & tcpmod.SYN
+                    and response.tcp.flags & tcpmod.ACK
+                ):
+                    self.server_isn = response.tcp.seq
+                    ack = tcp_packet(
+                        self.client.ip,
+                        self.dst_ip,
+                        self.sport,
+                        self.dst_port,
+                        flags=tcpmod.ACK,
+                        seq=self.CLIENT_ISN + 1,
+                        ack=self.server_isn + 1,
+                        ttl=64,
+                    )
+                    self.sim.send_from_client(ack)
+                    self.established = True
+                    return True
+                if response.is_tcp and response.tcp.flags & tcpmod.RST:
+                    return False
+        return False
+
+    # -- data -----------------------------------------------------------
+
+    def send_payload(
+        self,
+        payload: bytes,
+        *,
+        ttl: int = 64,
+        tos: int = 0,
+        retries: int = 0,
+    ) -> ProbeResult:
+        """Send application ``payload`` on the established connection.
+
+        ``ttl`` is the probe TTL CenTrace manipulates. Retries re-send
+        the identical segment (same seq), mimicking TCP retransmission,
+        and are only used by callers that treat silence as loss.
+        """
+        if not self.established:
+            raise RuntimeError("connection not established")
+        ack_value = (self.server_isn + 1) if self.server_isn is not None else 0
+        probe = tcp_packet(
+            self.client.ip,
+            self.dst_ip,
+            self.sport,
+            self.dst_port,
+            flags=tcpmod.PSH | tcpmod.ACK,
+            seq=self._next_seq,
+            ack=ack_value,
+            ttl=ttl,
+            tos=tos,
+            payload=payload,
+        )
+        sent_bytes = probe.to_bytes()
+        result = ProbeResult(sent=probe, sent_bytes=sent_bytes)
+        attempt = 0
+        while True:
+            received = self.sim.send_from_client(probe)
+            result.received.extend(received)
+            if received or attempt >= retries:
+                break
+            attempt += 1
+        return result
+
+    def close(self) -> None:
+        """Send a FIN (best-effort; responses are discarded)."""
+        if not self.established:
+            return
+        fin = tcp_packet(
+            self.client.ip,
+            self.dst_ip,
+            self.sport,
+            self.dst_port,
+            flags=tcpmod.FIN | tcpmod.ACK,
+            seq=self._next_seq,
+            ack=(self.server_isn + 1) if self.server_isn is not None else 0,
+            ttl=64,
+        )
+        self.sim.send_from_client(fin)
+        self.established = False
+
+
+def open_connection(
+    sim: Simulator,
+    client: Client,
+    dst_ip: str,
+    dst_port: int,
+    *,
+    sport: Optional[int] = None,
+    retries: int = 2,
+) -> Optional[Connection]:
+    """Open a connection; returns None when the handshake fails."""
+    conn = Connection(sim, client, dst_ip, dst_port, sport=sport)
+    if not conn.connect(retries=retries):
+        return None
+    return conn

@@ -1,0 +1,171 @@
+"""Network topology: routers, endpoints, clients and their services.
+
+A topology is a set of addressed nodes plus, for each (client, endpoint)
+pair, a :class:`~repro.netsim.routing.Route` describing the candidate
+paths between them (see ``routing.py``). Censorship devices attach to
+links *inside paths*; banner-grabbing services attach to nodes (their
+management plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netmodel.icmp import QUOTE_RFC792, QUOTE_RFC1812
+from .interfaces import ApplicationServer
+
+
+@dataclass
+class Service:
+    """A TCP service on a node's management plane (for banner grabs).
+
+    ``banner`` is what a connecting scanner receives immediately;
+    ``probe_responses`` maps application-layer probes (e.g. an HTTP GET,
+    an SNMP get) to canned responses.
+    """
+
+    port: int
+    protocol: str  # "ssh" | "telnet" | "ftp" | "smtp" | "http" | "https" | "snmp"
+    banner: bytes = b""
+    probe_responses: Dict[bytes, bytes] = field(default_factory=dict)
+
+    def respond(self, probe: bytes) -> bytes:
+        """Application response to ``probe`` (after the banner)."""
+        for prefix, response in self.probe_responses.items():
+            if probe.startswith(prefix):
+                return response
+        return b""
+
+
+@dataclass
+class Node:
+    """Common base for all addressed nodes."""
+
+    name: str
+    ip: str
+    asn: int
+    services: Dict[int, Service] = field(default_factory=dict)
+    # Stack-level behaviour elicited by crafted probes (see
+    # repro.core.cenprobe.os_probes); None = generic Linux.
+    personality: Optional[object] = None
+
+    def add_service(self, service: Service) -> None:
+        self.services[service.port] = service
+
+    def open_ports(self) -> List[int]:
+        return sorted(self.services)
+
+
+@dataclass
+class Router(Node):
+    """A forwarding hop.
+
+    ``quoting`` selects the ICMP quoting policy (§4.3: 57.6% RFC 792 /
+    rest RFC 1812); ``responds_icmp`` is False for the rare silent
+    routers; ``rewrite_tos``/``rewrite_ip_flags`` model transit networks
+    that remark the DSCP/TOS byte or flags, which CenTrace detects via
+    quoted-packet deltas.
+    """
+
+    quoting: str = QUOTE_RFC792
+    responds_icmp: bool = True
+    rewrite_tos: Optional[int] = None
+    rewrite_ip_flags: Optional[int] = None
+
+
+@dataclass
+class Endpoint(Node):
+    """A measurement target: a web server reachable at ``ip``.
+
+    ``server`` implements application behaviour (HTTP/TLS parsing and
+    responses). ``infrastructural`` marks endpoints that satisfy the
+    paper's ethical selection criteria (EV certificate / PeeringDB).
+    """
+
+    server: Optional[ApplicationServer] = None
+    country: str = ""
+    infrastructural: bool = True
+    domains: Tuple[str, ...] = ()
+    # Optional DNS resolver (the DNS-censorship extension): an object
+    # with handle_query(packet, endpoint_ip) -> list[Packet].
+    resolver: Optional[object] = None
+
+
+@dataclass
+class Client(Node):
+    """A measurement vantage point under our control."""
+
+    country: str = ""
+    in_country: bool = True
+
+
+class Topology:
+    """The collection of nodes and routes making up a study network."""
+
+    def __init__(self, name: str = "world") -> None:
+        self.name = name
+        self.nodes_by_ip: Dict[str, Node] = {}
+        self.routers: Dict[str, Router] = {}
+        self.endpoints: Dict[str, Endpoint] = {}
+        self.clients: Dict[str, Client] = {}
+        self._routes: Dict[Tuple[str, str], "Route"] = {}
+
+    # -- construction -------------------------------------------------
+
+    def _register(self, node: Node) -> None:
+        if node.ip in self.nodes_by_ip:
+            raise ValueError(f"duplicate node IP: {node.ip}")
+        self.nodes_by_ip[node.ip] = node
+
+    def add_router(self, router: Router) -> Router:
+        self._register(router)
+        self.routers[router.name] = router
+        return router
+
+    def add_endpoint(self, endpoint: Endpoint) -> Endpoint:
+        self._register(endpoint)
+        self.endpoints[endpoint.name] = endpoint
+        return endpoint
+
+    def add_client(self, client: Client) -> Client:
+        self._register(client)
+        self.clients[client.name] = client
+        return client
+
+    def add_route(self, client_ip: str, endpoint_ip: str, route: "Route") -> None:
+        self._routes[(client_ip, endpoint_ip)] = route
+
+    # -- lookup --------------------------------------------------------
+
+    def route_between(self, client_ip: str, endpoint_ip: str) -> "Route":
+        try:
+            return self._routes[(client_ip, endpoint_ip)]
+        except KeyError:
+            raise KeyError(
+                f"no route from {client_ip} to {endpoint_ip} in {self.name}"
+            ) from None
+
+    def has_route(self, client_ip: str, endpoint_ip: str) -> bool:
+        return (client_ip, endpoint_ip) in self._routes
+
+    def node_at(self, ip: str) -> Optional[Node]:
+        return self.nodes_by_ip.get(ip)
+
+    def scan_ports(self, ip: str, ports) -> List[int]:
+        """Which of ``ports`` are open on the node at ``ip`` (if any)."""
+        node = self.nodes_by_ip.get(ip)
+        if node is None:
+            return []
+        return [p for p in ports if p in node.services]
+
+    def service_at(self, ip: str, port: int) -> Optional[Service]:
+        node = self.nodes_by_ip.get(ip)
+        if node is None:
+            return None
+        return node.services.get(port)
+
+
+# Imported at the bottom to avoid a circular import: routing needs the
+# Router/Endpoint types for its annotations at runtime only.
+from .routing import Route  # noqa: E402  (intentional late import)

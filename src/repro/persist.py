@@ -1,0 +1,383 @@
+"""Persistence: serialize measurement results to JSON(L) and back.
+
+The real measurement platforms publish their raw data (Censored Planet
+"raw data" releases, OONI measurements); this module provides the same
+capability for campaign outputs:
+
+* one JSON object per CenTrace result / CenFuzz report / banner grab,
+* directory-level save/load for a whole campaign
+  (``traces.jsonl`` / ``fuzz.jsonl`` / ``banners.jsonl`` / ``meta.json``),
+* loaded results reconstruct the dataclasses the analysis pipeline
+  consumes, so saved campaigns can be re-clustered offline.
+
+Sweep-level packet observations are summarized (hop maps and
+terminating responses), not archived byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .core.cenfuzz.runner import (
+    EndpointFuzzReport,
+    FuzzProbeOutcome,
+    PermutationResult,
+)
+from .core.cenprobe.scanner import BannerGrab, ProbeReport
+from .core.centrace.results import CenTraceResult, HopInfo
+from .netmodel.icmp import QuoteDelta
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# CenTrace results
+# ---------------------------------------------------------------------------
+
+
+def trace_result_to_dict(result: CenTraceResult) -> Dict:
+    """Serialize a classified CenTrace result (analysis-complete)."""
+    def hop(info: Optional[HopInfo]) -> Optional[Dict]:
+        if info is None:
+            return None
+        return {
+            "ttl": info.ttl,
+            "ip": info.ip,
+            "asn": info.asn,
+            "as_name": info.as_name,
+            "country": info.country,
+        }
+
+    def quote(delta: Optional[QuoteDelta]) -> Optional[Dict]:
+        if delta is None:
+            return None
+        return {
+            "tos_changed": delta.tos_changed,
+            "ip_flags_changed": delta.ip_flags_changed,
+            "ttl_delta": delta.ttl_delta,
+            "identification_changed": delta.identification_changed,
+            "length_changed": delta.length_changed,
+            "transport_bytes_quoted": delta.transport_bytes_quoted,
+            "follows_rfc792": delta.follows_rfc792,
+            "payload_modified": delta.payload_modified,
+        }
+
+    return {
+        "version": FORMAT_VERSION,
+        "endpoint_ip": result.endpoint_ip,
+        "endpoint_asn": result.endpoint_asn,
+        "test_domain": result.test_domain,
+        "protocol": result.protocol,
+        "blocked": result.blocked,
+        "valid": result.valid,
+        "blocking_type": result.blocking_type,
+        "terminating_ttl": result.terminating_ttl,
+        "endpoint_distance": result.endpoint_distance,
+        "blocking_hop": hop(result.blocking_hop),
+        "location_class": result.location_class,
+        "in_path": result.in_path,
+        "hops_from_endpoint": result.hops_from_endpoint,
+        "ttl_copy_detected": result.ttl_copy_detected,
+        "corrected_device_distance": result.corrected_device_distance,
+        "injected_ip_id": result.injected_ip_id,
+        "injected_ip_tos": result.injected_ip_tos,
+        "injected_ip_flags": result.injected_ip_flags,
+        "injected_ttl": result.injected_ttl,
+        "injected_initial_ttl": result.injected_initial_ttl,
+        "injected_tcp_flags": result.injected_tcp_flags,
+        "injected_tcp_window": result.injected_tcp_window,
+        "injected_tcp_options": list(result.injected_tcp_options),
+        "blockpage_fingerprint": result.blockpage_fingerprint,
+        "quote_delta": quote(result.quote_delta),
+        "control_hops": {
+            str(ttl): counts for ttl, counts in result.control_hops.items()
+        },
+    }
+
+
+def trace_result_from_dict(data: Dict) -> CenTraceResult:
+    """Reconstruct a CenTrace result (sweep transcripts excluded)."""
+    result = CenTraceResult(
+        endpoint_ip=data["endpoint_ip"],
+        endpoint_asn=data.get("endpoint_asn"),
+        test_domain=data["test_domain"],
+        protocol=data["protocol"],
+        blocked=data["blocked"],
+        valid=data.get("valid", True),
+        blocking_type=data["blocking_type"],
+        terminating_ttl=data.get("terminating_ttl"),
+        endpoint_distance=data.get("endpoint_distance"),
+        location_class=data.get("location_class"),
+        in_path=data.get("in_path"),
+        hops_from_endpoint=data.get("hops_from_endpoint"),
+        ttl_copy_detected=data.get("ttl_copy_detected", False),
+        corrected_device_distance=data.get("corrected_device_distance"),
+        injected_ip_id=data.get("injected_ip_id"),
+        injected_ip_tos=data.get("injected_ip_tos"),
+        injected_ip_flags=data.get("injected_ip_flags"),
+        injected_ttl=data.get("injected_ttl"),
+        injected_initial_ttl=data.get("injected_initial_ttl"),
+        injected_tcp_flags=data.get("injected_tcp_flags"),
+        injected_tcp_window=data.get("injected_tcp_window"),
+        injected_tcp_options=tuple(data.get("injected_tcp_options", ())),
+        blockpage_fingerprint=data.get("blockpage_fingerprint"),
+    )
+    hop = data.get("blocking_hop")
+    if hop is not None:
+        result.blocking_hop = HopInfo(
+            ttl=hop["ttl"],
+            ip=hop.get("ip"),
+            asn=hop.get("asn"),
+            as_name=hop.get("as_name"),
+            country=hop.get("country"),
+        )
+    quote = data.get("quote_delta")
+    if quote is not None:
+        result.quote_delta = QuoteDelta(
+            tos_changed=quote["tos_changed"],
+            ip_flags_changed=quote["ip_flags_changed"],
+            ttl_delta=quote.get("ttl_delta", 0),
+            identification_changed=quote.get("identification_changed", False),
+            length_changed=quote.get("length_changed", False),
+            transport_bytes_quoted=quote.get("transport_bytes_quoted", 0),
+            follows_rfc792=quote.get("follows_rfc792", False),
+            payload_modified=quote.get("payload_modified", False),
+        )
+    result.control_hops = {
+        int(ttl): counts
+        for ttl, counts in data.get("control_hops", {}).items()
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# CenFuzz reports
+# ---------------------------------------------------------------------------
+
+
+def _outcome_to_dict(outcome: FuzzProbeOutcome) -> Dict:
+    return {
+        "outcome": outcome.outcome,
+        "status_code": outcome.status_code,
+        "served_vhost": outcome.served_vhost,
+    }
+
+
+def _outcome_from_dict(data: Dict) -> FuzzProbeOutcome:
+    return FuzzProbeOutcome(
+        outcome=data["outcome"],
+        status_code=data.get("status_code"),
+        served_vhost=data.get("served_vhost"),
+    )
+
+
+def fuzz_report_to_dict(report: EndpointFuzzReport) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "endpoint_ip": report.endpoint_ip,
+        "test_domain": report.test_domain,
+        "protocol": report.protocol,
+        "normal_test": _outcome_to_dict(report.normal_test),
+        "normal_control": _outcome_to_dict(report.normal_control),
+        "results": [
+            {
+                "strategy": r.strategy,
+                "label": r.label,
+                "successful": r.successful,
+                "unsuccessful": r.unsuccessful,
+                "circumvented": r.circumvented,
+                "test": _outcome_to_dict(r.test),
+                "control": _outcome_to_dict(r.control),
+            }
+            for r in report.results
+        ],
+    }
+
+
+def fuzz_report_from_dict(data: Dict) -> EndpointFuzzReport:
+    report = EndpointFuzzReport(
+        endpoint_ip=data["endpoint_ip"],
+        test_domain=data["test_domain"],
+        protocol=data["protocol"],
+        normal_test=_outcome_from_dict(data["normal_test"]),
+        normal_control=_outcome_from_dict(data["normal_control"]),
+    )
+    for entry in data["results"]:
+        report.results.append(
+            PermutationResult(
+                endpoint_ip=report.endpoint_ip,
+                test_domain=report.test_domain,
+                strategy=entry["strategy"],
+                label=entry["label"],
+                protocol=report.protocol,
+                normal_blocked=report.normal_blocked,
+                test=_outcome_from_dict(entry["test"]),
+                control=_outcome_from_dict(entry["control"]),
+                successful=entry["successful"],
+                unsuccessful=entry["unsuccessful"],
+                circumvented=entry["circumvented"],
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CenProbe reports
+# ---------------------------------------------------------------------------
+
+
+def probe_report_to_dict(report: ProbeReport) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "ip": report.ip,
+        "reachable": report.reachable,
+        "open_ports": list(report.open_ports),
+        "grabs": [
+            {
+                "port": g.port,
+                "protocol": g.protocol,
+                "banner": g.banner,
+                "response": g.response,
+            }
+            for g in report.grabs
+        ],
+        "vendor": report.vendor,
+        "matched_rule": report.matched_rule,
+        "other_identifications": list(report.other_identifications),
+        "os_features": dict(report.os_features),
+        "os_name": report.os_name,
+    }
+
+
+def probe_report_from_dict(data: Dict) -> ProbeReport:
+    report = ProbeReport(
+        ip=data["ip"],
+        reachable=data["reachable"],
+        open_ports=list(data["open_ports"]),
+        vendor=data.get("vendor"),
+        matched_rule=data.get("matched_rule"),
+        other_identifications=list(data.get("other_identifications", [])),
+        os_features=dict(data.get("os_features", {})),
+        os_name=data.get("os_name"),
+    )
+    for grab in data.get("grabs", []):
+        report.grabs.append(
+            BannerGrab(
+                port=grab["port"],
+                protocol=grab["protocol"],
+                banner=grab.get("banner", ""),
+                response=grab.get("response", ""),
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Campaign-level save/load
+# ---------------------------------------------------------------------------
+
+
+def _write_jsonl(path: Path, records: Iterable[Dict]) -> int:
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def _read_jsonl(path: Path) -> List[Dict]:
+    if not path.exists():
+        return []
+    with path.open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
+    """Write a campaign's measurements to ``directory``.
+
+    Produces ``traces.jsonl`` (remote + in-country CenTraces),
+    ``fuzz.jsonl``, ``banners.jsonl`` and ``meta.json``; returns the
+    per-file record counts.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts = {
+        "traces": _write_jsonl(
+            directory / "traces.jsonl",
+            (
+                {**trace_result_to_dict(r), "vantage": vantage}
+                for vantage, results in (
+                    ("remote", campaign.remote_results),
+                    ("in-country", campaign.in_country_results),
+                )
+                for r in results
+            ),
+        ),
+        "fuzz": _write_jsonl(
+            directory / "fuzz.jsonl",
+            (fuzz_report_to_dict(r) for r in campaign.fuzz_reports),
+        ),
+        "banners": _write_jsonl(
+            directory / "banners.jsonl",
+            (probe_report_to_dict(r) for r in campaign.probe_reports.values()),
+        ),
+    }
+    meta = {
+        "version": FORMAT_VERSION,
+        "country": campaign.world.country,
+        "world": campaign.world.name,
+        "test_domains": list(campaign.world.test_domains),
+        "control_domain": campaign.world.control_domain,
+        "endpoints": len(campaign.world.endpoints),
+        "repetitions": campaign.config.repetitions,
+        "counts": counts,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return counts
+
+
+class LoadedCampaign:
+    """Measurement data reloaded from disk (analysis-ready)."""
+
+    def __init__(
+        self,
+        meta: Dict,
+        remote_results: List[CenTraceResult],
+        in_country_results: List[CenTraceResult],
+        fuzz_reports: List[EndpointFuzzReport],
+        probe_reports: Dict[str, ProbeReport],
+    ) -> None:
+        self.meta = meta
+        self.remote_results = remote_results
+        self.in_country_results = in_country_results
+        self.fuzz_reports = fuzz_reports
+        self.probe_reports = probe_reports
+
+    def blocked_remote(self) -> List[CenTraceResult]:
+        return [r for r in self.remote_results if r.blocked and r.valid]
+
+
+def load_campaign(directory: Union[str, Path]) -> LoadedCampaign:
+    """Reload a campaign saved by :func:`save_campaign`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    remote: List[CenTraceResult] = []
+    in_country: List[CenTraceResult] = []
+    for record in _read_jsonl(directory / "traces.jsonl"):
+        result = trace_result_from_dict(record)
+        if record.get("vantage") == "in-country":
+            in_country.append(result)
+        else:
+            remote.append(result)
+    fuzz = [
+        fuzz_report_from_dict(record)
+        for record in _read_jsonl(directory / "fuzz.jsonl")
+    ]
+    banners = {
+        record["ip"]: probe_report_from_dict(record)
+        for record in _read_jsonl(directory / "banners.jsonl")
+    }
+    return LoadedCampaign(meta, remote, in_country, fuzz, banners)

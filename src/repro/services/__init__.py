@@ -1,0 +1,33 @@
+"""Application-layer services: endpoint web servers and banner services."""
+
+from .banners import (
+    BANNER_PROTOCOLS,
+    ftp_service,
+    generic_linux_services,
+    http_admin_service,
+    smtp_service,
+    snmp_service,
+    ssh_service,
+    telnet_service,
+)
+from .webserver import (
+    FilteringWebServer,
+    ServerProfile,
+    TLS_SERVED_MARKER,
+    WebServer,
+)
+
+__all__ = [
+    "BANNER_PROTOCOLS",
+    "ftp_service",
+    "generic_linux_services",
+    "http_admin_service",
+    "smtp_service",
+    "snmp_service",
+    "ssh_service",
+    "telnet_service",
+    "FilteringWebServer",
+    "ServerProfile",
+    "TLS_SERVED_MARKER",
+    "WebServer",
+]

@@ -1,0 +1,95 @@
+"""Banner services for the management plane of network devices.
+
+CenProbe (§5) identifies device vendors from the banners their
+management services present on SSH, Telnet, FTP, SMTP, SNMP and
+HTTP(S). These builders produce :class:`~repro.netsim.topology.Service`
+objects with realistic banner strings; the fingerprint repository in
+``repro.core.cenprobe.fingerprints`` matches against them, Recog-style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netsim.topology import Service
+
+PORT_FTP = 21
+PORT_SSH = 22
+PORT_TELNET = 23
+PORT_SMTP = 25
+PORT_HTTP = 80
+PORT_SNMP = 161
+PORT_HTTPS = 443
+PORT_HTTP_ALT = 8080
+PORT_HTTPS_ALT = 8443
+
+BANNER_PROTOCOLS = ("http", "https", "ssh", "telnet", "ftp", "smtp", "snmp")
+
+
+def ssh_service(banner: str, port: int = PORT_SSH) -> Service:
+    """An SSH service: the version banner is sent on connect."""
+    return Service(port=port, protocol="ssh", banner=(banner + "\r\n").encode())
+
+
+def telnet_service(greeting: str, port: int = PORT_TELNET) -> Service:
+    return Service(port=port, protocol="telnet", banner=(greeting + "\r\n").encode())
+
+
+def ftp_service(greeting: str, port: int = PORT_FTP) -> Service:
+    return Service(port=port, protocol="ftp", banner=(f"220 {greeting}\r\n").encode())
+
+
+def smtp_service(greeting: str, port: int = PORT_SMTP) -> Service:
+    return Service(port=port, protocol="smtp", banner=(f"220 {greeting}\r\n").encode())
+
+
+def snmp_service(sys_descr: str, port: int = PORT_SNMP) -> Service:
+    """SNMP: no connect banner; responds to a (stylized) GET of sysDescr."""
+    return Service(
+        port=port,
+        protocol="snmp",
+        banner=b"",
+        probe_responses={b"SNMP-GET sysDescr": sys_descr.encode()},
+    )
+
+
+def http_admin_service(
+    *,
+    server_header: str = "",
+    title: str = "",
+    body: str = "",
+    port: int = PORT_HTTP,
+    protocol: str = "http",
+    realm: Optional[str] = None,
+) -> Service:
+    """An HTTP(S) administration page.
+
+    The service answers any request that starts like an HTTP GET with a
+    canned response whose Server header / <title> / auth realm carry the
+    vendor fingerprint.
+    """
+    status = "401 Unauthorized" if realm else "200 OK"
+    headers = [f"HTTP/1.1 {status}"]
+    if server_header:
+        headers.append(f"Server: {server_header}")
+    if realm:
+        headers.append(f'WWW-Authenticate: Basic realm="{realm}"')
+    headers.append("Content-Type: text/html")
+    html = body or f"<html><head><title>{title}</title></head><body>{title}</body></html>"
+    headers.append(f"Content-Length: {len(html.encode())}")
+    response = ("\r\n".join(headers) + "\r\n\r\n" + html).encode()
+    return Service(
+        port=port,
+        protocol=protocol,
+        banner=b"",
+        probe_responses={b"GET ": response, b"HEAD ": response},
+    )
+
+
+def generic_linux_services() -> List[Service]:
+    """Unremarkable services for nodes that are *not* filtering devices
+    (decoys for CenProbe's precision tests)."""
+    return [
+        ssh_service("SSH-2.0-OpenSSH_8.2p1 Ubuntu-4ubuntu0.5"),
+        http_admin_service(server_header="nginx/1.18.0", title="Welcome to nginx!"),
+    ]

@@ -1,0 +1,100 @@
+"""DNS resolver endpoints (the substrate for the DNS extension).
+
+A :class:`DNSResolver` answers UDP queries arriving at an endpoint:
+zone entries resolve to configured addresses, anything else either gets
+a deterministic synthetic address (open recursive resolver) or
+NXDOMAIN. Responses echo the query ID and question, set QR/RA, and come
+from the endpoint's real address — a forged injection upstream can only
+beat it by arriving first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netmodel.dns import (
+    DNSAnswer,
+    DNSMessage,
+    QTYPE_A,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_SERVFAIL,
+)
+from ..netmodel.packet import Packet, udp_packet
+
+DNS_PORT = 53
+
+
+def synthetic_address(domain: str) -> str:
+    """A deterministic public-looking address for ``domain``."""
+    digest = hashlib.sha256(domain.lower().encode()).digest()
+    return f"93.{digest[0]}.{digest[1]}.{digest[2] or 1}"
+
+
+@dataclass
+class DNSResolver:
+    """An open recursive resolver living at one endpoint."""
+
+    zone: Dict[str, str] = field(default_factory=dict)  # domain -> A record
+    recursive: bool = True
+    answer_ttl: int = 300
+    queries_seen: int = 0  # ground truth for tests
+
+    def resolve(self, qname: Optional[str]) -> Optional[str]:
+        """The address this resolver returns for ``qname`` (None = NX)."""
+        if not qname:
+            return None
+        name = qname.strip().lower().rstrip(".")
+        if name in self.zone:
+            return self.zone[name]
+        if self.recursive and "." in name:
+            return synthetic_address(name)
+        return None
+
+    def handle_query(self, packet: Packet, endpoint_ip: str) -> List[Packet]:
+        """Answer a UDP DNS query addressed to this resolver."""
+        if packet.udp is None or packet.udp.dport != DNS_PORT:
+            return []
+        self.queries_seen += 1
+        try:
+            message = DNSMessage.from_bytes(packet.udp.payload)
+        except (ValueError, Exception):
+            return [
+                self._reply(packet, endpoint_ip, DNSMessage(rcode=RCODE_SERVFAIL))
+            ]
+        if message.is_response or not message.questions:
+            return []
+        question = message.questions[0]
+        response = DNSMessage(
+            txid=message.txid,
+            is_response=True,
+            recursion_desired=message.recursion_desired,
+            recursion_available=self.recursive,
+            questions=[question],
+        )
+        address = self.resolve(question.qname) if question.qtype == QTYPE_A else None
+        if question.qtype != QTYPE_A:
+            # Non-A questions: answer empty NOERROR (enough for probes).
+            response.rcode = RCODE_NOERROR
+        elif address is None:
+            response.rcode = RCODE_NXDOMAIN
+        else:
+            response.answers.append(
+                DNSAnswer(question.qname, QTYPE_A, self.answer_ttl, address)
+            )
+        return [self._reply(packet, endpoint_ip, response)]
+
+    @staticmethod
+    def _reply(packet: Packet, endpoint_ip: str, message: DNSMessage) -> Packet:
+        reply = udp_packet(
+            endpoint_ip,
+            packet.ip.src,
+            sport=DNS_PORT,
+            dport=packet.udp.sport,
+            payload=message.to_bytes(),
+            ttl=64,
+        )
+        reply.emitted_by = endpoint_ip
+        return reply

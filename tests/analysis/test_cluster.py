@@ -1,0 +1,101 @@
+"""The §7 clustering pipeline on synthetic device populations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cluster import (
+    cluster_endpoints,
+    rank_features,
+    vendor_correlations,
+)
+from repro.analysis.features import EndpointFeatures, all_feature_names
+
+
+def _endpoint(ip, vendor, censor, window, fuzz, country="AA"):
+    """Build a synthetic feature vector with a clear vendor signature."""
+    values = {name: float("nan") for name in all_feature_names()}
+    values["CensorResponse"] = censor
+    values["InjectedTCPWindow"] = window
+    values["Get Word Alt."] = fuzz
+    values["Path Alt."] = fuzz / 2
+    values["Normal"] = 1.0
+    return EndpointFeatures(
+        endpoint_ip=ip, country=country, values=values, label=vendor
+    )
+
+
+def _population():
+    population = []
+    for i in range(8):
+        population.append(_endpoint(f"10.0.1.{i}", "VendorA", 1.0, 8192, 0.6, "AA"))
+    for i in range(8):
+        population.append(_endpoint(f"10.0.2.{i}", "VendorB", 0.0, 0, 0.1, "BB"))
+    for i in range(8):
+        population.append(_endpoint(f"10.0.3.{i}", "VendorC", 13.0, 1400, 0.9, "CC"))
+    return population
+
+
+class TestRankFeatures:
+    def test_ranks_discriminative_features_first(self):
+        report = rank_features(_population(), folds=4, repeats=1, n_estimators=10)
+        top = report.top(3)
+        assert {"CensorResponse", "InjectedTCPWindow", "Get Word Alt."} & set(top)
+
+    def test_cv_accuracy_high_for_separable_vendors(self):
+        report = rank_features(_population(), folds=4, repeats=1, n_estimators=10)
+        assert report.cv.mean_accuracy >= 0.9
+
+    def test_requires_enough_labels(self):
+        with pytest.raises(ValueError):
+            rank_features([_endpoint("10.0.0.1", "A", 1.0, 1, 0.5)])
+
+    def test_ranked_returns_all_used_features(self):
+        report = rank_features(_population(), folds=4, repeats=1, n_estimators=5)
+        ranked_names = [name for name, _ in report.ranked()]
+        assert set(ranked_names) == set(report.names)
+
+
+class TestClusterEndpoints:
+    def test_vendors_form_distinct_clusters(self):
+        report = cluster_endpoints(_population(), eps=1.2)
+        assert report.result.n_clusters == 3
+        purity = report.vendor_purity()
+        assert all(purity.values())
+
+    def test_eps_none_estimates(self):
+        report = cluster_endpoints(_population(), eps=None)
+        assert report.result.eps > 0
+        assert report.result.n_clusters >= 1
+
+    def test_composition_counts_countries(self):
+        report = cluster_endpoints(_population(), eps=1.2)
+        composition = dict(report.composition())
+        sizes = [sum(counter.values()) for counter in composition.values()]
+        assert sum(sizes) == 24
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_endpoints([])
+
+    def test_top_features_subset_used(self):
+        report = cluster_endpoints(_population(), eps=1.2, top_features=3)
+        assert len(report.used_feature_names) <= 3
+
+
+class TestVendorCorrelations:
+    def test_within_vendor_perfect_for_identical_devices(self):
+        correlations = vendor_correlations(_population())
+        assert correlations[("VendorA", "VendorA")][0] == pytest.approx(1.0)
+        assert correlations[("VendorB", "VendorB")][0] == pytest.approx(1.0)
+
+    def test_cross_vendor_weaker(self):
+        correlations = vendor_correlations(_population())
+        within = correlations[("VendorA", "VendorA")][0]
+        cross = correlations[("VendorA", "VendorB")][0]
+        assert cross < within
+
+    def test_single_member_vendor_skipped_within(self):
+        population = _population() + [_endpoint("10.0.4.1", "Lonely", 2.0, 99, 0.3)]
+        correlations = vendor_correlations(population)
+        assert ("Lonely", "Lonely") not in correlations
+        assert any(pair[1] == "Lonely" or pair[0] == "Lonely" for pair in correlations)

@@ -1,0 +1,89 @@
+"""DBSCAN and k-NN epsilon estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dbscan import NOISE, dbscan, estimate_eps, k_distance_curve
+
+
+def _blobs(centers, n=10, spread=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for center in centers:
+        points.append(rng.normal(loc=center, scale=spread, size=(n, len(center))))
+    return np.vstack(points)
+
+
+class TestDBSCAN:
+    def test_two_blobs_two_clusters(self):
+        X = _blobs([(0, 0), (10, 10)])
+        result = dbscan(X, eps=1.0, min_samples=3)
+        assert result.n_clusters == 2
+        # Every point in the same blob shares a label.
+        assert len(set(result.labels[:10])) == 1
+        assert len(set(result.labels[10:])) == 1
+        assert result.labels[0] != result.labels[10]
+
+    def test_isolated_point_is_noise(self):
+        X = np.vstack([_blobs([(0, 0)]), [[100.0, 100.0]]])
+        result = dbscan(X, eps=1.0, min_samples=3)
+        assert result.labels[-1] == NOISE
+        assert len(result.noise_indices()) == 1
+
+    def test_everything_noise_with_tiny_eps(self):
+        X = _blobs([(0, 0)], spread=1.0)
+        result = dbscan(X, eps=1e-6, min_samples=3)
+        assert result.n_clusters == 0
+        assert (result.labels == NOISE).all()
+
+    def test_one_cluster_with_huge_eps(self):
+        X = _blobs([(0, 0), (5, 5)])
+        result = dbscan(X, eps=100.0, min_samples=3)
+        assert result.n_clusters == 1
+
+    def test_min_samples_respected(self):
+        # A pair of nearby points cannot form a cluster at min_samples=3.
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [50.0, 50.0], [50.1, 50.0]])
+        result = dbscan(X, eps=1.0, min_samples=3)
+        assert result.n_clusters == 0
+
+    def test_cluster_indices(self):
+        X = _blobs([(0, 0), (10, 10)])
+        result = dbscan(X, eps=1.0, min_samples=3)
+        indices = result.cluster_indices(result.labels[0])
+        assert set(indices) == set(range(10))
+
+    def test_identical_points_cluster(self):
+        X = np.zeros((5, 3))
+        result = dbscan(X, eps=0.5, min_samples=3)
+        assert result.n_clusters == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_labels_partition_points(self, seed):
+        X = _blobs([(0, 0), (8, 8)], seed=seed)
+        result = dbscan(X, eps=1.0, min_samples=3)
+        assert len(result.labels) == len(X)
+        assert set(result.labels.tolist()) <= set(range(-1, len(X)))
+
+
+class TestEpsEstimation:
+    def test_estimate_scales_with_spread(self):
+        tight = estimate_eps(_blobs([(0, 0)], spread=0.05), k=3)
+        loose = estimate_eps(_blobs([(0, 0)], spread=1.0), k=3)
+        assert loose > tight
+
+    def test_estimated_eps_recovers_blobs(self):
+        X = _blobs([(0, 0), (10, 10)], spread=0.2)
+        eps = estimate_eps(X, k=3) * 2
+        result = dbscan(X, eps=eps, min_samples=3)
+        assert result.n_clusters == 2
+
+    def test_tiny_dataset_fallback(self):
+        assert estimate_eps(np.zeros((2, 2)), k=3) == 1.0
+
+    def test_k_distance_curve_sorted(self):
+        curve = k_distance_curve(_blobs([(0, 0)], n=20), k=3)
+        assert (np.diff(curve) >= 0).all()
+        assert len(curve) == 20

@@ -1,0 +1,123 @@
+"""From-scratch CART / random forest: correctness and MDI sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.forest import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    cross_validate_forest,
+    gini,
+)
+
+
+def _separable(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 1] > 0).astype(int)
+    X[:, 0] = rng.normal(size=n)  # pure noise column
+    return X, y
+
+
+class TestGini:
+    def test_pure_labels_zero(self):
+        assert gini(np.array([1, 1, 1])) == 0.0
+
+    def test_balanced_binary_half(self):
+        assert gini(np.array([0, 1, 0, 1])) == pytest.approx(0.5)
+
+    def test_empty_zero(self):
+        assert gini(np.array([], dtype=int)) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    def test_bounds(self, labels):
+        value = gini(np.array(labels))
+        assert 0.0 <= value <= 0.75
+
+
+class TestDecisionTree:
+    def test_fits_separable_data_perfectly(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_importance_concentrates_on_signal(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_[1] > 0.9
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_max_depth_limits_tree(self):
+        X, y = _separable()
+        stump = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        majority = np.bincount(y).argmax()
+        assert (stump.predict(X) == majority).all()
+
+    def test_constant_features_fall_back_to_majority(self):
+        X = np.zeros((10, 3))
+        y = np.array([0] * 7 + [1] * 3)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == 0).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_one(np.zeros(3))
+
+
+class TestRandomForest:
+    def test_high_train_accuracy(self):
+        X, y = _separable(100)
+        forest = RandomForestClassifier(n_estimators=20, seed=1).fit(X, y)
+        assert forest.score(X, y) >= 0.95
+
+    def test_importances_normalized_and_ranked(self):
+        X, y = _separable(100)
+        forest = RandomForestClassifier(n_estimators=20, seed=1).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0, abs=0.05)
+        assert np.argmax(forest.feature_importances_) == 1
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable(50)
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y)
+        assert (a.predict(X) == b.predict(X)).all()
+        assert np.allclose(a.feature_importances_, b.feature_importances_)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(90, 3))
+        y = np.digitize(X[:, 2], [-0.5, 0.5])
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        assert forest.score(X, y) >= 0.9
+
+    def test_max_features_all(self):
+        X, y = _separable(40)
+        forest = RandomForestClassifier(
+            n_estimators=5, max_features="all", seed=0
+        ).fit(X, y)
+        assert forest.score(X, y) >= 0.9
+
+
+class TestCrossValidation:
+    def test_repeated_kfold_shape(self):
+        X, y = _separable(50)
+        result = cross_validate_forest(
+            X, y, folds=5, repeats=3, n_estimators=10, seed=0
+        )
+        assert len(result.accuracies) == 15  # §7.2's "15 repetitions"
+        assert result.importances.shape == (15, 4)
+
+    def test_generalizes_on_separable_data(self):
+        X, y = _separable(80)
+        result = cross_validate_forest(
+            X, y, folds=5, repeats=1, n_estimators=10, seed=0
+        )
+        assert result.mean_accuracy >= 0.9
+
+    def test_mean_importances_prefer_signal(self):
+        X, y = _separable(80)
+        result = cross_validate_forest(
+            X, y, folds=5, repeats=1, n_estimators=10, seed=0
+        )
+        assert np.argmax(result.mean_importances()) == 1

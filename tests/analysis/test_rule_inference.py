@@ -1,0 +1,125 @@
+"""Autosonda-style rule inference, validated against ground truth.
+
+Each test fuzzes a device with known quirks through the simulator and
+checks that the inferred decision model matches the configuration the
+device was actually built with.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    CONTROL_DOMAIN,
+    ENDPOINT_IP,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.analysis.rule_inference import (
+    HOST_KEYWORD_SCAN,
+    HOST_STRUCTURAL,
+    STYLE_EXACT,
+    STYLE_KEYWORD,
+    STYLE_SUFFIX,
+    VERSION_NEEDS_SLASH,
+    VERSION_NOT_CHECKED,
+    VERSION_STRICT,
+    infer_rules,
+)
+from repro.core.cenfuzz import CenFuzz
+from repro.devices.vendors import (
+    CISCO,
+    FORTINET,
+    KERIO,
+    KZ_STATE,
+    MIKROTIK,
+    PALO_ALTO,
+    TSPU_INPATH,
+)
+
+
+def _fuzz(profile, protocol="http", **device_kwargs):
+    device = make_profile_device(profile, **device_kwargs)
+    world = build_linear_world(device=device, device_link=2)
+    fuzzer = CenFuzz(world.sim, world.client)
+    return fuzzer.run_endpoint(
+        ENDPOINT_IP, BLOCKED_DOMAIN, protocol, CONTROL_DOMAIN
+    )
+
+
+class TestHTTPInference:
+    def test_kz_state_model(self):
+        model = infer_rules(_fuzz(KZ_STATE, url_scope=True))
+        assert model.trigger_methods == frozenset({"GET", "POST", "PUT"})
+        assert model.version_validation == VERSION_NEEDS_SLASH
+        assert model.host_extraction == HOST_STRUCTURAL
+        assert model.url_scoped is True
+
+    def test_mikrotik_get_only(self):
+        model = infer_rules(_fuzz(MIKROTIK))
+        assert model.trigger_methods == frozenset({"GET"})
+        assert model.version_validation == VERSION_NOT_CHECKED
+        assert model.rule_style == STYLE_EXACT
+
+    def test_kerio_validates_versions(self):
+        model = infer_rules(_fuzz(KERIO))
+        assert model.version_validation == VERSION_STRICT
+        assert model.rule_style == STYLE_EXACT
+
+    def test_paloalto_keyword_engine(self):
+        model = infer_rules(_fuzz(PALO_ALTO))
+        assert model.host_extraction == HOST_KEYWORD_SCAN
+        assert model.inspects_unknown_methods
+        assert model.rule_style == STYLE_KEYWORD
+
+    def test_fortinet_suffix_rules(self):
+        model = infer_rules(_fuzz(FORTINET))
+        assert model.rule_style == STYLE_SUFFIX
+        assert "PATCH" not in model.trigger_methods
+
+    def test_cisco_patch_tracked(self):
+        model = infer_rules(_fuzz(CISCO, url_scope=False))
+        assert "PATCH" in model.trigger_methods
+        assert model.version_validation == VERSION_NOT_CHECKED
+
+    def test_exact_rule_style_detected(self):
+        model = infer_rules(_fuzz(KZ_STATE, rule_kind="exact"))
+        assert model.rule_style == STYLE_EXACT
+
+    def test_unblocked_report_yields_empty_model(self):
+        device = make_profile_device(KZ_STATE, domains=("unrelated.example",))
+        world = build_linear_world(device=device, device_link=2)
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN
+        )
+        model = infer_rules(report)
+        assert model.trigger_methods == frozenset()
+        assert "normal" in model.evidence
+
+
+class TestTLSInference:
+    def test_suffix_sni_rules(self):
+        model = infer_rules(_fuzz(FORTINET, protocol="tls"))
+        assert model.protocol == "tls"
+        assert model.rule_style == STYLE_SUFFIX
+        assert not model.fragile_tls_versions
+
+    def test_fragile_tls_version_detected(self):
+        model = infer_rules(_fuzz(TSPU_INPATH, protocol="tls"))
+        # TSPU's engine cannot parse TLS 1.0-only offers.
+        assert "TLS 1.0" in model.fragile_tls_versions
+
+    def test_fragile_cipher_detected(self):
+        model = infer_rules(_fuzz(KERIO, protocol="tls"))
+        assert "TLS_RSA_WITH_RC4_128_SHA" in model.fragile_ciphers
+
+    def test_summary_renders(self):
+        model = infer_rules(_fuzz(FORTINET, protocol="tls"))
+        assert "rule=suffix" in model.summary()
+        http_model = infer_rules(_fuzz(FORTINET))
+        assert "methods={" in http_model.summary()

@@ -1,0 +1,95 @@
+"""Imputation, scaling and Spearman helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    impute_median,
+    pairwise_group_correlation,
+    spearman_pair,
+    zscore,
+)
+
+
+class TestImputation:
+    def test_nan_replaced_with_column_median(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [5.0, 8.0]])
+        imputed = impute_median(X)
+        assert imputed[0, 1] == 6.0
+        assert not np.isnan(imputed).any()
+
+    def test_all_nan_column_becomes_zero(self):
+        X = np.array([[np.nan], [np.nan]])
+        assert (impute_median(X) == 0).all()
+
+    def test_original_untouched(self):
+        X = np.array([[np.nan, 1.0]])
+        impute_median(X)
+        assert np.isnan(X[0, 0])
+
+
+class TestZScore:
+    def test_standardizes_columns(self):
+        X = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 30.0]])
+        Z = zscore(X)
+        assert np.allclose(Z.mean(axis=0), 0)
+        assert np.allclose(Z.std(axis=0), 1)
+
+    def test_constant_column_zeroed(self):
+        X = np.array([[5.0, 1.0], [5.0, 2.0]])
+        Z = zscore(X)
+        assert (Z[:, 0] == 0).all()
+
+
+class TestSpearman:
+    def test_identical_vectors_perfect(self):
+        assert spearman_pair([1, 2, 3], [1, 2, 3]) == (1.0, 0.0)
+
+    def test_identical_constant_vectors_perfect(self):
+        # §7.4 reports r_s = 1.00 for devices with exactly equal
+        # features even when the features are constant.
+        assert spearman_pair([2, 2, 2], [2, 2, 2]) == (1.0, 0.0)
+
+    def test_one_constant_vector_zero(self):
+        r, p = spearman_pair([1, 1, 1], [1, 2, 3])
+        assert r == 0.0 and p == 1.0
+
+    def test_monotonic_relationship(self):
+        r, _ = spearman_pair([1, 2, 3, 4], [10, 100, 1000, 10000])
+        assert r == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        r, _ = spearman_pair([1, 2, 3, 4], [4, 3, 2, 1])
+        assert r == pytest.approx(-1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    def test_bounds(self, values):
+        other = list(reversed(values))
+        r, p = spearman_pair(values, other)
+        assert -1.0 <= r <= 1.0
+        assert 0.0 <= p <= 1.0
+
+
+class TestGroupCorrelation:
+    def test_within_group_identical_rows(self):
+        X = np.array([[1.0, 2.0, 3.0]] * 3)
+        r, p = pairwise_group_correlation(X, [0, 1, 2])
+        assert r == 1.0 and p == 0.0
+
+    def test_between_groups(self):
+        X = np.array(
+            [[1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]]
+        )
+        r, _ = pairwise_group_correlation(X, [0, 1], [2])
+        assert r == pytest.approx(-1.0)
+
+    def test_empty_pairs_default(self):
+        X = np.zeros((1, 3))
+        assert pairwise_group_correlation(X, [0]) == (1.0, 0.0)

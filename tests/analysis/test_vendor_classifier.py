@@ -1,0 +1,108 @@
+"""Vendor classification of unlabeled devices (§7.1)."""
+
+import pytest
+
+from repro.analysis.features import EndpointFeatures, all_feature_names
+from repro.analysis.vendor_classifier import (
+    VendorClassifier,
+    classify_unlabeled,
+)
+
+
+def _endpoint(ip, vendor, censor, window, fuzz, country="AA"):
+    values = {name: float("nan") for name in all_feature_names()}
+    values["CensorResponse"] = censor
+    values["InjectedTCPWindow"] = window
+    values["Get Word Alt."] = fuzz
+    values["Normal"] = 1.0
+    return EndpointFeatures(
+        endpoint_ip=ip, country=country, values=values, label=vendor
+    )
+
+
+def _population():
+    labeled = []
+    for i in range(6):
+        labeled.append(_endpoint(f"10.1.0.{i}", "VendorA", 1.0, 8192, 0.6))
+        labeled.append(_endpoint(f"10.2.0.{i}", "VendorB", 0.0, 0, 0.1))
+    unlabeled = [
+        _endpoint("10.9.0.1", None, 1.0, 8192, 0.6),  # looks like A
+        _endpoint("10.9.0.2", None, 0.0, 0, 0.1),  # looks like B
+    ]
+    return labeled, unlabeled
+
+
+class TestClassifier:
+    def test_predicts_matching_vendor(self):
+        labeled, unlabeled = _population()
+        classifier = VendorClassifier(n_estimators=15, seed=0).fit(labeled)
+        predictions = classifier.predict(unlabeled)
+        assert predictions[0].vendor == "VendorA"
+        assert predictions[1].vendor == "VendorB"
+
+    def test_confidence_high_for_clean_separation(self):
+        labeled, unlabeled = _population()
+        classifier = VendorClassifier(n_estimators=15, seed=0).fit(labeled)
+        for prediction in classifier.predict(unlabeled):
+            assert prediction.confidence >= 0.8
+
+    def test_requires_training_labels(self):
+        with pytest.raises(ValueError):
+            VendorClassifier().fit([])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            VendorClassifier().predict([_endpoint("1.1.1.1", None, 0, 0, 0)])
+
+    def test_deterministic(self):
+        labeled, unlabeled = _population()
+        a = VendorClassifier(n_estimators=10, seed=4).fit(labeled).predict(unlabeled)
+        b = VendorClassifier(n_estimators=10, seed=4).fit(labeled).predict(unlabeled)
+        assert [p.vendor for p in a] == [p.vendor for p in b]
+        assert [p.confidence for p in a] == [p.confidence for p in b]
+
+
+class TestReport:
+    def test_classify_unlabeled_report(self):
+        labeled, unlabeled = _population()
+        report = classify_unlabeled(labeled + unlabeled, seed=0)
+        assert report.training_size == 12
+        assert len(report.predictions) == 2
+        assert report.by_vendor() == {"VendorA": 1, "VendorB": 1}
+
+    def test_confidence_threshold(self):
+        labeled, unlabeled = _population()
+        report = classify_unlabeled(labeled + unlabeled, seed=0)
+        assert len(report.confident(0.99)) <= len(report.predictions)
+        assert report.confident(0.0) == report.predictions
+
+
+class TestOnRealCampaign:
+    def test_labels_recovered_for_held_out_devices(self, small_campaigns):
+        """Hold out one device per vendor; the classifier should
+        re-identify it from its censorship features alone."""
+        features = []
+        for campaign in small_campaigns.values():
+            features.extend(campaign.endpoint_features())
+        labeled = [f for f in features if f.label]
+        by_vendor = {}
+        for feature in labeled:
+            by_vendor.setdefault(feature.label, []).append(feature)
+        held_out = []
+        training = []
+        for vendor, members in by_vendor.items():
+            if len(members) >= 2:
+                held_out.append(members[0])
+                training.extend(members[1:])
+            else:
+                training.extend(members)
+        if len(held_out) < 2:
+            pytest.skip("not enough multi-device vendors at this scale")
+        classifier = VendorClassifier(n_estimators=30, seed=1).fit(training)
+        predictions = classifier.predict(held_out)
+        correct = sum(
+            1
+            for features, prediction in zip(held_out, predictions)
+            if features.label == prediction.vendor
+        )
+        assert correct / len(held_out) >= 0.7

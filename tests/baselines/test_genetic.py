@@ -1,0 +1,142 @@
+"""The Geneva-style genetic baseline."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    ENDPOINT_IP,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.baselines.genetic import (
+    GENE_POOL,
+    Gene,
+    GeneticConfig,
+    GeneticSearch,
+    Individual,
+)
+from repro.devices.vendors import KZ_STATE, PALO_ALTO
+from repro.netmodel.http import parse_request
+from repro.services.webserver import ServerProfile, WebServer
+
+
+def _search_world():
+    device = make_profile_device(KZ_STATE)
+    world = build_linear_world(
+        device=device,
+        device_link=2,
+        endpoint_domains=(BLOCKED_DOMAIN,),
+        server=WebServer([BLOCKED_DOMAIN], ServerProfile.lenient(BLOCKED_DOMAIN)),
+    )
+    return world
+
+
+class TestGenes:
+    def test_pool_nonempty_and_unique(self):
+        assert len(GENE_POOL) >= 25
+        assert len(set(GENE_POOL)) == len(GENE_POOL)
+
+    def test_every_gene_produces_valid_bytes(self):
+        for gene in GENE_POOL:
+            individual = Individual(genes=(gene,))
+            payload = individual.build(BLOCKED_DOMAIN)
+            assert isinstance(payload, bytes) and payload
+
+    def test_set_method_gene(self):
+        individual = Individual(genes=(Gene("set_method", "PUT"),))
+        assert individual.build(BLOCKED_DOMAIN).startswith(b"PUT ")
+
+    def test_genes_compose_in_order(self):
+        individual = Individual(
+            genes=(Gene("pad_host", "*|"), Gene("pad_host", "|*"))
+        )
+        parsed = parse_request(individual.build(BLOCKED_DOMAIN))
+        assert parsed.host == "*" + BLOCKED_DOMAIN + "*"
+
+    def test_describe(self):
+        individual = Individual(genes=(Gene("set_path", "z"),))
+        assert "set_path(z)" in individual.describe()
+
+
+class TestSearch:
+    def test_finds_circumventing_strategy(self):
+        world = _search_world()
+        search = GeneticSearch(
+            world.sim,
+            world.client,
+            ENDPOINT_IP,
+            BLOCKED_DOMAIN,
+            seed=1,
+        )
+        outcome = search.run()
+        assert outcome.succeeded
+        assert outcome.best.evaded
+        assert outcome.probes_used > 0
+        assert outcome.probes_used == search.probes_used
+
+    def test_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            world = _search_world()
+            search = GeneticSearch(
+                world.sim, world.client, ENDPOINT_IP, BLOCKED_DOMAIN, seed=7
+            )
+            outcomes.append(search.run())
+        assert outcomes[0].best.describe() == outcomes[1].best.describe()
+        assert outcomes[0].probes_used == outcomes[1].probes_used
+
+    def test_cheaper_than_full_cenfuzz_sweep(self):
+        # The whole point of genetic search: far fewer probes than the
+        # 410-permutation deterministic sweep (x2 for control probes).
+        world = _search_world()
+        search = GeneticSearch(
+            world.sim, world.client, ENDPOINT_IP, BLOCKED_DOMAIN, seed=3
+        )
+        outcome = search.run()
+        assert outcome.succeeded
+        assert outcome.probes_used < 2 * 410
+
+    def test_fitness_cache_avoids_duplicate_probes(self):
+        world = _search_world()
+        search = GeneticSearch(
+            world.sim, world.client, ENDPOINT_IP, BLOCKED_DOMAIN, seed=3
+        )
+        individual = Individual(genes=(Gene("set_path", "z"),))
+        search.evaluate(individual)
+        probes_after_first = search.probes_used
+        search.evaluate(Individual(genes=(Gene("set_path", "z"),)))
+        assert search.probes_used == probes_after_first
+
+    def test_history_monotone_nondecreasing(self):
+        world = _search_world()
+        search = GeneticSearch(
+            world.sim, world.client, ENDPOINT_IP, BLOCKED_DOMAIN, seed=5,
+            config=GeneticConfig(generations=5, stop_on_circumvention=False),
+        )
+        outcome = search.run()
+        assert all(
+            b >= a for a, b in zip(outcome.history, outcome.history[1:])
+        )
+
+    def test_hard_target_may_fail_gracefully(self):
+        # A keyword-matching engine (Palo Alto) resists most
+        # single-field tricks; the search must terminate regardless.
+        device = make_profile_device(PALO_ALTO)
+        world = build_linear_world(
+            device=device, device_link=2, endpoint_domains=(BLOCKED_DOMAIN,)
+        )
+        search = GeneticSearch(
+            world.sim,
+            world.client,
+            ENDPOINT_IP,
+            BLOCKED_DOMAIN,
+            seed=2,
+            config=GeneticConfig(generations=3, population_size=8),
+        )
+        outcome = search.run()
+        assert outcome.generations_run <= 3

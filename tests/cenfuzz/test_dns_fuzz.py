@@ -1,0 +1,95 @@
+"""DNS fuzzing with the TTL oracle (§8 extension)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.cenfuzz.dns_fuzz import DNSFuzzer, dns_strategies, _mixed_case
+from repro.geo.countries import build_dns_world
+
+
+@pytest.fixture()
+def dns_world():
+    return build_dns_world()
+
+
+class TestStrategies:
+    def test_catalog_shape(self):
+        strategies = dns_strategies()
+        assert set(strategies) == {"Qname 0x20 Enc.", "Qtype Alt.", "Qname Dress."}
+        assert len(strategies["Qname 0x20 Enc."]) == 4
+        assert len(strategies["Qtype Alt."]) == 2
+
+    def test_mixed_case_preserves_name(self):
+        mixed = _mixed_case("www.blocked.example", 0b10101)
+        assert mixed.lower() == "www.blocked.example"
+        assert mixed != "www.blocked.example"
+
+    def test_payloads_build(self):
+        for permutations in dns_strategies().values():
+            for permutation in permutations:
+                assert permutation.build("www.blocked.example", 7)
+
+
+class TestOracle:
+    def test_oracle_ttl_estimated_short_of_resolver(self, dns_world):
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        oracle = fuzzer.estimate_oracle_ttl(endpoint.ip, "www.example.com")
+        # The resolver sits ~8 hops out; the oracle must stop short.
+        assert 1 <= oracle < 8
+
+    def test_unreachable_resolver_raises(self, dns_world):
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        with pytest.raises(Exception):
+            fuzzer.estimate_oracle_ttl("203.0.113.250", "www.example.com")
+
+
+class TestFuzzing:
+    def test_case_insensitive_injector_blocks_0x20(self, dns_world):
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        report = fuzzer.run_endpoint(endpoint.ip, dns_world.test_domains[0])
+        assert report.normal_injected
+        ok, evaluated = report.success_by_strategy()["Qname 0x20 Enc."]
+        assert evaluated == 4 and ok == 0  # engine matches case-insensitively
+
+    def test_qtype_alternation_evades_a_only_matcher(self, dns_world):
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        report = fuzzer.run_endpoint(endpoint.ip, dns_world.test_domains[0])
+        ok, evaluated = report.success_by_strategy()["Qtype Alt."]
+        assert evaluated == 2 and ok == 2  # injectors only watch A queries
+
+    def test_case_sensitive_injector_evaded_by_0x20(self, dns_world):
+        device = next(
+            d for d in dns_world.devices
+            if d.name == dns_world.notes["onpath_injector"]
+        )
+        device.quirks = replace(device.quirks, dns_case_sensitive=True)
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        report = fuzzer.run_endpoint(endpoint.ip, dns_world.test_domains[0])
+        ok, evaluated = report.success_by_strategy()["Qname 0x20 Enc."]
+        assert ok == evaluated == 4
+        # And the resolver still resolves mixed-case names: full
+        # circumvention, the 0x20 story.
+        for result in report.results:
+            if result.strategy == "Qname 0x20 Enc.":
+                assert result.circumvented
+
+    def test_clean_path_reports_nothing_to_fuzz(self, dns_world):
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        report = fuzzer.run_endpoint(endpoint.ip, "www.clean.example")
+        assert not report.normal_injected
+        assert report.results == []
+
+    def test_trailing_dot_behaviour(self, dns_world):
+        # Rule matching strips trailing dots -> still blocked.
+        fuzzer = DNSFuzzer(dns_world.sim, dns_world.remote_client)
+        endpoint = dns_world.endpoints[0]
+        report = fuzzer.run_endpoint(endpoint.ip, dns_world.test_domains[0])
+        by_label = {r.label: r for r in report.results}
+        assert not by_label["trailing-dot"].successful
+        # A prepended label still matches the suffix rule.
+        assert not by_label["prepended-label"].successful

@@ -1,0 +1,175 @@
+"""CenFuzz runner: evaluation semantics (§6.2) and classification."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    CONTROL_DOMAIN,
+    ENDPOINT_IP,
+    OK_DOMAIN,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.core.cenfuzz import CenFuzz
+from repro.core.cenfuzz.runner import (
+    OUTCOME_BLOCKPAGE,
+    OUTCOME_RESPONSE,
+    OUTCOME_RST,
+    OUTCOME_TIMEOUT,
+)
+from repro.core.cenfuzz.strategies import normal_permutation
+from repro.devices.vendors import BY_DPI, FORTINET, KZ_STATE
+from repro.services.webserver import ServerProfile, WebServer
+
+
+def _world(profile=KZ_STATE, **kwargs):
+    device = make_profile_device(profile) if profile else None
+    return build_linear_world(
+        device=device,
+        device_link=2,
+        endpoint_domains=(OK_DOMAIN, BLOCKED_DOMAIN),
+        **kwargs,
+    )
+
+
+class TestProbeClassification:
+    def test_drop_is_timeout(self):
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        outcome = fuzzer.probe(ENDPOINT_IP, normal_permutation("http"), BLOCKED_DOMAIN)
+        assert outcome.outcome == OUTCOME_TIMEOUT and outcome.blocked
+
+    def test_clean_domain_is_response(self):
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        outcome = fuzzer.probe(ENDPOINT_IP, normal_permutation("http"), OK_DOMAIN)
+        assert outcome.outcome == OUTCOME_RESPONSE and not outcome.blocked
+        assert outcome.status_code == 200
+        assert outcome.served(OK_DOMAIN)
+
+    def test_blockpage_detected(self):
+        world = _world(FORTINET)
+        fuzzer = CenFuzz(world.sim, world.client)
+        outcome = fuzzer.probe(ENDPOINT_IP, normal_permutation("http"), BLOCKED_DOMAIN)
+        assert outcome.outcome == OUTCOME_BLOCKPAGE and outcome.blocked
+
+    def test_onpath_rst_beats_late_content(self):
+        # On-path injectors race the endpoint; the RST arrives first
+        # and the client's connection dies — must classify as RST.
+        world = _world(BY_DPI)
+        fuzzer = CenFuzz(world.sim, world.client)
+        outcome = fuzzer.probe(ENDPOINT_IP, normal_permutation("http"), BLOCKED_DOMAIN)
+        assert outcome.outcome == OUTCOME_RST and outcome.blocked
+
+    def test_tls_served_marker_parsed(self):
+        world = _world(None)
+        fuzzer = CenFuzz(world.sim, world.client)
+        outcome = fuzzer.probe(ENDPOINT_IP, normal_permutation("tls"), OK_DOMAIN)
+        assert outcome.outcome == OUTCOME_RESPONSE
+        assert outcome.served(OK_DOMAIN)
+
+
+class TestEvaluationSemantics:
+    def test_successful_requires_normal_blocked(self):
+        world = _world(None)  # nothing blocked at all
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, OK_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Get Word Alt."],
+        )
+        assert not report.normal_blocked
+        assert all(
+            not (r.successful or r.unsuccessful) for r in report.results
+        )
+
+    def test_success_and_failure_partition(self):
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Get Word Alt."],
+        )
+        assert report.normal_blocked
+        for result in report.results:
+            assert result.successful != result.unsuccessful
+
+    def test_method_results_match_device_quirks(self):
+        # KZ_STATE triggers on GET/POST/PUT only.
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Get Word Alt."],
+        )
+        outcome = {r.label: r.successful for r in report.results}
+        assert outcome["POST"] is False
+        assert outcome["PUT"] is False
+        assert outcome["PATCH"] is True
+        assert outcome["XXXX"] is True
+
+    def test_strategy_filter_limits_work(self):
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Path Alt."],
+        )
+        assert {r.strategy for r in report.results} == {"Path Alt."}
+        assert len(report.results) == 8
+
+    def test_success_by_strategy_counts(self):
+        world = _world(KZ_STATE)
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Get Word Alt.", "Get Word Cap."],
+        )
+        rates = report.success_by_strategy()
+        ok, evaluated = rates["Get Word Alt."]
+        assert evaluated == 6 and ok == 4
+        ok_cap, evaluated_cap = rates["Get Word Cap."]
+        assert evaluated_cap == 8 and ok_cap == 0
+
+
+class TestCircumvention:
+    def test_circumvention_requires_served_content(self):
+        # A lenient endpoint serves padded Hosts -> circumvention; the
+        # KZ_STATE device uses an exact rule here so pads evade.
+        device = make_profile_device(KZ_STATE, rule_kind="exact")
+        world = build_linear_world(
+            device=device,
+            device_link=2,
+            endpoint_domains=(BLOCKED_DOMAIN,),
+            server=WebServer(
+                [BLOCKED_DOMAIN], ServerProfile.lenient(BLOCKED_DOMAIN)
+            ),
+        )
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Hostname Pad."],
+        )
+        padded = [r for r in report.results if r.successful]
+        assert padded
+        assert all(r.circumvented for r in padded)
+
+    def test_evasion_without_circumvention_on_strict_server(self):
+        device = make_profile_device(KZ_STATE, rule_kind="exact")
+        world = build_linear_world(
+            device=device,
+            device_link=2,
+            endpoint_domains=(BLOCKED_DOMAIN,),
+        )
+        fuzzer = CenFuzz(world.sim, world.client)
+        report = fuzzer.run_endpoint(
+            ENDPOINT_IP, BLOCKED_DOMAIN, "http", CONTROL_DOMAIN,
+            strategies=["Hostname Pad."],
+        )
+        evaded = [r for r in report.results if r.successful]
+        assert evaded
+        assert all(not r.circumvented for r in evaded)

@@ -1,0 +1,168 @@
+"""CenFuzz strategy registry: Table 2 counts and payload properties."""
+
+import pytest
+
+from repro.core.cenfuzz.strategies import (
+    all_strategies,
+    http_strategies,
+    normal_permutation,
+    pad_variants,
+    strategy_catalog,
+    swap_subdomain,
+    swap_tld,
+    tls_strategies,
+)
+from repro.netmodel.http import parse_request
+from repro.netmodel.tls import parse_client_hello
+
+DOMAIN = "www.blocked.example"
+
+TABLE2 = {
+    "Get Word Alt.": 6,
+    "Http Word Alt.": 16,
+    "Host Word Alt.": 7,
+    "Path Alt.": 8,
+    "Hostname Alt.": 5,
+    "Hostname TLD Alt.": 10,
+    "Host. Subdomain Alt.": 10,
+    "Header Alt.": 59,
+    "Get Word Cap.": 8,
+    "Http Word Cap.": 16,
+    "Host Word Cap.": 16,
+    "Get Word Rem.": 7,
+    "Http Word Rem.": 167,
+    "Host Word Rem.": 63,
+    "Http Delimiter Rem.": 3,
+    "Hostname Pad.": 9,
+    "Min Version Alt.": 4,
+    "Max Version Alt.": 4,
+    "CipherSuite Alt.": 25,
+    "Client Certificate Alt.": 3,
+    "SNI Alt.": 4,
+    "SNI TLD Alt.": 10,
+    "SNI Subdomain Alt.": 10,
+    "SNI Pad.": 9,
+}
+
+
+class TestCatalog:
+    def test_permutation_counts_match_table2(self):
+        strategies = all_strategies()
+        for name, expected in TABLE2.items():
+            assert len(strategies[name]) == expected, name
+
+    def test_total_counts(self):
+        assert sum(len(v) for v in http_strategies().values()) == 410
+        assert sum(len(v) for v in tls_strategies().values()) == 69
+
+    def test_catalog_rows_cover_all_strategies(self):
+        rows = strategy_catalog()
+        assert {row[1] for row in rows} == set(TABLE2)
+
+    def test_every_payload_builds(self):
+        for name, permutations in all_strategies().items():
+            for permutation in permutations:
+                payload = permutation.payload(DOMAIN)
+                assert isinstance(payload, bytes) and payload, (name, permutation.label)
+
+    def test_labels_unique_within_strategy(self):
+        for name, permutations in all_strategies().items():
+            labels = [p.label for p in permutations]
+            assert len(set(labels)) == len(labels), name
+
+    def test_payloads_deterministic(self):
+        strategies = all_strategies()
+        again = all_strategies()
+        for name in TABLE2:
+            for a, b in zip(strategies[name], again[name]):
+                assert a.payload(DOMAIN) == b.payload(DOMAIN)
+
+
+class TestHTTPPermutations:
+    def test_get_word_alt_includes_put_patch_empty(self):
+        labels = {p.label for p in all_strategies()["Get Word Alt."]}
+        assert {"POST", "PUT", "PATCH", "<empty>"} <= labels
+
+    def test_path_alt_changes_only_path(self):
+        for permutation in all_strategies()["Path Alt."]:
+            parsed = parse_request(permutation.payload(DOMAIN))
+            assert parsed.host == DOMAIN
+            assert parsed.path != "/"
+
+    def test_hostname_pad_leading_and_trailing(self):
+        payloads = [
+            p.payload(DOMAIN) for p in all_strategies()["Hostname Pad."]
+        ]
+        assert any(b"*" + DOMAIN.encode() in p for p in payloads)
+        assert any(DOMAIN.encode() + b"*" in p for p in payloads)
+
+    def test_delimiter_removal_variants(self):
+        labels = {p.label for p in all_strategies()["Http Delimiter Rem."]}
+        assert labels == {"CR", "LF", "<none>"}
+
+    def test_host_word_removal_mangles_host_token(self):
+        hits = 0
+        for permutation in all_strategies()["Host Word Rem."]:
+            payload = permutation.payload(DOMAIN)
+            if b"Host: " not in payload:
+                hits += 1
+        assert hits >= 62  # all but (at most) the identity-like variant
+
+    def test_header_alt_adds_exactly_one_header(self):
+        base_lines = (
+            all_strategies()["Header Alt."][0].payload(DOMAIN).count(b"\r\n")
+        )
+        for permutation in all_strategies()["Header Alt."]:
+            assert permutation.payload(DOMAIN).count(b"\r\n") == base_lines
+
+
+class TestTLSPermutations:
+    def test_cipher_alt_offers_single_suite(self):
+        for permutation in all_strategies()["CipherSuite Alt."]:
+            parsed = parse_client_hello(permutation.payload(DOMAIN))
+            assert len(parsed.cipher_suites) == 1
+
+    def test_sni_alt_includes_omission(self):
+        payload_by_label = {
+            p.label: parse_client_hello(p.payload(DOMAIN))
+            for p in all_strategies()["SNI Alt."]
+        }
+        assert payload_by_label["<omitted>"].sni is None
+        assert payload_by_label["reversed"].sni == DOMAIN[::-1]
+        assert payload_by_label["doubled"].sni == DOMAIN * 2
+
+    def test_min_version_tls13_offers_only_tls13(self):
+        perm = next(
+            p
+            for p in all_strategies()["Min Version Alt."]
+            if p.label == "TLS 1.3"
+        )
+        parsed = parse_client_hello(perm.payload(DOMAIN))
+        assert parsed.supported_versions == (0x0304,)
+
+    def test_max_version_tls10_offers_only_tls10(self):
+        perm = next(
+            p
+            for p in all_strategies()["Max Version Alt."]
+            if p.label == "TLS 1.0"
+        )
+        parsed = parse_client_hello(perm.payload(DOMAIN))
+        assert parsed.supported_versions == (0x0301,)
+
+    def test_sni_tld_swaps(self):
+        assert swap_tld("www.blocked.example", "net") == "www.blocked.net"
+        assert swap_subdomain("www.blocked.example", "m") == "m.blocked.example"
+        assert swap_subdomain("blocked.example", "m") == "m.blocked.example"
+
+
+class TestNormal:
+    def test_normal_http(self):
+        parsed = parse_request(normal_permutation("http").payload(DOMAIN))
+        assert parsed.method == "GET" and parsed.host == DOMAIN
+
+    def test_normal_tls(self):
+        parsed = parse_client_hello(normal_permutation("tls").payload(DOMAIN))
+        assert parsed.sni == DOMAIN
+
+    def test_pad_variants_count(self):
+        assert len(pad_variants()) == 9

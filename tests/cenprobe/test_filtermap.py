@@ -1,0 +1,124 @@
+"""FilterMap-style blockpage clustering (§3.3)."""
+
+import pytest
+
+from repro.core.filtermap import (
+    FilterMap,
+    jaccard,
+    normalize,
+    shingles,
+)
+from repro.devices.vendors import (
+    FORTINET_BLOCKPAGE,
+    ISP_RU_BLOCKPAGE,
+    NETSWEEPER_BLOCKPAGE,
+    SONICWALL_BLOCKPAGE,
+    SQUID_BLOCKPAGE,
+)
+
+
+def _variant(page: str, n: int) -> str:
+    """A realistic injection variant: different volatile bits."""
+    return page.replace(
+        "</body></html>", f"<!-- req {1000 + n} http://host{n}/ --></body></html>"
+    )
+
+
+class TestNormalization:
+    def test_strips_tags_and_volatiles(self):
+        tokens = normalize("<html><b>Access denied</b> at 10.0.0.1 #deadbeef12</html>")
+        assert "access" in tokens and "denied" in tokens
+        assert not any(t.startswith("10") or t == "deadbeef12" for t in tokens)
+
+    def test_shingles_and_jaccard(self):
+        a = shingles(["a", "b", "c", "d"], k=3)
+        b = shingles(["a", "b", "c", "e"], k=3)
+        assert 0 < jaccard(a, b) < 1
+        assert jaccard(a, a) == 1.0
+        assert jaccard(frozenset(), frozenset()) == 1.0
+        assert jaccard(a, frozenset()) == 0.0
+
+
+class TestClustering:
+    def test_same_vendor_variants_cluster_together(self):
+        filtermap = FilterMap()
+        for i in range(4):
+            filtermap.add_page(_variant(FORTINET_BLOCKPAGE, i), source=f"ep{i}")
+        clusters = filtermap.clusters()
+        assert len(clusters) == 1
+        assert clusters[0].size == 4
+
+    def test_different_vendors_separate(self):
+        filtermap = FilterMap()
+        pages = [
+            FORTINET_BLOCKPAGE,
+            NETSWEEPER_BLOCKPAGE,
+            SONICWALL_BLOCKPAGE,
+            SQUID_BLOCKPAGE,
+            ISP_RU_BLOCKPAGE,
+        ]
+        for page in pages:
+            for i in range(3):
+                filtermap.add_page(_variant(page, i))
+        clusters = filtermap.clusters()
+        assert len(clusters) == len(pages)
+        assert all(c.size == 3 for c in clusters)
+
+    def test_legitimate_pages_do_not_join_blockpage_clusters(self):
+        filtermap = FilterMap()
+        for i in range(3):
+            filtermap.add_page(_variant(FORTINET_BLOCKPAGE, i))
+        filtermap.add_page(
+            "<html><head><title>Acme Corp</title></head>"
+            "<body>Welcome to our homepage. Products and services.</body></html>"
+        )
+        clusters = filtermap.clusters()
+        sizes = sorted(c.size for c in clusters)
+        assert sizes == [1, 3]
+
+    def test_min_size_filter(self):
+        filtermap = FilterMap()
+        filtermap.add_page(FORTINET_BLOCKPAGE)
+        filtermap.add_page(SQUID_BLOCKPAGE)
+        assert filtermap.clusters(min_size=2) == []
+
+
+class TestFingerprintSuggestion:
+    def test_suggested_fingerprints_match_their_cluster(self):
+        filtermap = FilterMap()
+        for i in range(3):
+            filtermap.add_page(_variant(FORTINET_BLOCKPAGE, i))
+            filtermap.add_page(_variant(SQUID_BLOCKPAGE, i))
+        suggestions = filtermap.suggest_fingerprints(min_size=2)
+        assert len(suggestions) == 2
+        matched = 0
+        for fingerprint in suggestions:
+            assert fingerprint.matches(FORTINET_BLOCKPAGE) != fingerprint.matches(
+                SQUID_BLOCKPAGE
+            )
+            matched += 1
+        assert matched == 2
+
+    def test_suggestions_are_distinctive_tokens(self):
+        filtermap = FilterMap()
+        for i in range(3):
+            filtermap.add_page(_variant(FORTINET_BLOCKPAGE, i))
+            filtermap.add_page(_variant(ISP_RU_BLOCKPAGE, i))
+        suggestions = filtermap.suggest_fingerprints(min_size=2)
+        patterns = " ".join(s.pattern for s in suggestions).lower()
+        assert "fortiguard" in patterns or "blocked" in patterns
+
+    def test_suggestion_feeds_blockpage_matcher(self):
+        from repro.core.blockpages import BlockpageMatcher
+
+        filtermap = FilterMap()
+        custom = (
+            "<html><body>Zugriff verweigert durch NationalFilter"
+            " Gateway</body></html>"
+        )
+        for i in range(3):
+            filtermap.add_page(_variant(custom, i))
+        suggestion = filtermap.suggest_fingerprints(min_size=2)[0]
+        matcher = BlockpageMatcher(fingerprints=[suggestion])
+        assert matcher.match_body(custom) is not None
+        assert matcher.match_body("<html>perfectly fine page</html>") is None

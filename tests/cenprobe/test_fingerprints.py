@@ -1,0 +1,73 @@
+"""Recog-style fingerprint repository."""
+
+import pytest
+
+from repro.core.cenprobe.fingerprints import (
+    DEFAULT_REPOSITORY,
+    FingerprintRepository,
+    FingerprintRule,
+    RULES,
+)
+
+
+class TestRules:
+    def test_fortinet_ssh(self):
+        rule = DEFAULT_REPOSITORY.match("ssh", "SSH-2.0-FortiSSH_1.0")
+        assert rule is not None and rule.vendor == "Fortinet"
+
+    def test_cisco_telnet(self):
+        rule = DEFAULT_REPOSITORY.match("telnet", "User Access Verification\r\nPassword:")
+        assert rule.vendor == "Cisco"
+
+    def test_mikrotik_ftp(self):
+        rule = DEFAULT_REPOSITORY.match("ftp", "220 MikroTik FTP server ready")
+        assert rule.vendor == "Mikrotik"
+
+    def test_protocol_scoping(self):
+        # A Cisco SSH banner seen on FTP must not match the SSH rule.
+        assert DEFAULT_REPOSITORY.match("ftp", "SSH-2.0-Cisco-1.25") is None
+
+    def test_case_insensitive(self):
+        rule = DEFAULT_REPOSITORY.match("http", "server: DDOS-GUARD")
+        assert rule.vendor == "DDoS-Guard"
+
+    def test_generic_openssh_not_filtering(self):
+        vendor = DEFAULT_REPOSITORY.match_filtering_vendor(
+            "ssh", "SSH-2.0-OpenSSH_8.2p1"
+        )
+        assert vendor is None
+        rule = DEFAULT_REPOSITORY.match("ssh", "SSH-2.0-OpenSSH_8.2p1")
+        assert rule is not None and not rule.is_filtering_product
+
+    def test_no_match_returns_none(self):
+        assert DEFAULT_REPOSITORY.match("ssh", "SSH-2.0-dropbear") is None
+
+    def test_every_rule_has_valid_regex(self):
+        import re
+
+        for rule in RULES:
+            re.compile(rule.pattern)
+
+    def test_custom_repository_add(self):
+        repo = FingerprintRepository(rules=[])
+        assert repo.match("ssh", "SSH-2.0-FortiSSH") is None
+        repo.add(
+            FingerprintRule(
+                name="x", protocols=("ssh",), pattern="FortiSSH", vendor="Fortinet"
+            )
+        )
+        assert repo.match("ssh", "SSH-2.0-FortiSSH").vendor == "Fortinet"
+
+    def test_all_labeled_vendor_profiles_have_fingerprints(self):
+        """Every labeled vendor's management services must be matchable."""
+        from repro.devices.vendors import LABELED_PROFILES
+
+        for key, profile in LABELED_PROFILES.items():
+            matched = False
+            for service in profile.management_services():
+                text = service.banner.decode("utf-8", "replace")
+                for probe, response in service.probe_responses.items():
+                    text += "\n" + response.decode("utf-8", "replace")
+                if DEFAULT_REPOSITORY.match_filtering_vendor(service.protocol, text):
+                    matched = True
+            assert matched, f"{key}: no fingerprintable service"

@@ -1,0 +1,110 @@
+"""Nmap-style crafted-probe OS fingerprinting (§5.1)."""
+
+import pytest
+
+from repro.core.cenprobe.os_probes import (
+    CISCO_IOS,
+    FORTIOS,
+    LINUX,
+    OS_FEATURE_NAMES,
+    OSPersonality,
+    OSProber,
+    PERSONALITIES,
+    VENDOR_PERSONALITIES,
+)
+from repro.netsim.topology import Router, Service, Topology
+
+
+def _topology(personality=None, with_port=True):
+    topo = Topology("os-test")
+    router = topo.add_router(Router("r1", "10.0.0.1", asn=1))
+    router.personality = personality
+    if with_port:
+        router.add_service(Service(port=22, protocol="ssh", banner=b"SSH-2.0-x\r\n"))
+    return topo
+
+
+class TestPersonalities:
+    def test_catalog_names_unique(self):
+        assert len(PERSONALITIES) == len({p.name for p in PERSONALITIES.values()})
+
+    def test_every_labeled_vendor_has_a_personality(self):
+        from repro.devices.vendors import LABELED_PROFILES
+
+        for profile in LABELED_PROFILES.values():
+            assert profile.name in VENDOR_PERSONALITIES
+
+    def test_personalities_produce_distinct_features(self):
+        prober_features = []
+        for personality in PERSONALITIES.values():
+            topo = _topology(personality)
+            result = OSProber(topo).probe("10.0.0.1")
+            prober_features.append(tuple(sorted(result.features.items())))
+        assert len(set(prober_features)) == len(prober_features)
+
+
+class TestProber:
+    def test_fortios_signature(self):
+        result = OSProber(_topology(FORTIOS)).probe("10.0.0.1")
+        assert result.responsive
+        assert result.personality_name == "FortiOS"
+        assert result.feature("OSInitialTTL") == 255
+        assert result.feature("OSSynAckWindow") == 16384
+        assert result.feature("OSECN") == 0.0
+
+    def test_cisco_suppresses_icmp_unreachable(self):
+        result = OSProber(_topology(CISCO_IOS)).probe("10.0.0.1")
+        assert result.feature("OSIcmpUnreachable") == 0.0
+        assert result.feature("OSIpIdClass") == 2.0  # random
+
+    def test_default_personality_is_linux(self):
+        result = OSProber(_topology(None)).probe("10.0.0.1")
+        assert result.personality_name == LINUX.name
+
+    def test_no_open_port_limits_features(self):
+        result = OSProber(_topology(FORTIOS, with_port=False)).probe("10.0.0.1")
+        assert result.feature("OSSynAckWindow") is None
+        assert result.feature("OSInitialTTL") == 255  # closed-port RST still talks
+
+    def test_unknown_ip_unresponsive(self):
+        result = OSProber(_topology(None)).probe("203.0.113.1")
+        assert not result.responsive
+        assert result.features == {}
+
+    def test_feature_names_constant_covers_everything(self):
+        result = OSProber(_topology(FORTIOS)).probe("10.0.0.1")
+        assert set(result.features) <= set(OS_FEATURE_NAMES)
+
+
+class TestIntegration:
+    def test_cenprobe_includes_os_features(self):
+        from repro.core.cenprobe import CenProbe
+        from repro.geo.countries import build_kz_world
+
+        world = build_kz_world(scale=0.3)
+        prober = CenProbe(world.topology)
+        fortinet_ip = None
+        for name, ip in world.device_host_ip.items():
+            report = prober.scan(ip)
+            if report.vendor == "Fortinet":
+                fortinet_ip = ip
+                assert report.os_name == "FortiOS"
+                assert report.os_features["OSInitialTTL"] == 255
+        assert fortinet_ip is not None
+
+    def test_feature_extraction_uses_os_features(self):
+        from repro.analysis.features import extract_features
+        from repro.core.cenprobe.scanner import ProbeReport
+        from repro.core.centrace.results import CenTraceResult
+
+        trace = CenTraceResult(
+            endpoint_ip="10.0.0.9", endpoint_asn=1, test_domain="x",
+            protocol="http", blocked=True, blocking_type="TIMEOUT",
+        )
+        probe = ProbeReport(
+            ip="10.0.0.1", reachable=True,
+            os_features={"OSInitialTTL": 255.0, "OSSynAckWindow": 16384.0},
+        )
+        features = extract_features("10.0.0.9", [trace], probe_report=probe)
+        assert features.values["OSInitialTTL"] == 255.0
+        assert features.values["OSSynAckWindow"] == 16384.0

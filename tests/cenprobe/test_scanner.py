@@ -1,0 +1,77 @@
+"""CenProbe scanning and labeling."""
+
+import pytest
+
+from repro.core.cenprobe import CenProbe, summarize_reports
+from repro.devices.vendors import CISCO, FORTINET, MIKROTIK
+from repro.netsim.topology import Router, Topology
+from repro.services.banners import generic_linux_services
+
+
+def _topology_with(vendor_profile=None, generic=False, ip="10.0.0.1"):
+    topo = Topology("scan-test")
+    router = topo.add_router(Router("r1", ip, asn=1))
+    if vendor_profile is not None:
+        for service in vendor_profile.management_services():
+            router.add_service(service)
+    if generic:
+        for service in generic_linux_services():
+            router.add_service(service)
+    return topo
+
+
+class TestScan:
+    def test_vendor_labeled(self):
+        probe = CenProbe(_topology_with(FORTINET))
+        report = probe.scan("10.0.0.1")
+        assert report.reachable
+        assert report.vendor == "Fortinet"
+        assert report.matched_rule.startswith("fortinet.")
+
+    def test_cisco_via_snmp_or_telnet(self):
+        report = CenProbe(_topology_with(CISCO)).scan("10.0.0.1")
+        assert report.vendor == "Cisco"
+
+    def test_mikrotik_multi_protocol(self):
+        report = CenProbe(_topology_with(MIKROTIK)).scan("10.0.0.1")
+        assert report.vendor == "Mikrotik"
+        assert 21 in report.open_ports
+
+    def test_closed_host_no_services(self):
+        report = CenProbe(_topology_with(None)).scan("10.0.0.1")
+        assert report.reachable and not report.has_services
+        assert report.vendor is None
+
+    def test_unknown_ip_unreachable(self):
+        report = CenProbe(_topology_with(None)).scan("203.0.113.1")
+        assert not report.reachable
+
+    def test_generic_services_identified_but_not_filtering(self):
+        report = CenProbe(_topology_with(None, generic=True)).scan("10.0.0.1")
+        assert report.has_services
+        assert report.vendor is None
+        assert "OpenSSH" in report.other_identifications or "nginx" in report.other_identifications
+
+    def test_grabs_include_banner_text(self):
+        report = CenProbe(_topology_with(FORTINET)).scan("10.0.0.1")
+        texts = " ".join(g.text() for g in report.grabs)
+        assert "FortiSSH" in texts
+
+    def test_scan_many(self):
+        topo = _topology_with(FORTINET)
+        topo.add_router(Router("r2", "10.0.0.2", asn=1))
+        reports = CenProbe(topo).scan_many(["10.0.0.1", "10.0.0.2"])
+        assert len(reports) == 2
+        assert reports[0].vendor == "Fortinet" and reports[1].vendor is None
+
+
+class TestSummary:
+    def test_summarize(self):
+        topo = _topology_with(FORTINET)
+        topo.add_router(Router("r2", "10.0.0.2", asn=1))
+        probe = CenProbe(topo)
+        summary = summarize_reports(probe.scan_many(["10.0.0.1", "10.0.0.2"]))
+        assert summary["total"] == 2
+        assert summary["with_services"] == 1
+        assert summary["labeled_filtering"] == 1
+        assert summary["vendor:Fortinet"] == 1

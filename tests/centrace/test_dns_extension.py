@@ -1,0 +1,130 @@
+"""The §8 DNS-injection extension, end to end."""
+
+import pytest
+
+from repro.core.cenprobe import CenProbe
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.core.centrace.results import PROTO_DNS, TYPE_DNSINJECT, TYPE_NORMAL
+from repro.geo.countries import build_dns_world
+from repro.netmodel.dns import DNSMessage
+from repro.services.dnsresolver import DNSResolver, synthetic_address
+
+
+@pytest.fixture(scope="module")
+def dns_world():
+    return build_dns_world()
+
+
+@pytest.fixture(scope="module")
+def tracer(dns_world):
+    return CenTrace(
+        dns_world.sim,
+        dns_world.remote_client,
+        asdb=dns_world.asdb,
+        config=CenTraceConfig(repetitions=2),
+    )
+
+
+class TestResolver:
+    def test_zone_entry_resolved(self):
+        resolver = DNSResolver(zone={"a.example": "192.0.2.1"})
+        assert resolver.resolve("a.example") == "192.0.2.1"
+        assert resolver.resolve("A.Example.") == "192.0.2.1"
+
+    def test_recursive_synthetic_addresses_deterministic(self):
+        resolver = DNSResolver()
+        first = resolver.resolve("x.example")
+        assert first == resolver.resolve("x.example")
+        assert first == synthetic_address("x.example")
+
+    def test_non_recursive_nxdomain(self):
+        resolver = DNSResolver(recursive=False)
+        assert resolver.resolve("x.example") is None
+
+
+class TestDNSCenTrace:
+    def test_onpath_injector_detected(self, dns_world, tracer):
+        endpoint = dns_world.endpoints[0]  # behind the on-path injector
+        result = tracer.measure(
+            endpoint.ip, dns_world.test_domains[0], PROTO_DNS
+        )
+        assert result.blocked
+        assert result.blocking_type == TYPE_DNSINJECT
+        assert result.terminating_ttl < result.endpoint_distance
+        assert result.in_path is False  # double answers observed
+        assert result.blocking_hop.ip is not None
+
+    def test_inpath_injector_detected(self, dns_world, tracer):
+        endpoint = dns_world.endpoints[1]  # behind the in-path injector
+        result = tracer.measure(
+            endpoint.ip, dns_world.test_domains[0], PROTO_DNS
+        )
+        assert result.blocked
+        assert result.blocking_type == TYPE_DNSINJECT
+        assert result.in_path is True  # the query never reaches the resolver
+
+    def test_clean_domain_resolves_normally(self, dns_world, tracer):
+        endpoint = dns_world.endpoints[0]
+        result = tracer.measure(endpoint.ip, "www.clean.example", PROTO_DNS)
+        assert not result.blocked
+        assert result.blocking_type == TYPE_NORMAL
+        assert result.terminating_ttl == result.endpoint_distance
+
+    def test_forged_answer_carries_fake_address(self, dns_world, tracer):
+        endpoint = dns_world.endpoints[0]
+        sweep = tracer.sweep(endpoint.ip, dns_world.test_domains[0], PROTO_DNS)
+        response = sweep.terminating_response
+        message = DNSMessage.from_bytes(response.payload)
+        assert message.answers[0].address.startswith("198.18.")
+
+    def test_fake_addresses_rotate(self, dns_world, tracer):
+        endpoint = dns_world.endpoints[0]
+        sweep = tracer.sweep(endpoint.ip, dns_world.test_domains[0], PROTO_DNS)
+        addresses = set()
+        for probe in sweep.probes:
+            for response in probe.responses:
+                if response.kind == "udp":
+                    message = DNSMessage.from_bytes(response.payload)
+                    if message.answers and message.answers[0].address.startswith("198.18."):
+                        addresses.add(message.answers[0].address)
+        assert len(addresses) >= 2  # the GFW-style rotating pool
+
+    def test_txid_echoed_in_forged_answer(self, dns_world, tracer):
+        # Forged answers must echo the query ID or resolvers'
+        # clients would discard them.
+        endpoint = dns_world.endpoints[0]
+        probe = tracer._probe_dns(endpoint.ip, dns_world.test_domains[0], 64)
+        sent_txid = None
+        from repro.netmodel.packet import Packet
+
+        sent = Packet.from_bytes(probe.sent_bytes)
+        sent_txid = DNSMessage.from_bytes(sent.udp.payload).txid
+        for response in probe.responses:
+            if response.kind == "udp":
+                assert DNSMessage.from_bytes(response.payload).txid == sent_txid
+
+    def test_case_sensitive_engine_evaded_by_0x20(self, dns_world):
+        # The in-path injector's engine is case-insensitive; flip it to
+        # case-sensitive and a 0x20-encoded query sails through.
+        from dataclasses import replace
+
+        from repro.netmodel.dns import query
+        from repro.netmodel.packet import udp_packet
+        from repro.netsim.interfaces import InspectionContext
+
+        device = next(
+            d
+            for d in dns_world.devices
+            if d.name == dns_world.notes["inpath_injector"]
+        )
+        mixed = query("WwW.BlOcKeD.eXaMpLe").to_bytes()
+        packet = udp_packet("10.0.0.1", "10.0.0.2", 40000, 53, payload=mixed)
+        ctx = InspectionContext(clock=0, remaining_ttl=9, link_index=2)
+        assert device.inspect(packet, ctx).acted  # insensitive engine
+        strict = replace(device.quirks, dns_case_sensitive=True)
+        original = device.quirks
+        device.quirks = strict
+        try:
+            assert not device.inspect(packet, ctx).acted
+        finally:
+            device.quirks = original

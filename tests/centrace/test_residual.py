@@ -1,0 +1,87 @@
+"""Residual-censorship measurement (§4.1's stateful devices)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    ENDPOINT_IP,
+    OK_DOMAIN,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.core.centrace.residual import (
+    ResidualProbe,
+    SCOPE_3TUPLE,
+    SCOPE_HOSTS,
+    SCOPE_NONE,
+)
+from repro.devices.vendors import DDOSGUARD, KZ_STATE, PALO_ALTO
+
+
+def _probe_world(profile):
+    device = make_profile_device(profile)
+    world = build_linear_world(
+        device=device, device_link=2, endpoint_domains=(OK_DOMAIN,)
+    )
+    return world, ResidualProbe(world.sim, world.client)
+
+
+class TestStatelessDevices:
+    def test_stateless_device_detected(self):
+        world, probe = _probe_world(DDOSGUARD)  # residual off
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert not measurement.stateful
+        assert measurement.scope == SCOPE_NONE
+        assert "stateless" in measurement.summary()
+
+
+class TestStatefulDevices:
+    def test_kz_state_punishment_duration_bracketed(self):
+        # KZ_STATE punishes the 3-tuple for 60 seconds.
+        world, probe = _probe_world(KZ_STATE)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert measurement.stateful
+        low, high = measurement.duration_bounds
+        assert low < 60.0 <= high
+        assert high - low < 10.0  # bisection narrowed the bracket
+
+    def test_kz_state_scope_is_3tuple(self):
+        world, probe = _probe_world(KZ_STATE)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert measurement.scope == SCOPE_3TUPLE
+
+    def test_paloalto_scope_is_host_pair(self):
+        # PALO_ALTO punishes the (client, server) pair, all ports.
+        world, probe = _probe_world(PALO_ALTO)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert measurement.stateful
+        assert measurement.scope == SCOPE_HOSTS
+        low, high = measurement.duration_bounds
+        assert low < 75.0 <= high  # ground truth: 75 s
+
+    def test_probe_accounting(self):
+        world, probe = _probe_world(KZ_STATE)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert measurement.probes_used == probe.probes_used > 5
+
+    def test_summary_renders(self):
+        world, probe = _probe_world(KZ_STATE)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert "stateful (3-tuple)" in measurement.summary()
+
+
+class TestEdgeCases:
+    def test_unreachable_control(self):
+        device = make_profile_device(
+            KZ_STATE, domains=(BLOCKED_DOMAIN, "www.example.com")
+        )
+        world = build_linear_world(device=device, device_link=2)
+        probe = ResidualProbe(world.sim, world.client)
+        measurement = probe.measure(ENDPOINT_IP, BLOCKED_DOMAIN)
+        assert measurement.scope == "control-unreachable"
+        assert not measurement.stateful

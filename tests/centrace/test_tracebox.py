@@ -1,0 +1,106 @@
+"""Tracebox-style localization of header-modifying middleboxes."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import CONTROL_DOMAIN, ENDPOINT_IP, build_linear_world
+
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.core.centrace.tracebox import (
+    hop_quotes,
+    locate_modifications,
+    locate_modifications_aggregated,
+)
+
+
+def _sweep(world, repetitions=1):
+    tracer = CenTrace(
+        world.sim, world.client, config=CenTraceConfig(repetitions=repetitions)
+    )
+    return [
+        tracer.sweep(ENDPOINT_IP, CONTROL_DOMAIN, "http")
+        for _ in range(repetitions)
+    ]
+
+
+class TestHopQuotes:
+    def test_every_responding_hop_quoted(self):
+        world = build_linear_world()
+        quotes = hop_quotes(_sweep(world)[0])
+        assert len(quotes) == len(world.routers)
+        assert [q.hop_ip for q in quotes] == [r.ip for r in world.routers]
+
+    def test_clean_path_shows_no_changes(self):
+        world = build_linear_world()
+        for quote in hop_quotes(_sweep(world)[0]):
+            assert not quote.delta.any_header_change()
+
+
+class TestLocalization:
+    def test_tos_rewriter_localized_to_its_link(self):
+        world = build_linear_world()
+        world.routers[2].rewrite_tos = 0x28
+        events = locate_modifications(_sweep(world)[0])
+        tos = [e for e in events if e.fieldname == "ip_tos"]
+        assert len(tos) == 1
+        # The rewrite happens when router index 2 forwards, so the
+        # first *quote* showing it comes from the next hop (ttl 4).
+        assert tos[0].at_ttl == 4
+        assert tos[0].at_hop == world.routers[3].ip
+        assert tos[0].before_ttl == 3
+        assert tos[0].before_hop == world.routers[2].ip
+
+    def test_first_hop_rewriter(self):
+        world = build_linear_world()
+        world.routers[0].rewrite_tos = 0x10
+        events = locate_modifications(_sweep(world)[0])
+        tos = [e for e in events if e.fieldname == "ip_tos"]
+        assert tos[0].at_ttl == 2
+        assert tos[0].before_ttl == 1
+
+    def test_flags_rewriter_localized(self):
+        world = build_linear_world()
+        world.routers[1].rewrite_ip_flags = 0x0
+        events = locate_modifications(_sweep(world)[0])
+        flags = [e for e in events if e.fieldname == "ip_flags"]
+        assert len(flags) == 1
+        assert flags[0].at_ttl == 3
+
+    def test_two_rewriters_two_events(self):
+        world = build_linear_world()
+        world.routers[1].rewrite_tos = 0x28
+        world.routers[3].rewrite_ip_flags = 0x0
+        events = locate_modifications(_sweep(world)[0])
+        assert {e.fieldname for e in events} == {"ip_tos", "ip_flags"}
+
+    def test_describe_renders(self):
+        world = build_linear_world()
+        world.routers[2].rewrite_tos = 0x28
+        event = locate_modifications(_sweep(world)[0])[0]
+        assert "ip_tos modified between hop 3" in event.describe()
+
+    def test_silent_region_widens_the_bracket(self):
+        world = build_linear_world(silent_routers=(3,))
+        world.routers[2].rewrite_tos = 0x28
+        events = locate_modifications(_sweep(world)[0])
+        tos = [e for e in events if e.fieldname == "ip_tos"]
+        # Hop 4 is silent, so the first quote showing the change is
+        # hop 5's; the clean side is still hop 3.
+        assert tos[0].at_ttl == 5
+        assert tos[0].before_ttl == 3
+
+
+class TestAggregation:
+    def test_majority_vote_across_repetitions(self):
+        world = build_linear_world()
+        world.routers[2].rewrite_tos = 0x28
+        sweeps = _sweep(world, repetitions=3)
+        events = locate_modifications_aggregated(sweeps)
+        assert any(e.fieldname == "ip_tos" for e in events)
+
+    def test_clean_path_aggregates_to_nothing(self):
+        world = build_linear_world()
+        assert locate_modifications_aggregated(_sweep(world, 3)) == []

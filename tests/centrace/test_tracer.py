@@ -1,0 +1,215 @@
+"""CenTrace scenario tests: the five behaviours of Figure 2.
+
+(A) control domain maps the path; (B) injected terminating response;
+(C) packet-drop timeouts; (D) on-path device seen via RST + ICMP at
+the same hop; (E) TTL-copying injector producing "Past E".
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    CONTROL_DOMAIN,
+    ENDPOINT_IP,
+    OK_DOMAIN,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.core.centrace import (
+    CenTrace,
+    CenTraceConfig,
+    LOC_AT_E,
+    LOC_PAST_E,
+    LOC_PATH,
+    PROTO_HTTP,
+    PROTO_TLS,
+    TYPE_HTTP,
+    TYPE_NORMAL,
+    TYPE_RST,
+    TYPE_TIMEOUT,
+)
+from repro.devices.vendors import BY_DPI, FORTINET, KZ_STATE, TSPU_TTLCOPY
+from repro.services.webserver import FilteringWebServer
+
+
+def _tracer(world, **kwargs) -> CenTrace:
+    config = CenTraceConfig(repetitions=kwargs.pop("repetitions", 2), **kwargs)
+    return CenTrace(world.sim, world.client, asdb=world.asdb, config=config)
+
+
+class TestScenarioA_ControlPath:
+    def test_control_sweep_maps_every_hop(self):
+        world = build_linear_world()
+        sweep = _tracer(world).sweep(ENDPOINT_IP, CONTROL_DOMAIN, PROTO_HTTP)
+        hops = sweep.hop_ips()
+        for i, router in enumerate(world.routers, start=1):
+            assert hops[i] == router.ip
+        assert sweep.terminating_type == TYPE_NORMAL
+        assert sweep.terminating_ttl == world.endpoint_distance
+
+    def test_unblocked_measure_not_blocked(self):
+        world = build_linear_world()
+        result = _tracer(world).measure(ENDPOINT_IP, OK_DOMAIN, PROTO_HTTP)
+        assert not result.blocked
+        assert result.valid
+        assert result.endpoint_distance == world.endpoint_distance
+
+
+class TestScenarioB_Injection:
+    def test_rst_injector_classified(self):
+        device = make_profile_device(FORTINET)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_TLS)
+        assert result.blocked
+        assert result.blocking_type == TYPE_RST
+        assert result.terminating_ttl == 3
+        assert result.blocking_hop.ip == world.routers[2].ip
+        assert result.location_class == LOC_PATH
+
+    def test_blockpage_injector_classified_http(self):
+        device = make_profile_device(FORTINET)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocking_type == TYPE_HTTP
+        assert result.blockpage_fingerprint == "fortinet_fortiguard"
+        assert result.in_path is True
+
+    def test_injected_packet_features_extracted(self):
+        device = make_profile_device(FORTINET)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_TLS)
+        assert result.injected_tcp_window == 8192
+        assert result.injected_initial_ttl == 64
+        assert result.injected_ip_id == 0x0100
+
+
+class TestScenarioC_Drops:
+    def test_drop_device_timeout_at_link(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocked
+        assert result.blocking_type == TYPE_TIMEOUT
+        assert result.terminating_ttl == 3
+        assert result.blocking_hop.ip == world.routers[2].ip
+        assert result.in_path is True
+
+    def test_control_traces_stay_clean(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.valid
+        for sweep in result.sweeps_control:
+            assert sweep.terminating_type == TYPE_NORMAL
+
+    def test_hops_from_endpoint(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(n_routers=6, device=device, device_link=1)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.endpoint_distance == 7
+        assert result.hops_from_endpoint == 5
+
+
+class TestScenarioD_OnPath:
+    def test_onpath_detected(self):
+        device = make_profile_device(BY_DPI)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocked
+        assert result.blocking_type == TYPE_RST
+        assert result.in_path is False
+        assert result.terminating_ttl == 3
+
+    def test_onpath_with_silent_next_hop_misclassified_in_path(self):
+        # The false-positive mode the paper documents in §4.1: if the
+        # hop past the device never sends ICMP, the injected RST is the
+        # only signal and the device looks in-path.
+        device = make_profile_device(BY_DPI)
+        world = build_linear_world(
+            device=device, device_link=2, silent_routers=(2,)
+        )
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocked
+        assert result.in_path is True
+
+
+class TestScenarioE_TTLCopy:
+    def test_past_e_detected_and_corrected(self):
+        device = make_profile_device(TSPU_TTLCOPY)
+        world = build_linear_world(n_routers=4, device=device, device_link=3)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocked
+        assert result.blocking_type == TYPE_RST
+        assert result.ttl_copy_detected
+        # Device sits on the link to router index 3 => distance 3;
+        # the RST first survives at probe TTL 7 (= 2*3 + 1) which is
+        # past the endpoint at distance 5.
+        assert result.terminating_ttl == 7
+        assert result.location_class == LOC_PAST_E
+        # Three routers sit before the device; the blocking hop (the
+        # node its link leads into, as for droppers) is hop 4.
+        assert result.corrected_device_distance == 4
+        assert result.blocking_hop.ip == world.routers[3].ip
+
+
+class TestAtE:
+    def test_endpoint_local_drop_classified_at_e(self):
+        server = FilteringWebServer(
+            [OK_DOMAIN], [BLOCKED_DOMAIN], mode="drop"
+        )
+        world = build_linear_world(server=server)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocked
+        assert result.blocking_type == TYPE_TIMEOUT
+        assert result.location_class == LOC_AT_E
+        assert result.blocking_hop.ip == ENDPOINT_IP
+        assert result.in_path is None
+
+    def test_endpoint_local_reset_classified_at_e(self):
+        server = FilteringWebServer(
+            [OK_DOMAIN], [BLOCKED_DOMAIN], mode="reset"
+        )
+        world = build_linear_world(server=server)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocking_type == TYPE_RST
+        assert result.location_class == LOC_AT_E
+
+
+class TestRobustness:
+    def test_loss_tolerated_by_retries(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=2, loss_rate=0.02)
+        result = _tracer(world, repetitions=3).measure(
+            ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP
+        )
+        assert result.blocked
+        assert result.terminating_ttl == 3
+
+    def test_quote_delta_collected_at_blocking_hop(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=2)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.quote_delta is not None
+        assert not result.quote_delta.tos_changed
+
+    def test_tos_rewriter_before_device_visible_in_quote(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=3)
+        world.routers[0].rewrite_tos = 0x28
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.quote_delta.tos_changed
+
+    def test_asn_attribution(self):
+        device = make_profile_device(KZ_STATE)
+        world = build_linear_world(device=device, device_link=2)
+        world.asdb.register(64503, "Blocking AS", "XX")
+        # Rebuild the router IP mapping in the asdb for attribution.
+        # (The helper's routers are not asdb-allocated, so attribution
+        # is None — verify the tracer handles that gracefully.)
+        result = _tracer(world).measure(ENDPOINT_IP, BLOCKED_DOMAIN, PROTO_HTTP)
+        assert result.blocking_hop.asn is None

@@ -1,0 +1,51 @@
+"""Shared fixtures: small worlds and session-scoped campaigns.
+
+The country campaigns are expensive (tens of seconds each), so the
+experiment tests share one set, built at reduced scale and cached for
+the whole test session.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import build_linear_world  # noqa: E402
+
+
+@pytest.fixture
+def linear_world():
+    """A clean 5-router world without any censorship device."""
+    return build_linear_world()
+
+
+@pytest.fixture(scope="session")
+def small_campaigns():
+    """Reduced-scale campaigns for all four countries (shared)."""
+    from repro.experiments.campaign import get_campaign
+
+    return {
+        country: get_campaign(country, scale=0.35, repetitions=2)
+        for country in ("AZ", "BY", "KZ", "RU")
+    }
+
+
+@pytest.fixture(scope="session")
+def full_campaigns():
+    """Default-scale campaigns (used by the statistics-shape tests)."""
+    from repro.experiments.campaign import get_campaign
+
+    return {
+        country: get_campaign(country) for country in ("AZ", "BY", "KZ", "RU")
+    }
+
+
+@pytest.fixture(scope="session")
+def blockpage_case_study():
+    from repro.experiments.fig9 import blockpage_campaign
+
+    return blockpage_campaign()

@@ -1,0 +1,123 @@
+"""Property-based device invariants (hypothesis)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from repro.devices.actions import BlockAction, KIND_RST, build_injections
+from repro.devices.base import CensorshipDevice
+from repro.devices.quirks import ParserQuirks
+from repro.devices.rules import (
+    BlockRule,
+    Blocklist,
+    KIND_EXACT,
+    KIND_KEYWORD,
+    KIND_SUFFIX,
+)
+from repro.netmodel.http import HTTPRequest
+from repro.netmodel.packet import tcp_packet
+from repro.netmodel.tls import ClientHello
+from repro.netsim.interfaces import InspectionContext
+
+BLOCKED = "www.blocked.example"
+
+hostnames = st.from_regex(
+    r"[a-z][a-z0-9-]{0,10}(\.[a-z][a-z0-9-]{1,10}){1,3}", fullmatch=True
+)
+
+
+def _device(kind=KIND_SUFFIX, **kwargs) -> CensorshipDevice:
+    return CensorshipDevice(
+        "dev",
+        blocklist=Blocklist([BlockRule(BLOCKED, kind=kind)]),
+        quirks=ParserQuirks(),
+        action=BlockAction(kind=KIND_RST, drop_original=True),
+        **kwargs,
+    )
+
+
+def _ctx() -> InspectionContext:
+    return InspectionContext(clock=0.0, remaining_ttl=9, link_index=2)
+
+
+class TestNoFalsePositives:
+    @settings(max_examples=60, deadline=None)
+    @given(host=hostnames)
+    def test_exact_rule_never_triggers_on_other_hosts(self, host):
+        assume(host != BLOCKED)
+        device = _device(kind=KIND_EXACT)
+        packet = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80,
+            payload=HTTPRequest.normal(host).build(),
+        )
+        assert not device.inspect(packet, _ctx()).acted
+
+    @settings(max_examples=60, deadline=None)
+    @given(host=hostnames)
+    def test_suffix_rule_triggers_exactly_on_subdomains(self, host):
+        device = _device(kind=KIND_SUFFIX)
+        packet = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80,
+            payload=HTTPRequest.normal(host).build(),
+        )
+        expected = host == "blocked.example" or host.endswith(".blocked.example")
+        assert device.inspect(packet, _ctx()).acted == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(host=hostnames)
+    def test_tls_and_http_verdicts_agree(self, host):
+        """The same engine and rules must give consistent verdicts for
+        the same hostname over HTTP and TLS."""
+        http_device = _device(kind=KIND_SUFFIX)
+        tls_device = _device(kind=KIND_SUFFIX)
+        http_packet = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80,
+            payload=HTTPRequest.normal(host).build(),
+        )
+        tls_packet = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 443,
+            payload=ClientHello.normal(host).build(),
+        )
+        assert (
+            http_device.inspect(http_packet, _ctx()).acted
+            == tls_device.inspect(tls_packet, _ctx()).acted
+        )
+
+
+class TestInjectionInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seq=st.integers(min_value=0, max_value=2**31),
+        ack=st.integers(min_value=0, max_value=2**31),
+        payload=st.binary(min_size=1, max_size=60),
+    )
+    def test_injections_always_spoof_the_endpoint(self, seq, ack, payload):
+        trigger = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80, seq=seq, ack=ack, payload=payload
+        )
+        to_client, _ = build_injections(
+            BlockAction(kind=KIND_RST), trigger, 9, "dev"
+        )
+        for packet in to_client:
+            assert packet.ip.src == trigger.ip.dst
+            assert packet.ip.dst == trigger.ip.src
+            assert packet.injected
+            assert packet.tcp.sport == trigger.tcp.dport
+
+    @settings(max_examples=30, deadline=None)
+    @given(remaining=st.integers(min_value=1, max_value=64))
+    def test_ttl_copy_never_exceeds_remaining(self, remaining):
+        from repro.devices.actions import InjectionSignature, TTL_COPY
+
+        trigger = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80, payload=b"x"
+        )
+        action = BlockAction(
+            kind=KIND_RST, signature=InjectionSignature(ttl_mode=TTL_COPY)
+        )
+        to_client, _ = build_injections(action, trigger, remaining, "dev")
+        assert to_client[0].ip.ttl == remaining

@@ -1,0 +1,183 @@
+"""DPI parser quirks: what fuzzed payloads each engine flavour sees."""
+
+import pytest
+
+from repro.devices.quirks import (
+    HOST_FROM_HEADER,
+    HOST_SUBSTRING,
+    ParserQuirks,
+    VERSION_ANY,
+    VERSION_SLASH,
+    VERSION_VALID,
+    extract_http_host,
+    extract_tls_sni,
+    path_matches,
+    SCOPE_URL,
+)
+from repro.netmodel.http import HTTPRequest
+from repro.netmodel.tls import ClientHello, VERSION_TLS10, VERSION_TLS13
+
+HOST = "www.blocked.example"
+
+
+def _build(**kwargs) -> bytes:
+    return HTTPRequest(host=HOST, **kwargs).build()
+
+
+class TestMethodHandling:
+    quirks = ParserQuirks(trigger_methods=frozenset({"GET", "POST"}))
+
+    def test_get_inspected(self):
+        host, path = extract_http_host(_build(), self.quirks)
+        assert host == HOST and path == "/"
+
+    def test_untracked_method_evades(self):
+        assert extract_http_host(_build(method="PATCH"), self.quirks) == (None, None)
+
+    def test_truncated_method_evades(self):
+        assert extract_http_host(_build(method="GE"), self.quirks) == (None, None)
+
+    def test_empty_method_evades(self):
+        assert extract_http_host(_build(method=""), self.quirks) == (None, None)
+
+    def test_method_case_insensitive_by_default(self):
+        host, _ = extract_http_host(_build(method="GeT"), self.quirks)
+        assert host == HOST
+
+    def test_case_sensitive_engine_misses_mixed_case(self):
+        strict = ParserQuirks(
+            trigger_methods=frozenset({"GET"}), method_case_sensitive=True
+        )
+        assert extract_http_host(_build(method="GeT"), strict) == (None, None)
+
+    def test_empty_trigger_set_inspects_everything(self):
+        lax = ParserQuirks(trigger_methods=frozenset())
+        host, _ = extract_http_host(_build(method="XXXX"), lax)
+        assert host == HOST
+
+
+class TestVersionHandling:
+    def test_slash_rule_accepts_invalid_but_slashed(self):
+        quirks = ParserQuirks(version_rule=VERSION_SLASH)
+        host, _ = extract_http_host(_build(http_word="HTTP/9"), quirks)
+        assert host == HOST  # §6.3: invalid versions rarely evade
+
+    def test_slash_rule_rejects_unslashed(self):
+        quirks = ParserQuirks(version_rule=VERSION_SLASH)
+        assert extract_http_host(_build(http_word="HTTP1.1"), quirks) == (None, None)
+
+    def test_valid_rule_requires_literal_version(self):
+        quirks = ParserQuirks(version_rule=VERSION_VALID)
+        assert extract_http_host(_build(http_word="HTTP/9"), quirks) == (None, None)
+        host, _ = extract_http_host(_build(http_word="HTTP/1.0"), quirks)
+        assert host == HOST
+
+    def test_any_rule_accepts_garbage(self):
+        quirks = ParserQuirks(version_rule=VERSION_ANY)
+        host, _ = extract_http_host(_build(http_word="ZZZZ"), quirks)
+        assert host == HOST
+
+
+class TestTokenization:
+    def test_strict_engine_needs_exactly_three_tokens(self):
+        quirks = ParserQuirks(require_three_tokens=True)
+        assert extract_http_host(_build(http_word="HTTP/ 1.1"), quirks) == (None, None)
+
+    def test_lenient_engine_handles_extra_spaces(self):
+        quirks = ParserQuirks(require_three_tokens=False)
+        host, _ = extract_http_host(_build(http_word="HTTP/ 1.1"), quirks)
+        assert host == HOST
+
+    def test_cr_only_delimiter_unparseable_by_default(self):
+        quirks = ParserQuirks()
+        assert extract_http_host(_build(line_delimiter="\r"), quirks) == (None, None)
+
+    def test_cr_acceptor_still_parses(self):
+        quirks = ParserQuirks(accepted_delimiters=("\r\n", "\n", "\r"))
+        host, _ = extract_http_host(_build(line_delimiter="\r"), quirks)
+        assert host == HOST
+
+
+class TestHostExtraction:
+    def test_header_engine_misses_renamed_host_word(self):
+        quirks = ParserQuirks(host_extraction=HOST_FROM_HEADER)
+        raw = _build(host_word="HostHeader")
+        assert extract_http_host(raw, quirks) == (None, None)
+
+    def test_header_engine_case_insensitive_host_word(self):
+        quirks = ParserQuirks()
+        host, _ = extract_http_host(_build(host_word="HoST"), quirks)
+        assert host == HOST
+
+    def test_case_sensitive_host_word_misses_mixed_case(self):
+        quirks = ParserQuirks(host_word_case_sensitive=True)
+        assert extract_http_host(_build(host_word="HoST"), quirks) == (None, None)
+
+    def test_missing_colon_misses_by_default(self):
+        quirks = ParserQuirks()
+        raw = _build(host_separator=" ")
+        assert extract_http_host(raw, quirks) == (None, None)
+
+    def test_colon_tolerant_engine_recovers(self):
+        quirks = ParserQuirks(require_host_colon=False)
+        host, _ = extract_http_host(_build(host_separator=" "), quirks)
+        assert host == HOST
+
+    def test_substring_engine_sees_whole_payload(self):
+        quirks = ParserQuirks(host_extraction=HOST_SUBSTRING)
+        raw = _build(method="ZZZZ", http_word="@@@", host_word="Nope")
+        text, path = extract_http_host(raw, quirks)
+        assert HOST in text
+        assert path == "/"
+
+
+class TestPathScope:
+    def test_domain_scope_matches_any_path(self):
+        quirks = ParserQuirks()
+        assert path_matches("/whatever", ("/",), quirks)
+
+    def test_url_scope_matches_only_rule_paths(self):
+        quirks = ParserQuirks(path_scope=SCOPE_URL)
+        assert path_matches("/", ("/",), quirks)
+        assert not path_matches("/z", ("/",), quirks)
+
+
+class TestTLSQuirks:
+    def test_sni_extracted(self):
+        quirks = ParserQuirks()
+        assert extract_tls_sni(ClientHello.normal(HOST).build(), quirks) == HOST
+
+    def test_missing_sni_evades(self):
+        quirks = ParserQuirks()
+        raw = ClientHello(server_name=HOST, include_sni=False).build()
+        assert extract_tls_sni(raw, quirks) is None
+
+    def test_fragile_cipher_breaks_engine(self):
+        quirks = ParserQuirks(fragile_ciphers=frozenset({"TLS_RSA_WITH_RC4_128_SHA"}))
+        raw = ClientHello(
+            server_name=HOST, cipher_suites=["TLS_RSA_WITH_RC4_128_SHA"]
+        ).build()
+        assert extract_tls_sni(raw, quirks) is None
+
+    def test_robust_cipher_still_inspected(self):
+        quirks = ParserQuirks(fragile_ciphers=frozenset({"TLS_RSA_WITH_RC4_128_SHA"}))
+        raw = ClientHello(server_name=HOST).build()
+        assert extract_tls_sni(raw, quirks) == HOST
+
+    def test_fragile_version_only_offer_evades(self):
+        quirks = ParserQuirks(fragile_tls_versions=frozenset({VERSION_TLS13}))
+        raw = ClientHello(
+            server_name=HOST, min_version=VERSION_TLS13, max_version=VERSION_TLS13
+        ).build()
+        assert extract_tls_sni(raw, quirks) is None
+
+    def test_fragile_version_mixed_offer_still_inspected(self):
+        quirks = ParserQuirks(fragile_tls_versions=frozenset({VERSION_TLS13}))
+        raw = ClientHello(
+            server_name=HOST, min_version=VERSION_TLS10, max_version=VERSION_TLS13
+        ).build()
+        assert extract_tls_sni(raw, quirks) == HOST
+
+    def test_http_payload_not_parsed_as_tls(self):
+        quirks = ParserQuirks()
+        assert extract_tls_sni(_build(), quirks) is None

@@ -1,0 +1,153 @@
+"""Blocking-rule semantics: the §6.3 wildcard behaviours."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.rules import (
+    BlockRule,
+    Blocklist,
+    KIND_EXACT,
+    KIND_KEYWORD,
+    KIND_PREFIX,
+    KIND_SUFFIX,
+    PROTO_HTTP,
+    PROTO_TLS,
+    registrable_domain,
+    strip_tld,
+)
+
+DOMAIN = "www.blocked.example"
+
+
+class TestHelpers:
+    def test_registrable_domain(self):
+        assert registrable_domain("www.blocked.example") == "blocked.example"
+        assert registrable_domain("a.b.c.d") == "c.d"
+        assert registrable_domain("localhost") == "localhost"
+
+    def test_strip_tld(self):
+        assert strip_tld("www.blocked.example") == "www.blocked"
+        assert strip_tld("single") == "single"
+
+
+class TestExactRule:
+    rule = BlockRule(DOMAIN, kind=KIND_EXACT)
+
+    def test_matches_exact(self):
+        assert self.rule.matches_host(DOMAIN)
+
+    def test_case_insensitive(self):
+        assert self.rule.matches_host("WWW.Blocked.Example")
+
+    def test_leading_pad_evades(self):
+        assert not self.rule.matches_host("**" + DOMAIN)
+
+    def test_trailing_pad_evades(self):
+        assert not self.rule.matches_host(DOMAIN + "*")
+
+    def test_subdomain_evades(self):
+        assert not self.rule.matches_host("m.blocked.example")
+
+    def test_port_stripped(self):
+        assert self.rule.matches_host(DOMAIN + ":8080")
+
+    def test_trailing_dot_normalized(self):
+        assert self.rule.matches_host(DOMAIN + ".")
+
+    def test_none_and_empty(self):
+        assert not self.rule.matches_host(None)
+        assert not self.rule.matches_host("")
+
+
+class TestSuffixRule:
+    rule = BlockRule(DOMAIN, kind=KIND_SUFFIX)
+
+    def test_matches_base_domain(self):
+        assert self.rule.matches_host("blocked.example")
+
+    def test_matches_any_subdomain(self):
+        assert self.rule.matches_host("m.blocked.example")
+        assert self.rule.matches_host("deep.sub.blocked.example")
+
+    def test_leading_pad_still_blocked(self):
+        # §6.3: "permutations with leading pads are mostly blocked".
+        assert self.rule.matches_host("**www.blocked.example")
+
+    def test_trailing_pad_evades(self):
+        assert not self.rule.matches_host("www.blocked.example*")
+
+    def test_tld_change_evades(self):
+        assert not self.rule.matches_host("www.blocked.net")
+
+    def test_lookalike_without_dot_evades(self):
+        assert not self.rule.matches_host("notblocked.example")
+
+
+class TestPrefixRule:
+    rule = BlockRule(DOMAIN, kind=KIND_PREFIX)
+
+    def test_matches_any_tld(self):
+        assert self.rule.matches_host("www.blocked.net")
+        assert self.rule.matches_host("www.blocked.org")
+
+    def test_subdomain_evades(self):
+        assert not self.rule.matches_host("m.blocked.example")
+
+
+class TestKeywordRule:
+    rule = BlockRule(DOMAIN, kind=KIND_KEYWORD)
+
+    def test_matches_substring_anywhere(self):
+        assert self.rule.matches_host("prefix-blocked-suffix.example")
+
+    def test_matches_inside_whole_payload(self):
+        payload = "get / http/1.1\r\nhost: www.blocked.example\r\n\r\n"
+        assert self.rule.matches_host(payload)
+
+    def test_unrelated_payload_passes(self):
+        assert not self.rule.matches_host("host: www.ok.example")
+
+
+class TestBlocklist:
+    def test_protocol_scoping(self):
+        rule = BlockRule(DOMAIN, kind=KIND_EXACT, protocols=(PROTO_HTTP,))
+        blocklist = Blocklist([rule])
+        assert blocklist.match(DOMAIN, PROTO_HTTP) is rule
+        assert blocklist.match(DOMAIN, PROTO_TLS) is None
+
+    def test_first_match_wins(self):
+        first = BlockRule(DOMAIN, kind=KIND_SUFFIX)
+        second = BlockRule(DOMAIN, kind=KIND_EXACT)
+        blocklist = Blocklist([first, second])
+        assert blocklist.match(DOMAIN, PROTO_HTTP) is first
+
+    def test_for_domains_builder(self):
+        blocklist = Blocklist.for_domains(["a.example", "b.example"])
+        assert blocklist.domains() == ["a.example", "b.example"]
+        assert blocklist.match("sub.a.example", PROTO_TLS) is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BlockRule(DOMAIN, kind="glob")
+
+    def test_no_match_returns_none(self):
+        blocklist = Blocklist.for_domains(["a.example"])
+        assert blocklist.match("z.example", PROTO_HTTP) is None
+        assert blocklist.match(None, PROTO_HTTP) is None
+
+
+@given(
+    host=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz.-", min_size=1, max_size=40
+    )
+)
+def test_exact_rule_only_matches_itself(host):
+    rule = BlockRule(DOMAIN, kind=KIND_EXACT)
+    expected = host.strip().lower().rstrip(".") == DOMAIN
+    assert rule.matches_host(host) == expected
+
+
+@given(sub=st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10))
+def test_suffix_rule_matches_all_subdomains(sub):
+    rule = BlockRule(DOMAIN, kind=KIND_SUFFIX)
+    assert rule.matches_host(f"{sub}.blocked.example")

@@ -1,0 +1,96 @@
+"""Residual censorship and per-flow injection limits."""
+
+from hypothesis import given, strategies as st
+
+from repro.devices.state import (
+    FlowInjectionCounter,
+    RESIDUAL_3TUPLE,
+    RESIDUAL_HOSTS,
+    RESIDUAL_OFF,
+    ResidualTracker,
+)
+from repro.netmodel.ip import FlowKey
+
+FLOW = FlowKey("10.0.0.1", "10.0.0.2", 40000, 80)
+
+
+class TestResidualTracker:
+    def test_off_mode_never_punishes(self):
+        tracker = ResidualTracker(mode=RESIDUAL_OFF)
+        tracker.punish(FLOW, clock=0.0)
+        assert not tracker.is_punished(FLOW, clock=1.0)
+
+    def test_punishment_expires(self):
+        tracker = ResidualTracker(mode=RESIDUAL_3TUPLE, duration=60.0)
+        tracker.punish(FLOW, clock=0.0)
+        assert tracker.is_punished(FLOW, clock=59.9)
+        assert not tracker.is_punished(FLOW, clock=60.0)
+
+    def test_3tuple_ignores_source_port(self):
+        tracker = ResidualTracker(mode=RESIDUAL_3TUPLE, duration=60.0)
+        tracker.punish(FLOW, clock=0.0)
+        new_port = FlowKey("10.0.0.1", "10.0.0.2", 55555, 80)
+        assert tracker.is_punished(new_port, clock=1.0)
+
+    def test_3tuple_distinguishes_destination_port(self):
+        tracker = ResidualTracker(mode=RESIDUAL_3TUPLE, duration=60.0)
+        tracker.punish(FLOW, clock=0.0)
+        other_service = FlowKey("10.0.0.1", "10.0.0.2", 40000, 443)
+        assert not tracker.is_punished(other_service, clock=1.0)
+
+    def test_hosts_mode_covers_all_ports(self):
+        tracker = ResidualTracker(mode=RESIDUAL_HOSTS, duration=60.0)
+        tracker.punish(FLOW, clock=0.0)
+        other_service = FlowKey("10.0.0.1", "10.0.0.2", 40000, 443)
+        assert tracker.is_punished(other_service, clock=1.0)
+
+    def test_other_client_unaffected(self):
+        tracker = ResidualTracker(mode=RESIDUAL_3TUPLE, duration=60.0)
+        tracker.punish(FLOW, clock=0.0)
+        other = FlowKey("10.0.0.9", "10.0.0.2", 40000, 80)
+        assert not tracker.is_punished(other, clock=1.0)
+
+    def test_expired_entries_cleaned_up(self):
+        tracker = ResidualTracker(mode=RESIDUAL_3TUPLE, duration=10.0)
+        tracker.punish(FLOW, clock=0.0)
+        tracker.is_punished(FLOW, clock=100.0)
+        assert tracker.active_count(clock=100.0) == 0
+
+    @given(duration=st.floats(min_value=1.0, max_value=1000.0))
+    def test_punished_strictly_within_duration(self, duration):
+        tracker = ResidualTracker(mode=RESIDUAL_HOSTS, duration=duration)
+        tracker.punish(FLOW, clock=0.0)
+        assert tracker.is_punished(FLOW, clock=duration / 2)
+        assert not tracker.is_punished(FLOW, clock=duration + 0.001)
+
+
+class TestFlowInjectionCounter:
+    def test_unlimited_by_default(self):
+        counter = FlowInjectionCounter()
+        for _ in range(100):
+            assert counter.may_inject(FLOW)
+            counter.record(FLOW)
+
+    def test_limit_enforced(self):
+        counter = FlowInjectionCounter(limit=2)
+        assert counter.may_inject(FLOW)
+        counter.record(FLOW)
+        counter.record(FLOW)
+        assert not counter.may_inject(FLOW)
+
+    def test_limit_is_per_flow(self):
+        counter = FlowInjectionCounter(limit=1)
+        counter.record(FLOW)
+        other = FlowKey("10.0.0.1", "10.0.0.2", 41000, 80)
+        assert counter.may_inject(other)
+
+    def test_direction_independent(self):
+        counter = FlowInjectionCounter(limit=1)
+        counter.record(FLOW)
+        assert not counter.may_inject(FLOW.reversed())
+
+    def test_reset_flow(self):
+        counter = FlowInjectionCounter(limit=1)
+        counter.record(FLOW)
+        counter.reset_flow(FLOW)
+        assert counter.may_inject(FLOW)

@@ -1,0 +1,153 @@
+"""Vendor catalog integrity and distinctive per-vendor behaviour."""
+
+import pytest
+
+from repro.devices.actions import KIND_BLOCKPAGE, KIND_DROP, KIND_RST, TTL_COPY
+from repro.devices.vendors import (
+    ALL_PROFILES,
+    BY_DPI,
+    CISCO,
+    FORTINET,
+    KERIO,
+    LABELED_PROFILES,
+    MIKROTIK,
+    PALO_ALTO,
+    TSPU_TTLCOPY,
+    make_device,
+)
+from repro.netmodel.http import HTTPRequest
+from repro.netmodel.packet import tcp_packet
+from repro.netsim.interfaces import InspectionContext
+
+BLOCKED = "www.blocked.example"
+
+
+def _inspect(device, payload: bytes):
+    packet = tcp_packet("10.0.0.1", "10.0.0.2", 40000, 80, payload=payload)
+    return device.inspect(
+        packet, InspectionContext(clock=0, remaining_ttl=9, link_index=2)
+    )
+
+
+class TestCatalog:
+    def test_all_profiles_buildable(self):
+        for key, profile in ALL_PROFILES.items():
+            device = make_device(profile, f"dev-{key}", [BLOCKED])
+            assert device.vendor == profile.name
+
+    def test_labeled_profiles_have_names(self):
+        assert all(p.name for p in LABELED_PROFILES.values())
+
+    def test_unlabeled_profiles_have_no_management_plane(self):
+        for key, profile in ALL_PROFILES.items():
+            if profile.name is None:
+                assert not profile.has_management_plane
+
+    def test_labeled_profiles_expose_services(self):
+        for key, profile in LABELED_PROFILES.items():
+            assert profile.management_services(), key
+
+    def test_observable_behaviour_distinct_per_vendor(self):
+        # Droppers share the (vacuous) injection signature but must
+        # still be told apart by their parsing quirks or rule style —
+        # that's what makes the clustering work (§7.4).
+        fingerprints = {
+            key: (
+                profile.quirks,
+                profile.action_http.kind,
+                profile.action_tls.kind,
+                profile.action_http.signature,
+                profile.action_tls.signature,
+                profile.rule_kind,
+            )
+            for key, profile in LABELED_PROFILES.items()
+        }
+        assert len(set(fingerprints.values())) == len(fingerprints)
+
+    def test_injecting_vendors_have_distinct_signatures(self):
+        injecting = {
+            key: (profile.action_http.signature, profile.action_tls.signature)
+            for key, profile in LABELED_PROFILES.items()
+            if profile.action_http.is_injecting() or profile.action_tls.is_injecting()
+        }
+        assert len(set(injecting.values())) == len(injecting)
+
+
+class TestVendorParsingDifferences:
+    def test_fortinet_blockpages_http(self):
+        device = make_device(FORTINET, "f", [BLOCKED])
+        verdict = _inspect(device, HTTPRequest.normal(BLOCKED).build())
+        payloads = [p.tcp.payload for p in verdict.inject_to_client]
+        assert any(b"FortiGuard" in p for p in payloads)
+
+    def test_fortinet_tls_resets_instead(self):
+        from repro.netmodel.tls import ClientHello
+
+        device = make_device(FORTINET, "f", [BLOCKED])
+        verdict = _inspect(device, ClientHello.normal(BLOCKED).build())
+        assert verdict.inject_to_client
+        assert all(not p.tcp.payload for p in verdict.inject_to_client)
+
+    def test_mikrotik_only_triggers_on_get(self):
+        device = make_device(MIKROTIK, "m", [BLOCKED])
+        assert _inspect(device, HTTPRequest.normal(BLOCKED).build()).acted
+        post = HTTPRequest(host=BLOCKED, method="POST").build()
+        assert not _inspect(device, post).acted
+
+    def test_cisco_triggers_on_patch_but_fortinet_does_not(self):
+        patch = HTTPRequest(host=BLOCKED, method="PATCH").build()
+        cisco = make_device(CISCO, "c", [BLOCKED])
+        fortinet = make_device(FORTINET, "f", [BLOCKED])
+        assert _inspect(cisco, patch).acted
+        assert not _inspect(fortinet, patch).acted
+
+    def test_paloalto_keyword_engine_resists_host_word_tricks(self):
+        device = make_device(PALO_ALTO, "p", [BLOCKED])
+        mangled = HTTPRequest(host=BLOCKED, host_word="XXXX").build()
+        assert _inspect(device, mangled).acted
+
+    def test_kerio_validates_http_version(self):
+        device = make_device(KERIO, "k", [BLOCKED])
+        invalid = HTTPRequest(host=BLOCKED, http_word="HTTP/9").build()
+        assert not _inspect(device, invalid).acted
+
+    def test_tspu_ttlcopy_copies_remaining_ttl(self):
+        device = make_device(TSPU_TTLCOPY, "t", [BLOCKED])
+        packet = tcp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 80,
+            payload=HTTPRequest.normal(BLOCKED).build(),
+        )
+        verdict = device.inspect(
+            packet, InspectionContext(clock=0, remaining_ttl=5, link_index=2)
+        )
+        assert verdict.inject_to_client[0].ip.ttl == 5
+
+    def test_by_dpi_is_onpath_triple_rst(self):
+        device = make_device(BY_DPI, "b", [BLOCKED])
+        assert not device.in_path
+        verdict = _inspect(device, HTTPRequest.normal(BLOCKED).build())
+        assert len(verdict.inject_to_client) == 3
+        assert not verdict.drop
+
+
+class TestMakeDevice:
+    def test_url_scope_blocks_only_homepage(self):
+        device = make_device(CISCO, "c", [BLOCKED], url_scope=True)
+        home = HTTPRequest(host=BLOCKED, path="/").build()
+        other = HTTPRequest(host=BLOCKED, path="/z").build()
+        assert _inspect(device, home).acted
+        assert not _inspect(device, other).acted
+
+    def test_rule_kinds_cycle_per_domain(self):
+        device = make_device(
+            FORTINET,
+            "f",
+            ["a.example", "b.example"],
+            rule_kinds=("exact", "suffix"),
+        )
+        kinds = [rule.kind for rule in device.blocklist.rules]
+        assert kinds == ["exact", "suffix"]
+
+    def test_rule_kind_override(self):
+        device = make_device(FORTINET, "f", [BLOCKED], rule_kind="exact")
+        assert device.blocklist.rules[0].kind == "exact"

@@ -1,0 +1,48 @@
+"""The ExperimentResult rendering helpers."""
+
+from repro.experiments.base import ExperimentResult, percent
+
+
+class TestRender:
+    def test_renders_table(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="Test table",
+            headers=["A", "BB"],
+            rows=[(1, "long-value"), (22, "v")],
+            notes=["a note"],
+        )
+        text = result.render()
+        lines = text.splitlines()
+        assert lines[0] == "== x: Test table =="
+        assert "A" in lines[1] and "BB" in lines[1]
+        assert "note: a note" in text
+
+    def test_column_widths_fit_longest_cell(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["H"],
+            rows=[("wide-cell-content",)],
+        )
+        header_line = result.render().splitlines()[1]
+        assert len(header_line) >= len("wide-cell-content")
+
+    def test_headerless_result(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        assert result.render() == "== x: t =="
+
+    def test_row_dict(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=["k", "v"],
+            rows=[("a", 1), ("b", 2)],
+        )
+        assert result.row_dict()["b"] == ("b", 2)
+
+
+class TestPercent:
+    def test_normal(self):
+        assert percent(1, 4) == 25.0
+
+    def test_zero_denominator(self):
+        assert percent(3, 0) == 0.0

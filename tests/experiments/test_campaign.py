@@ -1,0 +1,83 @@
+"""Campaign orchestration helpers."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignConfig,
+    clear_campaign_cache,
+    get_campaign,
+    run_campaign,
+)
+from repro.geo.countries import build_az_world
+
+
+@pytest.fixture(scope="module")
+def az_campaign():
+    return run_campaign(build_az_world(), CampaignConfig(repetitions=2))
+
+
+class TestViews:
+    def test_blocked_subsets(self, az_campaign):
+        blocked = az_campaign.blocked_remote()
+        assert blocked
+        assert all(r.blocked and r.valid for r in blocked)
+        assert len(az_campaign.blocked_all()) >= len(blocked)
+
+    def test_potential_device_ips_in_path_only(self, az_campaign):
+        ips = az_campaign.potential_device_ips()
+        assert ips
+        assert len(ips) == len(set(ips))
+        for ip in ips:
+            assert az_campaign.world.topology.node_at(ip) is not None
+
+    def test_results_by_endpoint_partition(self, az_campaign):
+        grouped = az_campaign.results_by_endpoint()
+        total = sum(len(v) for v in grouped.values())
+        assert total == len(az_campaign.remote_results)
+
+    def test_fuzz_weights_cover_targets(self, az_campaign):
+        weights = az_campaign.fuzz_weights()
+        assert weights
+        for report in az_campaign.fuzz_reports:
+            assert (report.endpoint_ip, report.protocol) in weights
+        # The state device carries most of AZ's blocked measurements.
+        assert max(weights.values()) >= 20
+
+    def test_endpoint_features_only_for_blocked(self, az_campaign):
+        features = az_campaign.endpoint_features()
+        blocked_ips = {r.endpoint_ip for r in az_campaign.blocked_remote()}
+        assert {f.endpoint_ip for f in features} <= blocked_ips
+
+    def test_fuzz_reports_propagate_to_sibling_endpoints(self, az_campaign):
+        features = az_campaign.endpoint_features()
+        import math
+
+        with_fuzz = [
+            f
+            for f in features
+            if not math.isnan(f.values.get("Get Word Alt.", float("nan")))
+        ]
+        # Far more endpoints carry fuzz features than were fuzzed.
+        assert len(with_fuzz) > len(az_campaign.fuzz_reports) / 2
+
+
+class TestConfig:
+    def test_max_endpoints_cap(self):
+        campaign = run_campaign(
+            build_az_world(),
+            CampaignConfig(repetitions=2, max_endpoints=3, run_fuzz=False,
+                           run_probe=False),
+        )
+        endpoints_measured = {r.endpoint_ip for r in campaign.remote_results}
+        assert len(endpoints_measured) == 3
+        assert campaign.fuzz_reports == []
+        assert campaign.probe_reports == {}
+
+    def test_cache_round_trip(self):
+        clear_campaign_cache()
+        first = get_campaign("AZ", scale=0.2, repetitions=2)
+        second = get_campaign("AZ", scale=0.2, repetitions=2)
+        assert first is second
+        different = get_campaign("AZ", scale=0.25, repetitions=2)
+        assert different is not first
+        clear_campaign_cache()

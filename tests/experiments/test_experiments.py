@@ -1,0 +1,163 @@
+"""Experiment reproductions: assert the paper's qualitative shapes.
+
+These run the real experiment modules over reduced-scale campaigns
+(shared session fixture) and check the findings the paper reports —
+who blocks, how, where — rather than absolute counts.
+"""
+
+import pytest
+
+from repro.core.centrace.results import (
+    LOC_AT_E,
+    LOC_PAST_E,
+    LOC_PATH,
+    TYPE_RST,
+    TYPE_TIMEOUT,
+)
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    sec43_quotes,
+    table1,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def campaigns(small_campaigns):
+    return small_campaigns
+
+
+class TestTable1:
+    def test_blocked_fraction_ordering(self, campaigns):
+        result = table1.run(campaigns=campaigns)
+        rows = result.row_dict()
+        fractions = {
+            country: float(rows[country][8]) for country in ("AZ", "BY", "KZ", "RU")
+        }
+        # Paper: KZ most blocked (86%), RU least (4%).
+        assert fractions["KZ"] > fractions["AZ"] > fractions["RU"]
+        assert fractions["KZ"] > fractions["BY"] > fractions["RU"]
+
+    def test_in_country_structure(self, campaigns):
+        rows = table1.run(campaigns=campaigns).row_dict()
+        assert rows["BY"][1] == 0  # no BY vantage point
+        assert rows["RU"][3] == 0  # RU in-country observes no censorship
+        assert rows["AZ"][3] > 0
+        assert rows["KZ"][3] > 0
+
+    def test_endpoint_asn_diversity(self, campaigns):
+        rows = table1.run(campaigns=campaigns).row_dict()
+        assert rows["RU"][5] > rows["AZ"][5]
+
+
+class TestTable2:
+    def test_all_counts_match_paper(self):
+        result = table2.run()
+        assert all(row[5] == "yes" for row in result.rows)
+        assert len(result.rows) == 24
+
+
+class TestFig3:
+    def test_drops_and_resets_dominate(self, campaigns):
+        result = fig3.run(campaigns=campaigns)
+        assert result.extra["drops_and_resets_pct"] > 90
+
+    def test_path_location_dominates(self, campaigns):
+        result = fig3.run(campaigns=campaigns)
+        assert result.extra["on_path_pct"] > 60
+
+    def test_past_e_only_in_ru(self, campaigns):
+        result = fig3.run(campaigns=campaigns)
+        for row in result.rows:
+            country, _type = row[0], row[1]
+            past_e = row[2 + 3]
+            if country != "RU":
+                assert past_e == 0
+
+    def test_by_uses_rst_az_kz_use_drops(self, campaigns):
+        rows = fig3.run(campaigns=campaigns).rows
+        totals = {}
+        for country, block_type, *counts in rows:
+            totals[(country, block_type)] = counts[-1]
+        assert totals[("BY", TYPE_RST)] > 0
+        assert totals[("AZ", TYPE_TIMEOUT)] > totals[("AZ", TYPE_RST)]
+        assert totals[("KZ", TYPE_TIMEOUT)] > totals[("KZ", TYPE_RST)]
+
+
+class TestFig4:
+    def test_az_kz_exclusively_in_path(self, campaigns):
+        rows = fig4.run(campaigns=campaigns).row_dict()
+        assert rows["AZ"][2] == 0  # no on-path
+        assert rows["KZ"][2] == 0
+
+    def test_by_mostly_on_path(self, campaigns):
+        rows = fig4.run(campaigns=campaigns).row_dict()
+        country, in_path, on_path, *_ = rows["BY"]
+        # The Cogent torproject drop is in-path; the endpoint-AS
+        # injectors are on-path — both populations must be visible.
+        assert on_path > 0 and in_path > 0
+
+    def test_az_blocks_far_from_endpoints(self, campaigns):
+        rows = fig4.run(campaigns=campaigns).row_dict()
+        assert float(rows["AZ"][4]) >= 3  # median hops from endpoint
+        assert float(rows["RU"][4]) <= 2
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, campaigns):
+        return fig5.run(campaigns=campaigns)
+
+    def _rate(self, result, strategy):
+        row = result.row_dict()[strategy]
+        value = row[-1]
+        return float(value) if value != "-" else None
+
+    def test_capitalize_rarely_evades(self, result):
+        assert self._rate(result, "Get Word Cap.") < 5
+        assert self._rate(result, "Host Word Cap.") < 5
+
+    def test_headers_never_evade(self, result):
+        assert self._rate(result, "Header Alt.") < 5
+
+    def test_remove_strategies_evade_heavily(self, result):
+        assert self._rate(result, "Host Word Rem.") > 80
+        assert self._rate(result, "Get Word Rem.") > 50
+
+    def test_tld_beats_subdomain(self, result):
+        assert (
+            self._rate(result, "Hostname TLD Alt.")
+            > self._rate(result, "Host. Subdomain Alt.")
+        )
+
+    def test_sni_strategies_mirror_hostname(self, result):
+        sni = self._rate(result, "SNI TLD Alt.")
+        host = self._rate(result, "Hostname TLD Alt.")
+        assert abs(sni - host) < 20
+
+    def test_tls_versions_and_ciphers_rarely_evade(self, result):
+        assert self._rate(result, "CipherSuite Alt.") < 10
+        assert self._rate(result, "Client Certificate Alt.") == 0.0
+        assert self._rate(result, "Min Version Alt.") < 15
+
+    def test_method_evasion_ladder(self, result):
+        # Paper §6.3: POST 1.76% < PUT 21.63% < PATCH 82.15% < empty 92.01%.
+        assert result.extra["post_evasion_pct"] < result.extra["put_evasion_pct"] + 1
+        assert result.extra["put_evasion_pct"] < result.extra["patch_evasion_pct"]
+        assert result.extra["patch_evasion_pct"] <= result.extra["empty_method_evasion_pct"]
+
+    def test_trailing_pads_evade_more_than_leading(self, result):
+        assert (
+            result.extra["trailing_pad_pct"]
+            > result.extra["leading_pad_pct"]
+        )
+
+
+class TestSec43:
+    def test_quote_statistics_shape(self, campaigns):
+        result = sec43_quotes.run(campaigns=campaigns)
+        assert 30 <= result.extra["rfc792_pct"] <= 90
+        assert 5 <= result.extra["tos_changed_pct"] <= 60
+        assert result.extra["ip_flags_changed"] <= 6

@@ -1,0 +1,77 @@
+"""Synthetic IP-to-AS database."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.asdb import ASDatabase
+
+
+class TestRegistration:
+    def test_register_and_lookup_info(self):
+        db = ASDatabase()
+        info = db.register(64500, "Test AS", "XX")
+        assert info.asn == 64500
+        assert db.as_info(64500).country == "XX"
+
+    def test_register_idempotent(self):
+        db = ASDatabase()
+        db.register(64500, "Test AS", "XX")
+        again = db.register(64500, "Other Name", "YY")
+        assert again.name == "Test AS"  # first registration wins
+
+    def test_all_ases(self):
+        db = ASDatabase()
+        db.register(1, "a", "AA")
+        db.register(2, "b", "BB")
+        assert {info.asn for info in db.all_ases()} == {1, 2}
+
+
+class TestAllocation:
+    def test_allocation_requires_registration(self):
+        with pytest.raises(KeyError):
+            ASDatabase().allocate(99)
+
+    def test_allocations_unique(self):
+        db = ASDatabase()
+        db.register(64500, "a", "AA")
+        ips = {db.allocate(64500) for _ in range(1000)}
+        assert len(ips) == 1000
+
+    def test_lookup_resolves_to_owner(self):
+        db = ASDatabase()
+        db.register(64500, "a", "AA")
+        db.register(64501, "b", "BB")
+        ip_a = db.allocate(64500)
+        ip_b = db.allocate(64501)
+        assert db.lookup(ip_a).asn == 64500
+        assert db.lookup(ip_b).asn == 64501
+        assert db.lookup_country(ip_a) == "AA"
+        assert db.lookup_asn(ip_b) == 64501
+
+    def test_unknown_ip_lookup_none(self):
+        assert ASDatabase().lookup("203.0.113.77") is None
+
+    def test_overflow_grows_new_prefix(self):
+        db = ASDatabase()
+        db.register(64500, "a", "AA")
+        # Exhaust the first /16 (65534 hosts) quickly by poking the
+        # internals; then the next allocation must still resolve.
+        db._asn_counter[64500] = 65534
+        ip = db.allocate(64500)
+        assert db.lookup(ip).asn == 64500
+
+    def test_special_first_octets_skipped(self):
+        db = ASDatabase()
+        db.register(64500, "a", "AA")
+        ip = db.allocate(64500)
+        first_octet = int(ip.split(".")[0])
+        assert first_octet not in (0, 10, 127, 169, 172, 192, 198, 203, 224)
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_many_ases_disjoint_spaces(self, count):
+        db = ASDatabase()
+        for asn in range(count):
+            db.register(asn, f"as{asn}", "XX")
+        ips = {asn: db.allocate(asn) for asn in range(count)}
+        for asn, ip in ips.items():
+            assert db.lookup_asn(ip) == asn

@@ -1,0 +1,112 @@
+"""Study-world construction: structure and ground-truth placement."""
+
+import pytest
+
+from repro.geo.countries import (
+    COUNTRIES,
+    TEST_DOMAINS,
+    build_az_world,
+    build_blockpage_study_world,
+    build_by_world,
+    build_calibration_world,
+    build_kz_world,
+    build_ru_world,
+    build_world,
+)
+
+
+class TestDispatch:
+    def test_all_countries_buildable(self):
+        for country in COUNTRIES:
+            world = build_world(country, scale=0.2)
+            assert world.country == country
+            assert world.endpoints
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(ValueError):
+            build_world("XX")
+
+    def test_case_insensitive(self):
+        assert build_world("az", scale=0.2).country == "AZ"
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_az_world(seed=5)
+        b = build_az_world(seed=5)
+        assert [e.ip for e in a.endpoints] == [e.ip for e in b.endpoints]
+        assert [d.name for d in a.devices] == [d.name for d in b.devices]
+
+    def test_different_seed_different_quoting_mix(self):
+        a = build_ru_world(seed=5, scale=0.2)
+        b = build_ru_world(seed=6, scale=0.2)
+        quoting_a = [r.quoting for r in a.topology.routers.values()]
+        quoting_b = [r.quoting for r in b.topology.routers.values()]
+        assert quoting_a != quoting_b
+
+
+class TestStructure:
+    def test_az_centralized(self):
+        world = build_az_world()
+        assert len(world.endpoints) == 29
+        assert world.in_country_client is not None
+        # The state device's terminating hop lies in Delta Telecom.
+        ingress_ip = world.notes["ingress_ip"]
+        assert world.asdb.lookup(ingress_ip).asn == 29049
+
+    def test_by_has_no_in_country_client(self):
+        world = build_by_world(scale=0.3)
+        assert world.in_country_client is None
+        assert len({e.asn for e in world.endpoints}) >= 15
+
+    def test_kz_ru_transit_registered(self):
+        world = build_kz_world(scale=0.3)
+        assert world.asdb.as_info(31133).country == "RU"
+        assert world.asdb.as_info(43727).country == "RU"
+        assert world.asdb.as_info(9198).country == "KZ"
+
+    def test_kz_in_country_targets_include_circumvention_origins(self):
+        world = build_kz_world(scale=0.3)
+        domains = {t.domains[0] for t in world.in_country_targets}
+        assert "www.pokerstars.com" in domains
+        assert "www.dailymotion.com" in domains
+
+    def test_ru_scaled_by_default(self):
+        world = build_ru_world()
+        assert len(world.endpoints) == round(1291 * 0.1)
+        assert len({e.asn for e in world.endpoints}) == 50
+
+    def test_every_endpoint_routable(self):
+        for country in COUNTRIES:
+            world = build_world(country, scale=0.15)
+            for endpoint in world.endpoints:
+                assert world.topology.has_route(
+                    world.remote_client.ip, endpoint.ip
+                )
+
+    def test_device_host_ps_resolve(self):
+        world = build_kz_world(scale=0.3)
+        for name, ip in world.device_host_ip.items():
+            assert world.topology.node_at(ip) is not None
+
+    def test_test_domains_are_five_per_country(self):
+        for country, domains in TEST_DOMAINS.items():
+            assert len(domains) == 5
+
+
+class TestSpecialWorlds:
+    def test_blockpage_world_all_devices_labeled_vendor(self):
+        world = build_blockpage_study_world(scale=0.5)
+        assert all(d.vendor for d in world.devices)
+
+    def test_blockpage_world_size(self):
+        assert len(build_blockpage_study_world().endpoints) == 76
+
+    def test_calibration_world_has_megapath_endpoint(self):
+        world = build_calibration_world()
+        assert len(world.endpoints) == 20
+        routes = [
+            world.topology.route_between(world.remote_client.ip, e.ip)
+            for e in world.endpoints
+        ]
+        assert max(len(r.paths) for r in routes) >= 100

@@ -1,0 +1,145 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorlds:
+    def test_text_output(self, capsys):
+        assert main(["worlds"]) == 0
+        out = capsys.readouterr().out
+        for country in ("AZ", "BY", "KZ", "RU"):
+            assert f"{country}:" in out
+
+    def test_json_output(self, capsys):
+        assert main(["worlds", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["country"] for row in rows} == {"AZ", "BY", "KZ", "RU"}
+
+
+class TestCenTrace:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "centrace",
+                "--country",
+                "AZ",
+                "--max-endpoints",
+                "2",
+                "--repetitions",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measurements blocked" in out
+        assert "Delta Telecom" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main(
+            [
+                "centrace",
+                "--country",
+                "AZ",
+                "--max-endpoints",
+                "1",
+                "--repetitions",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert results[0]["blocked"] is True
+        assert results[0]["blocking_hop"]["asn"] == 29049
+
+    def test_dns_protocol(self, capsys):
+        code = main(
+            [
+                "centrace",
+                "--country",
+                "AZ",
+                "--max-endpoints",
+                "1",
+                "--protocol",
+                "dns",
+                "--repetitions",
+                "2",
+            ]
+        )
+        assert code == 0  # no DNS devices in AZ: simply unblocked
+
+
+class TestCenFuzz:
+    def test_strategy_filter(self, capsys):
+        code = main(
+            [
+                "cenfuzz",
+                "--country",
+                "KZ",
+                "--strategy",
+                "Get Word Alt.",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BLOCKED" in out
+        assert "Get Word Alt." in out
+
+
+class TestCenProbe:
+    def test_scan_all_device_ips(self, capsys):
+        assert main(["cenprobe", "--country", "KZ"]) == 0
+        out = capsys.readouterr().out
+        assert "vendor=Cisco" in out
+
+    def test_json(self, capsys):
+        assert main(["cenprobe", "--country", "KZ", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert any(r["vendor"] == "Fortinet" for r in reports)
+
+
+class TestCampaign:
+    def test_campaign_with_save(self, capsys, tmp_path):
+        code = main(
+            [
+                "campaign",
+                "--country",
+                "AZ",
+                "--repetitions",
+                "2",
+                "--scale",
+                "0.3",
+                "--out",
+                str(tmp_path / "az"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "az" / "traces.jsonl").exists()
+        assert (tmp_path / "az" / "meta.json").exists()
+
+
+class TestExperiment:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "total permutations: 479" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+
+class TestResidual:
+    def test_kz_residual_measured(self, capsys):
+        assert main(["residual", "--country", "KZ"]) == 0
+        out = capsys.readouterr().out
+        assert "stateful (3-tuple)" in out
+
+    def test_json(self, capsys):
+        assert main(["residual", "--country", "KZ", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stateful"] is True
+        low, high = data["duration_bounds"]
+        assert low < 60 <= high

@@ -1,0 +1,86 @@
+"""Cross-module integration: full worlds, full tool chains."""
+
+import pytest
+
+from repro.core.cenprobe import CenProbe
+from repro.core.centrace import CenTrace, CenTraceConfig, PROTO_TLS
+from repro.geo.countries import build_az_world, build_kz_world
+
+
+class TestAZEndToEnd:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_az_world()
+
+    def test_blocked_domain_attributed_to_delta_ingress(self, world):
+        tracer = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb,
+            config=CenTraceConfig(repetitions=2),
+        )
+        endpoint = world.endpoints[0]
+        result = tracer.measure(endpoint.ip, world.test_domains[0], "http")
+        assert result.blocked
+        assert result.blocking_hop.asn == 29049
+        assert result.blocking_hop.country == "AZ"
+        assert result.blocking_hop.ip == world.notes["ingress_ip"]
+
+    def test_unblocked_domain_reaches_endpoint(self, world):
+        tracer = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb,
+            config=CenTraceConfig(repetitions=2),
+        )
+        endpoint = world.endpoints[4]
+        result = tracer.measure(endpoint.ip, world.test_domains[4], "http")
+        assert not result.blocked
+
+    def test_tls_blocking_matches_http(self, world):
+        tracer = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb,
+            config=CenTraceConfig(repetitions=2),
+        )
+        endpoint = world.endpoints[0]
+        result = tracer.measure(endpoint.ip, world.test_domains[0], PROTO_TLS)
+        assert result.blocked
+        assert result.blocking_hop.asn == 29049
+
+
+class TestKZExtraterritorial:
+    def test_ru_transit_blocks_before_kz(self):
+        world = build_kz_world()
+        tracer = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb,
+            config=CenTraceConfig(repetitions=2),
+        )
+        # Find an RU-routed endpoint (its hosted domain is ruorg*).
+        endpoint = next(
+            e for e in world.endpoints if e.domains[0].startswith("ruorg")
+        )
+        # bridges.torproject.org is blocked in Russian transit.
+        result = tracer.measure(endpoint.ip, "bridges.torproject.org", "http")
+        assert result.blocked
+        assert result.blocking_hop.country == "RU"
+        assert result.blocking_hop.asn in (31133, 43727)
+        # pokerstars is blocked further along, inside Kazakhstan.
+        result_kz = tracer.measure(endpoint.ip, "www.pokerstars.com", "http")
+        assert result_kz.blocked
+        assert result_kz.blocking_hop.country == "KZ"
+        assert result_kz.blocking_hop.asn == 9198
+
+    def test_banner_grab_on_centrace_hop_finds_vendor(self):
+        world = build_kz_world()
+        tracer = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb,
+            config=CenTraceConfig(repetitions=2),
+        )
+        endpoint = next(
+            e for e in world.endpoints if e.domains[0].startswith("peerorg")
+        )
+        result = tracer.measure(endpoint.ip, "www.pokerstars.com", "http")
+        assert result.blocked and result.in_path
+        report = CenProbe(world.topology).scan(result.blocking_hop.ip)
+        assert report.vendor in {
+            "Cisco",
+            "Fortinet",
+            "Kerio Control",
+            "Mikrotik",
+        }

@@ -1,0 +1,37 @@
+"""The example scripts run end to end (quick subset)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "blocking hop" in proc.stdout
+        assert "JSC Kazakhtelecom" in proc.stdout
+
+    def test_dns_injection(self):
+        proc = _run("dns_injection.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "INJECTED" in proc.stdout
+        assert "on-path" in proc.stdout and "in-path" in proc.stdout
+
+    def test_evade_and_circumvent(self):
+        proc = _run("evade_and_circumvent.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "circumvent 9" in proc.stdout  # pokerstars padding

@@ -1,0 +1,105 @@
+"""Persistence round-trips: measurements to JSON(L) and back."""
+
+import json
+
+import pytest
+
+from repro.persist import (
+    fuzz_report_from_dict,
+    fuzz_report_to_dict,
+    load_campaign,
+    probe_report_from_dict,
+    probe_report_to_dict,
+    save_campaign,
+    trace_result_from_dict,
+    trace_result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def az_campaign():
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+    from repro.geo.countries import build_az_world
+
+    return run_campaign(build_az_world(), CampaignConfig(repetitions=2))
+
+
+class TestTraceRoundTrip:
+    def test_blocked_result_round_trips(self, az_campaign):
+        original = az_campaign.blocked_remote()[0]
+        restored = trace_result_from_dict(trace_result_to_dict(original))
+        assert restored.endpoint_ip == original.endpoint_ip
+        assert restored.blocking_type == original.blocking_type
+        assert restored.blocking_hop.ip == original.blocking_hop.ip
+        assert restored.blocking_hop.asn == original.blocking_hop.asn
+        assert restored.location_class == original.location_class
+        assert restored.in_path == original.in_path
+        assert restored.control_hops == original.control_hops
+
+    def test_quote_delta_round_trips(self, az_campaign):
+        original = next(
+            r for r in az_campaign.blocked_remote() if r.quote_delta is not None
+        )
+        restored = trace_result_from_dict(trace_result_to_dict(original))
+        assert restored.quote_delta.tos_changed == original.quote_delta.tos_changed
+        assert restored.quote_delta.follows_rfc792 == original.quote_delta.follows_rfc792
+
+    def test_serialization_is_json_safe(self, az_campaign):
+        for result in az_campaign.remote_results[:20]:
+            json.dumps(trace_result_to_dict(result))
+
+
+class TestFuzzRoundTrip:
+    def test_report_round_trips(self, az_campaign):
+        original = az_campaign.fuzz_reports[0]
+        restored = fuzz_report_from_dict(fuzz_report_to_dict(original))
+        assert restored.endpoint_ip == original.endpoint_ip
+        assert restored.normal_blocked == original.normal_blocked
+        assert len(restored.results) == len(original.results)
+        assert restored.success_by_strategy() == original.success_by_strategy()
+
+
+class TestProbeRoundTrip:
+    def test_report_round_trips(self, az_campaign):
+        original = next(iter(az_campaign.probe_reports.values()))
+        restored = probe_report_from_dict(probe_report_to_dict(original))
+        assert restored.ip == original.ip
+        assert restored.open_ports == original.open_ports
+        assert restored.vendor == original.vendor
+
+
+class TestCampaignSaveLoad:
+    def test_save_and_load(self, az_campaign, tmp_path):
+        counts = save_campaign(az_campaign, tmp_path / "az")
+        assert counts["traces"] == len(az_campaign.remote_results) + len(
+            az_campaign.in_country_results
+        )
+        loaded = load_campaign(tmp_path / "az")
+        assert loaded.meta["country"] == "AZ"
+        assert len(loaded.remote_results) == len(az_campaign.remote_results)
+        assert len(loaded.in_country_results) == len(
+            az_campaign.in_country_results
+        )
+        assert len(loaded.blocked_remote()) == len(az_campaign.blocked_remote())
+        assert set(loaded.probe_reports) == set(az_campaign.probe_reports)
+
+    def test_loaded_data_feeds_feature_extraction(self, az_campaign, tmp_path):
+        from repro.analysis.features import extract_features
+
+        save_campaign(az_campaign, tmp_path / "az2")
+        loaded = load_campaign(tmp_path / "az2")
+        by_endpoint = {}
+        for result in loaded.blocked_remote():
+            by_endpoint.setdefault(result.endpoint_ip, []).append(result)
+        endpoint_ip, traces = next(iter(by_endpoint.items()))
+        features = extract_features(endpoint_ip, traces)
+        assert "CensorResponse" in features.values
+        import math
+
+        assert not math.isnan(features.values["CensorResponse"])
+
+    def test_meta_contents(self, az_campaign, tmp_path):
+        save_campaign(az_campaign, tmp_path / "az3")
+        meta = json.loads((tmp_path / "az3" / "meta.json").read_text())
+        assert meta["endpoints"] == 29
+        assert len(meta["test_domains"]) == 5

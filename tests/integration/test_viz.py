@@ -1,0 +1,70 @@
+"""Path-graph rendering from real CenTrace results."""
+
+import pytest
+
+from repro import viz
+from repro.core.centrace import CenTrace, CenTraceConfig
+from repro.geo.countries import build_az_world
+
+
+@pytest.fixture(scope="module")
+def az_results():
+    world = build_az_world()
+    tracer = CenTrace(
+        world.sim, world.remote_client, asdb=world.asdb,
+        config=CenTraceConfig(repetitions=2),
+    )
+    results = []
+    for endpoint in world.endpoints[:4]:
+        results.append(tracer.measure(endpoint.ip, world.test_domains[0], "http"))
+        results.append(tracer.measure(endpoint.ip, world.test_domains[4], "http"))
+    return world, results
+
+
+class TestPathGraph:
+    def test_graph_contains_client_and_endpoints(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        assert "c" in graph
+        endpoint_nodes = [
+            n for n, d in graph.nodes(data=True) if d.get("kind") == "endpoint"
+        ]
+        assert endpoint_nodes
+
+    def test_blocked_links_marked(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        blocked = [
+            (a, b) for a, b, d in graph.edges(data=True) if d.get("blocked")
+        ]
+        assert blocked
+
+    def test_blocking_link_summary_names_delta(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        links = viz.blocking_link_summary(graph)
+        assert links
+        assert any("Delta Telecom" in (a + b) for a, b, _ in links)
+
+    def test_ascii_render(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        text = viz.render_ascii(graph, root="c")
+        assert "[X]-> " in text
+        assert "<endpoint>" in text
+
+    def test_dot_render(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        dot = viz.render_dot(graph)
+        assert dot.startswith("digraph")
+        assert "color=red" in dot
+        assert dot.endswith("}")
+
+    def test_as_annotation(self, az_results):
+        world, results = az_results
+        graph = viz.build_path_graph(results, asdb=world.asdb, client_label="c")
+        annotated = [
+            n for n, d in graph.nodes(data=True) if d.get("asn") == 29049
+        ]
+        assert annotated

@@ -1,0 +1,77 @@
+"""viz.py unit behaviour on hand-built results."""
+
+import networkx as nx
+import pytest
+
+from repro import viz
+from repro.core.centrace.results import CenTraceResult, HopInfo
+
+
+def _result(blocked=True, hop_ttl=2, hops=("10.0.0.1", "10.0.0.2", "10.0.0.3")):
+    result = CenTraceResult(
+        endpoint_ip="10.0.9.9",
+        endpoint_asn=9,
+        test_domain="x.example",
+        protocol="http",
+        blocked=blocked,
+        blocking_type="TIMEOUT" if blocked else "NORMAL",
+        endpoint_distance=len(hops) + 1,
+    )
+    result.control_hops = {
+        i + 1: {ip: 3} for i, ip in enumerate(hops)
+    }
+    if blocked:
+        result.blocking_hop = HopInfo(ttl=hop_ttl, ip=hops[hop_ttl - 1])
+    return result
+
+
+class TestBuildGraph:
+    def test_nodes_and_edges(self):
+        graph = viz.build_path_graph([_result()], client_label="c")
+        assert "c" in graph
+        assert graph.has_edge("c", "10.0.0.1")
+        assert graph.has_edge("10.0.0.1", "10.0.0.2")
+
+    def test_blocked_edge_marked(self):
+        graph = viz.build_path_graph([_result(hop_ttl=2)])
+        assert graph["10.0.0.1"]["10.0.0.2"]["blocked"] == 1
+
+    def test_unblocked_traces_mark_nothing(self):
+        graph = viz.build_path_graph([_result(blocked=False)])
+        assert all(not d["blocked"] for _, _, d in graph.edges(data=True))
+
+    def test_trace_counts_accumulate(self):
+        graph = viz.build_path_graph([_result(), _result()])
+        assert graph["client"]["10.0.0.1"]["traces"] == 2
+
+    def test_invalid_results_skipped(self):
+        bad = _result()
+        bad.valid = False
+        graph = viz.build_path_graph([bad])
+        assert graph.number_of_edges() == 0
+
+    def test_silent_hops_get_placeholder_nodes(self):
+        result = _result()
+        result.control_hops[2] = {"": 3}  # silence at hop 2
+        graph = viz.build_path_graph([result])
+        placeholders = [n for n in graph if n.startswith("*ttl")]
+        assert placeholders
+
+
+class TestRenderers:
+    def test_ascii_marks_blocked_links(self):
+        graph = viz.build_path_graph([_result()], client_label="c")
+        text = viz.render_ascii(graph, root="c")
+        assert "[X]-> " in text
+
+    def test_dot_is_parseable_shape(self):
+        graph = viz.build_path_graph([_result()], client_label="c")
+        dot = viz.render_dot(graph)
+        assert dot.count("{") == dot.count("}") == 1
+        assert '"c" ->' in dot or '"c" -' in dot
+
+    def test_blocking_link_summary_orders_by_count(self):
+        results = [_result(hop_ttl=2), _result(hop_ttl=2), _result(hop_ttl=3)]
+        graph = viz.build_path_graph(results)
+        summary = viz.blocking_link_summary(graph)
+        assert summary[0][2] >= summary[-1][2]

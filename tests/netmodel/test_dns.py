@@ -1,0 +1,129 @@
+"""UDP and DNS wire models (the §8 extension substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.dns import (
+    DNSAnswer,
+    DNSMessage,
+    DNSQuestion,
+    QTYPE_A,
+    QTYPE_AAAA,
+    RCODE_NXDOMAIN,
+    decode_name,
+    encode_name,
+    extract_qname,
+    looks_like_dns,
+    query,
+)
+from repro.netmodel.packet import Packet, udp_packet
+from repro.netmodel.udp import UDPDatagram
+
+DOMAIN = "www.blocked.example"
+
+
+class TestUDP:
+    def test_round_trip(self):
+        datagram = UDPDatagram(sport=40000, dport=53, payload=b"hello")
+        parsed = UDPDatagram.from_bytes(datagram.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert parsed.sport == 40000 and parsed.dport == 53
+        assert parsed.payload == b"hello"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            UDPDatagram.from_bytes(b"\x00\x01")
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(UDPDatagram(sport=1, dport=2).to_bytes())
+        raw[4:6] = (2).to_bytes(2, "big")  # length < header
+        with pytest.raises(ValueError):
+            UDPDatagram.from_bytes(bytes(raw))
+
+    def test_packet_integration(self):
+        packet = udp_packet("10.0.0.1", "10.0.0.2", 40000, 53, payload=b"x")
+        assert packet.is_udp and not packet.is_tcp
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.is_udp and parsed.udp.payload == b"x"
+
+    def test_flow_key_from_udp(self):
+        packet = udp_packet("10.0.0.1", "10.0.0.2", 40000, 53)
+        flow = packet.flow_key()
+        assert flow.sport == 40000 and flow.protocol == 17
+
+
+class TestNames:
+    def test_encode_decode_round_trip(self):
+        raw = encode_name(DOMAIN)
+        name, offset = decode_name(raw, 0)
+        assert name == DOMAIN
+        assert offset == len(raw)
+
+    def test_compression_pointer_followed(self):
+        base = encode_name(DOMAIN)
+        data = base + b"\xc0\x00"  # pointer back to offset 0
+        name, offset = decode_name(data, len(base))
+        assert name == DOMAIN
+        assert offset == len(base) + 2
+
+    def test_compression_loop_rejected(self):
+        data = b"\xc0\x00"
+        with pytest.raises(ValueError):
+            decode_name(data, 0)
+
+    def test_oversized_label_rejected(self):
+        with pytest.raises(ValueError):
+            encode_name("a" * 64 + ".example")
+
+
+class TestMessages:
+    def test_query_round_trip(self):
+        message = query(DOMAIN, txid=0xBEEF)
+        parsed = DNSMessage.from_bytes(message.to_bytes())
+        assert parsed.txid == 0xBEEF
+        assert parsed.qname == DOMAIN
+        assert not parsed.is_response
+        assert parsed.recursion_desired
+
+    def test_response_with_answer_round_trip(self):
+        message = DNSMessage(
+            txid=7,
+            is_response=True,
+            recursion_available=True,
+            questions=[DNSQuestion(DOMAIN)],
+            answers=[DNSAnswer(DOMAIN, QTYPE_A, 300, "192.0.2.55")],
+        )
+        parsed = DNSMessage.from_bytes(message.to_bytes())
+        assert parsed.is_response and parsed.recursion_available
+        assert parsed.answers[0].address == "192.0.2.55"
+        assert parsed.answers[0].ttl == 300
+
+    def test_nxdomain_round_trip(self):
+        message = DNSMessage(
+            txid=1,
+            is_response=True,
+            rcode=RCODE_NXDOMAIN,
+            questions=[DNSQuestion(DOMAIN)],
+        )
+        parsed = DNSMessage.from_bytes(message.to_bytes())
+        assert parsed.rcode == RCODE_NXDOMAIN and not parsed.answers
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            DNSMessage.from_bytes(b"\x00\x01\x00")
+
+    def test_sniffer(self):
+        assert looks_like_dns(query(DOMAIN).to_bytes())
+        assert not looks_like_dns(b"GET / HTTP/1.1\r\n\r\n   ")
+
+    def test_extract_qname(self):
+        assert extract_qname(query(DOMAIN).to_bytes()) == DOMAIN
+        assert extract_qname(b"junk") is None
+
+    @given(
+        txid=st.integers(min_value=0, max_value=0xFFFF),
+        qtype=st.sampled_from([QTYPE_A, QTYPE_AAAA]),
+    )
+    def test_query_round_trip_property(self, txid, qtype):
+        parsed = DNSMessage.from_bytes(query(DOMAIN, txid, qtype).to_bytes())
+        assert parsed.txid == txid
+        assert parsed.questions[0].qtype == qtype

@@ -1,0 +1,148 @@
+"""HTTP request builder (fuzz-capable) and tolerant parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.http import (
+    HTTPRequest,
+    HTTPResponse,
+    RawHeader,
+    looks_like_http_request,
+    parse_request,
+)
+
+HOST = "www.blocked.example"
+
+
+class TestBuilder:
+    def test_normal_request_layout(self):
+        raw = HTTPRequest.normal(HOST).build().decode()
+        lines = raw.split("\r\n")
+        assert lines[0] == "GET / HTTP/1.1"
+        assert lines[1] == f"Host: {HOST}"
+        assert raw.endswith("\r\n\r\n")
+
+    def test_method_override_is_verbatim(self):
+        raw = HTTPRequest(host=HOST, method="GeT").build()
+        assert raw.startswith(b"GeT ")
+
+    def test_empty_method_keeps_spacing(self):
+        raw = HTTPRequest(host=HOST, method="").build()
+        assert raw.startswith(b" / HTTP/1.1")
+
+    def test_host_word_and_separator_override(self):
+        raw = HTTPRequest(host=HOST, host_word="HostHeader", host_separator=":").build()
+        assert f"HostHeader:{HOST}".encode() in raw
+
+    def test_omitted_host_header(self):
+        raw = HTTPRequest(host=HOST, include_host_header=False).build()
+        assert b"Host" not in raw
+
+    def test_custom_delimiter(self):
+        raw = HTTPRequest(host=HOST, line_delimiter="\n").build()
+        assert b"\r\n" not in raw
+        assert b"\n" in raw
+
+    def test_extra_headers_rendered_in_order(self):
+        request = HTTPRequest(
+            host=HOST,
+            extra_headers=[RawHeader("A", "1"), RawHeader("B", "2")],
+        )
+        raw = request.build().decode()
+        assert raw.index("A: 1") < raw.index("B: 2")
+
+    def test_copy_is_independent(self):
+        request = HTTPRequest(host=HOST)
+        fuzzed = request.copy(method="PUT")
+        assert request.method == "GET"
+        assert fuzzed.method == "PUT"
+
+
+class TestParser:
+    def test_parse_normal(self):
+        parsed = parse_request(HTTPRequest.normal(HOST).build())
+        assert parsed.ok
+        assert parsed.method == "GET"
+        assert parsed.path == "/"
+        assert parsed.host == HOST
+        assert parsed.version_valid
+
+    def test_parse_extracts_headers_lowercased(self):
+        raw = HTTPRequest(
+            host=HOST, extra_headers=[RawHeader("X-Thing", "v")]
+        ).build()
+        parsed = parse_request(raw)
+        assert parsed.headers["x-thing"] == "v"
+
+    def test_bare_lf_accepted_and_flagged(self):
+        raw = HTTPRequest(host=HOST, line_delimiter="\n").build()
+        parsed = parse_request(raw)
+        assert parsed.ok and parsed.used_bare_lf
+
+    def test_bare_lf_rejected_when_disallowed(self):
+        raw = HTTPRequest(host=HOST, line_delimiter="\n").build()
+        parsed = parse_request(raw, accept_bare_lf=False)
+        assert not parsed.ok
+
+    def test_cr_only_delimiter_unparseable(self):
+        raw = HTTPRequest(host=HOST, line_delimiter="\r").build()
+        parsed = parse_request(raw)
+        assert not parsed.ok
+
+    def test_invalid_version_flagged(self):
+        parsed = parse_request(HTTPRequest(host=HOST, http_word="HTTP/9").build())
+        assert parsed.ok and not parsed.version_valid
+
+    def test_two_token_request_line_malformed(self):
+        parsed = parse_request(b"GET /\r\nHost: a.example\r\n\r\n")
+        assert parsed.malformed_request_line
+
+    def test_alternate_host_word_found_fuzzily(self):
+        raw = HTTPRequest(host=HOST, host_word="HostHeader").build()
+        parsed = parse_request(raw)
+        assert parsed.host == HOST
+        assert parsed.malformed_host_header
+
+    def test_empty_input_fails(self):
+        assert not parse_request(b"").ok
+
+    def test_sniffer_recognizes_methods(self):
+        assert looks_like_http_request(b"GET / HTTP/1.1\r\n")
+        assert looks_like_http_request(b"DELETE /x HTTP/1.1\r\n")
+        assert not looks_like_http_request(b"\x16\x03\x01\x00\x05")
+
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "PATCH", "HEAD"]),
+        path=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz/._-", min_size=1, max_size=20
+        ),
+    )
+    def test_round_trip_property(self, method, path):
+        raw = HTTPRequest(host=HOST, method=method, path=path).build()
+        parsed = parse_request(raw)
+        assert parsed.method == method
+        assert parsed.path == path
+        assert parsed.host == HOST
+
+
+class TestResponse:
+    def test_build_and_parse(self):
+        raw = HTTPResponse(200, body="<html>hi</html>").build()
+        parsed = HTTPResponse.parse(raw)
+        assert parsed.status_code == 200
+        assert parsed.body == "<html>hi</html>"
+
+    def test_content_length_added(self):
+        raw = HTTPResponse(200, body="abc").build().decode()
+        assert "Content-Length: 3" in raw
+
+    def test_standard_reasons(self):
+        assert b"505 HTTP Version Not Supported" in HTTPResponse(505).build()
+        assert b"400 Bad Request" in HTTPResponse(400).build()
+
+    def test_parse_rejects_non_http(self):
+        assert HTTPResponse.parse(b"\x16\x03\x01") is None
+        assert HTTPResponse.parse(b"random text") is None
+
+    def test_parse_rejects_garbled_status(self):
+        assert HTTPResponse.parse(b"HTTP/1.1 abc\r\n\r\n") is None

@@ -1,0 +1,142 @@
+"""ICMP messages, quoting policies and Tracebox-style quote deltas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.icmp import (
+    ICMPMessage,
+    QUOTE_RFC792,
+    QUOTE_RFC1812,
+    RFC792_QUOTE_TRANSPORT_BYTES,
+    TYPE_TIME_EXCEEDED,
+    build_quote,
+    compare_quote,
+    time_exceeded,
+)
+from repro.netmodel.ip import IPHeader
+from repro.netmodel.packet import tcp_packet
+
+
+def _sample_packet(ttl=9, tos=0, payload=b"GET / HTTP/1.1\r\n"):
+    return tcp_packet(
+        "10.0.0.1", "10.0.0.2", 40000, 80, ttl=ttl, tos=tos, payload=payload
+    )
+
+
+class TestICMPMessage:
+    def test_round_trip(self):
+        message = ICMPMessage(TYPE_TIME_EXCEEDED, 0, quote=b"abcdef")
+        parsed = ICMPMessage.from_bytes(message.to_bytes())
+        assert parsed.icmp_type == TYPE_TIME_EXCEEDED
+        assert parsed.quote == b"abcdef"
+        assert parsed.is_time_exceeded
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            ICMPMessage.from_bytes(b"\x0b\x00")
+
+
+class TestQuoting:
+    def test_rfc792_quotes_28_bytes(self):
+        raw = _sample_packet().to_bytes()
+        quote = build_quote(raw, QUOTE_RFC792)
+        assert len(quote) == IPHeader.HEADER_LEN + RFC792_QUOTE_TRANSPORT_BYTES
+
+    def test_rfc1812_quotes_more(self):
+        raw = _sample_packet(payload=b"x" * 400).to_bytes()
+        quote = build_quote(raw, QUOTE_RFC1812)
+        assert len(quote) > IPHeader.HEADER_LEN + RFC792_QUOTE_TRANSPORT_BYTES
+        assert len(quote) <= 576 - 28
+
+    def test_rfc1812_never_exceeds_packet(self):
+        raw = _sample_packet(payload=b"tiny").to_bytes()
+        assert build_quote(raw, QUOTE_RFC1812) == raw
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            build_quote(b"", "rfc9999")
+
+    def test_time_exceeded_helper(self):
+        raw = _sample_packet().to_bytes()
+        message = time_exceeded(raw, QUOTE_RFC792)
+        assert message.is_time_exceeded
+        assert message.quote == build_quote(raw, QUOTE_RFC792)
+
+
+class TestQuoteDelta:
+    def test_unmodified_packet_shows_no_changes(self):
+        packet = _sample_packet(ttl=5)
+        raw = packet.to_bytes()
+        delta = compare_quote(raw, build_quote(raw, QUOTE_RFC792), sent_ttl=5)
+        assert not delta.any_header_change()
+        assert delta.follows_rfc792
+        assert not delta.payload_modified
+
+    def test_tos_rewrite_detected(self):
+        sent = _sample_packet(tos=0)
+        rewritten = _sample_packet(tos=0x28)
+        rewritten.ip.identification = sent.ip.identification
+        delta = compare_quote(
+            sent.to_bytes(), build_quote(rewritten.to_bytes(), QUOTE_RFC792), 64
+        )
+        assert delta.tos_changed
+
+    def test_flags_rewrite_detected(self):
+        sent = _sample_packet()
+        rewritten = _sample_packet()
+        rewritten.ip.identification = sent.ip.identification
+        rewritten.ip.flags = 0
+        delta = compare_quote(
+            sent.to_bytes(), build_quote(rewritten.to_bytes(), QUOTE_RFC792), 64
+        )
+        assert delta.ip_flags_changed
+
+    def test_rfc1812_quote_classified(self):
+        raw = _sample_packet(payload=b"y" * 100).to_bytes()
+        delta = compare_quote(raw, build_quote(raw, QUOTE_RFC1812), 64)
+        assert not delta.follows_rfc792
+        assert delta.transport_bytes_quoted > RFC792_QUOTE_TRANSPORT_BYTES
+
+    def test_ttl_delta_reflects_decrements(self):
+        packet = _sample_packet(ttl=9)
+        sent_raw = packet.to_bytes()
+        expired = _sample_packet(ttl=1)
+        expired.ip.identification = packet.ip.identification
+        delta = compare_quote(
+            sent_raw, build_quote(expired.to_bytes(), QUOTE_RFC792), sent_ttl=9
+        )
+        assert delta.ttl_delta == 8
+
+    def test_payload_modification_detected(self):
+        sent = _sample_packet(payload=b"GET / HTTP/1.1\r\nHost: a\r\n\r\n")
+        modified = _sample_packet(payload=b"GET / HTTP/1.1\r\nHost: b\r\n\r\n")
+        modified.ip.identification = sent.ip.identification
+        delta = compare_quote(
+            sent.to_bytes(), build_quote(modified.to_bytes(), QUOTE_RFC1812), 64
+        )
+        assert delta.payload_modified
+
+    def test_checksum_only_difference_ignored(self):
+        # Rewriting the TCP checksum field alone must not count as a
+        # payload modification (middleboxes re-checksum legitimately).
+        sent = _sample_packet()
+        raw = bytearray(sent.to_bytes())
+        raw[20 + 16] ^= 0xFF  # flip TCP checksum byte
+        delta = compare_quote(
+            sent.to_bytes(), build_quote(bytes(raw), QUOTE_RFC1812), 64
+        )
+        assert not delta.payload_modified
+
+    def test_short_quote_returns_empty_delta(self):
+        delta = compare_quote(_sample_packet().to_bytes(), b"\x45\x00", 64)
+        assert not delta.any_header_change()
+
+    @given(ttl=st.integers(min_value=2, max_value=64))
+    def test_delta_never_negative_for_valid_expiry(self, ttl):
+        packet = _sample_packet(ttl=ttl)
+        expired = _sample_packet(ttl=1)
+        expired.ip.identification = packet.ip.identification
+        delta = compare_quote(
+            packet.to_bytes(), build_quote(expired.to_bytes(), QUOTE_RFC792), ttl
+        )
+        assert delta.ttl_delta >= 0

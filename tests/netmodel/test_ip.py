@@ -1,0 +1,156 @@
+"""IPv4 header serialization, checksums and address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.ip import (
+    FLAG_DF,
+    FLAG_MF,
+    FlowKey,
+    IPHeader,
+    checksum16,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+class TestAddressConversion:
+    def test_round_trip_simple(self):
+        assert int_to_ip(ip_to_int("192.0.2.1")) == "192.0.2.1"
+
+    def test_zero_address(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert int_to_ip(0) == "0.0.0.0"
+
+    def test_broadcast(self):
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_invalid_octet_count(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert checksum16(data) == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+    def test_zero_data(self):
+        assert checksum16(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+    def test_header_checksum_verifies(self):
+        header = IPHeader(src="10.0.0.1", dst="10.0.0.2")
+        raw = header.to_bytes()
+        assert checksum16(raw) == 0
+
+
+class TestIPHeader:
+    def test_round_trip_defaults(self):
+        header = IPHeader(src="198.51.100.7", dst="203.0.113.9", ttl=17)
+        parsed, length = IPHeader.from_bytes(header.to_bytes(payload_len=11))
+        assert length == 20
+        assert parsed.src == "198.51.100.7"
+        assert parsed.dst == "203.0.113.9"
+        assert parsed.ttl == 17
+        assert parsed.total_length == 31
+
+    def test_round_trip_all_fields(self):
+        header = IPHeader(
+            src="10.1.2.3",
+            dst="10.3.2.1",
+            ttl=1,
+            protocol=6,
+            tos=0x48,
+            identification=0xBEEF,
+            flags=FLAG_MF,
+            frag_offset=123,
+        )
+        parsed, _ = IPHeader.from_bytes(header.to_bytes())
+        assert parsed.tos == 0x48
+        assert parsed.identification == 0xBEEF
+        assert parsed.flags == FLAG_MF
+        assert parsed.frag_offset == 123
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            IPHeader.from_bytes(b"\x45\x00")
+
+    def test_non_ipv4_raises(self):
+        data = bytearray(IPHeader(src="1.2.3.4", dst="5.6.7.8").to_bytes())
+        data[0] = 0x65  # version 6
+        with pytest.raises(ValueError):
+            IPHeader.from_bytes(bytes(data))
+
+    def test_copy_changes_only_requested_field(self):
+        header = IPHeader(src="10.0.0.1", dst="10.0.0.2", ttl=9)
+        copy = header.copy(ttl=3)
+        assert copy.ttl == 3
+        assert header.ttl == 9
+        assert copy.src == header.src
+
+    def test_default_flags_df(self):
+        assert IPHeader(src="1.1.1.1", dst="2.2.2.2").flags == FLAG_DF
+
+    @given(
+        ttl=st.integers(min_value=0, max_value=255),
+        tos=st.integers(min_value=0, max_value=255),
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+        flags=st.integers(min_value=0, max_value=7),
+    )
+    def test_round_trip_property(self, ttl, tos, ident, flags):
+        header = IPHeader(
+            src="192.0.2.55",
+            dst="198.18.0.1",
+            ttl=ttl,
+            tos=tos,
+            identification=ident,
+            flags=flags,
+        )
+        parsed, _ = IPHeader.from_bytes(header.to_bytes())
+        assert (parsed.ttl, parsed.tos, parsed.identification, parsed.flags) == (
+            ttl,
+            tos,
+            ident,
+            flags,
+        )
+
+
+class TestFlowKey:
+    def test_reversed_swaps_both_pairs(self):
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        rev = flow.reversed()
+        assert rev.src == "10.0.0.2" and rev.dst == "10.0.0.1"
+        assert rev.sport == 80 and rev.dport == 1234
+
+    def test_canonical_is_direction_independent(self):
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        assert flow.canonical() == flow.reversed().canonical()
+
+    def test_hashable_and_equal(self):
+        a = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        b = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        assert hash(a) == hash(b)
+
+    @given(
+        sport=st.integers(min_value=0, max_value=65535),
+        dport=st.integers(min_value=0, max_value=65535),
+    )
+    def test_double_reverse_identity(self, sport, dport):
+        flow = FlowKey("10.0.0.1", "10.9.9.9", sport, dport)
+        assert flow.reversed().reversed() == flow

@@ -1,0 +1,75 @@
+"""Composite packet invariants and serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.icmp import ICMPMessage, TYPE_TIME_EXCEEDED
+from repro.netmodel.ip import IPHeader, PROTO_ICMP, PROTO_TCP
+from repro.netmodel.packet import Packet, icmp_packet, next_ip_id, tcp_packet
+from repro.netmodel.tcp import SYN, TCPSegment
+
+
+class TestConstruction:
+    def test_requires_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            Packet(ip=IPHeader(src="1.1.1.1", dst="2.2.2.2"))
+
+    def test_rejects_both_payloads(self):
+        with pytest.raises(ValueError):
+            Packet(
+                ip=IPHeader(src="1.1.1.1", dst="2.2.2.2"),
+                tcp=TCPSegment(sport=1, dport=2),
+                icmp=ICMPMessage(TYPE_TIME_EXCEEDED, 0),
+            )
+
+    def test_protocol_forced_to_match_payload(self):
+        packet = tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert packet.ip.protocol == PROTO_TCP
+        message = icmp_packet("1.1.1.1", "2.2.2.2", ICMPMessage(11, 0))
+        assert message.ip.protocol == PROTO_ICMP
+
+    def test_flow_key_matches_headers(self):
+        packet = tcp_packet("10.0.0.1", "10.0.0.2", 4242, 443)
+        flow = packet.flow_key()
+        assert flow.sport == 4242 and flow.dport == 443
+
+    def test_icmp_has_no_flow_key(self):
+        packet = icmp_packet("1.1.1.1", "2.2.2.2", ICMPMessage(11, 0))
+        with pytest.raises(ValueError):
+            packet.flow_key()
+
+    def test_ip_ids_monotonic(self):
+        first = next_ip_id()
+        second = next_ip_id()
+        assert second == (first + 1) & 0xFFFF
+
+
+class TestSerialization:
+    def test_tcp_round_trip(self):
+        packet = tcp_packet("10.1.1.1", "10.2.2.2", 999, 80, payload=b"hello", ttl=3)
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.is_tcp
+        assert parsed.ip.ttl == 3
+        assert parsed.tcp.payload == b"hello"
+
+    def test_icmp_round_trip(self):
+        inner = tcp_packet("10.1.1.1", "10.2.2.2", 999, 80).to_bytes()
+        packet = icmp_packet(
+            "10.9.9.9", "10.1.1.1", ICMPMessage(TYPE_TIME_EXCEEDED, 0, quote=inner[:28])
+        )
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.is_icmp
+        assert parsed.icmp.quote == inner[:28]
+
+    def test_brief_summaries(self):
+        packet = tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, flags=SYN)
+        assert "SYN" in packet.brief()
+        message = icmp_packet("10.0.0.3", "10.0.0.1", ICMPMessage(11, 0))
+        assert "ICMP" in message.brief()
+
+    @given(payload=st.binary(max_size=200), ttl=st.integers(min_value=1, max_value=255))
+    def test_round_trip_property(self, payload, ttl):
+        packet = tcp_packet("10.0.0.1", "10.0.0.2", 1234, 80, payload=payload, ttl=ttl)
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.tcp.payload == payload
+        assert parsed.ip.ttl == ttl

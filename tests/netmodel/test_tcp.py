@@ -1,0 +1,127 @@
+"""TCP segment serialization, flags and options."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.ip import checksum16, ip_to_int
+from repro.netmodel.tcp import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    TCPOption,
+    TCPSegment,
+    flags_to_str,
+    parse_options,
+)
+import struct
+
+
+class TestFlags:
+    def test_single_flag(self):
+        assert flags_to_str(SYN) == "SYN"
+
+    def test_combined_flags_ordered(self):
+        assert flags_to_str(SYN | ACK) == "ACK|SYN"
+
+    def test_no_flags(self):
+        assert flags_to_str(0) == "-"
+
+
+class TestOptions:
+    def test_mss_round_trip(self):
+        opt = TCPOption.mss(1460)
+        parsed = parse_options(opt.to_bytes())
+        assert parsed[0].kind == 2
+        assert struct.unpack("!H", parsed[0].data)[0] == 1460
+
+    def test_nop_and_eol(self):
+        data = TCPOption(1).to_bytes() + TCPOption(0).to_bytes()
+        parsed = parse_options(data)
+        assert [o.kind for o in parsed] == [1, 0]
+
+    def test_malformed_length_stops_parse(self):
+        # kind=2, length=200 but only 2 bytes available.
+        assert parse_options(bytes([2, 200])) == []
+
+    def test_truncated_option_ignored(self):
+        assert parse_options(bytes([8])) == []
+
+    def test_option_helpers(self):
+        assert TCPOption.window_scale(7).data == b"\x07"
+        assert TCPOption.sack_permitted().kind == 4
+        ts = TCPOption.timestamp(1000, 2000)
+        assert struct.unpack("!II", ts.data) == (1000, 2000)
+
+
+class TestSegment:
+    def test_round_trip_basic(self):
+        segment = TCPSegment(sport=1234, dport=443, seq=7, ack=9, flags=PSH | ACK, payload=b"hi")
+        parsed = TCPSegment.from_bytes(segment.to_bytes("10.0.0.1", "10.0.0.2"))
+        assert parsed.sport == 1234
+        assert parsed.dport == 443
+        assert parsed.seq == 7
+        assert parsed.ack == 9
+        assert parsed.flags == PSH | ACK
+        assert parsed.payload == b"hi"
+
+    def test_round_trip_with_options(self):
+        segment = TCPSegment(
+            sport=1,
+            dport=2,
+            options=[TCPOption.mss(1400), TCPOption(1), TCPOption.window_scale(5)],
+            payload=b"x" * 100,
+        )
+        parsed = TCPSegment.from_bytes(segment.to_bytes())
+        assert parsed.option_kinds() == (2, 1, 3)
+        assert parsed.payload == b"x" * 100
+
+    def test_checksum_verifies_with_pseudo_header(self):
+        segment = TCPSegment(sport=5, dport=6, payload=b"data")
+        raw = segment.to_bytes("192.0.2.1", "192.0.2.2")
+        pseudo = struct.pack(
+            "!IIBBH", ip_to_int("192.0.2.1"), ip_to_int("192.0.2.2"), 0, 6, len(raw)
+        )
+        assert checksum16(pseudo + raw) == 0
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCPSegment.from_bytes(b"\x00" * 10)
+
+    def test_bad_data_offset_raises(self):
+        raw = bytearray(TCPSegment(sport=1, dport=2).to_bytes())
+        raw[12] = 0x10  # data offset 1 word < minimum 5
+        with pytest.raises(ValueError):
+            TCPSegment.from_bytes(bytes(raw))
+
+    def test_header_len_pads_options_to_words(self):
+        segment = TCPSegment(sport=1, dport=2, options=[TCPOption.window_scale(2)])
+        # window scale is 3 bytes -> padded to 4.
+        assert segment.header_len == 24
+
+    def test_copy_preserves_unrelated_fields(self):
+        segment = TCPSegment(sport=1, dport=2, window=123)
+        copy = segment.copy(flags=RST)
+        assert copy.window == 123 and copy.flags == RST
+        assert segment.flags != RST
+
+    @given(
+        sport=st.integers(min_value=0, max_value=65535),
+        dport=st.integers(min_value=0, max_value=65535),
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+        flags=st.integers(min_value=0, max_value=255),
+        window=st.integers(min_value=0, max_value=65535),
+        payload=st.binary(max_size=64),
+    )
+    def test_round_trip_property(self, sport, dport, seq, flags, window, payload):
+        segment = TCPSegment(
+            sport=sport, dport=dport, seq=seq, flags=flags, window=window, payload=payload
+        )
+        parsed = TCPSegment.from_bytes(segment.to_bytes())
+        assert parsed.sport == sport
+        assert parsed.dport == dport
+        assert parsed.seq == seq
+        assert parsed.flags == flags
+        assert parsed.window == window
+        assert parsed.payload == payload

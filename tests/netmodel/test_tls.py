@@ -1,0 +1,119 @@
+"""TLS ClientHello build/parse: SNI, versions, cipher suites, padding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.tls import (
+    CIPHER_SUITES,
+    ClientHello,
+    ServerHello,
+    VERSION_TLS10,
+    VERSION_TLS12,
+    VERSION_TLS13,
+    looks_like_client_hello,
+    parse_client_hello,
+    tls_alert,
+)
+
+SNI = "www.blocked.example"
+
+
+class TestClientHello:
+    def test_round_trip_sni(self):
+        parsed = parse_client_hello(ClientHello.normal(SNI).build())
+        assert parsed.ok
+        assert parsed.sni == SNI
+
+    def test_omitted_sni(self):
+        hello = ClientHello(server_name=SNI, include_sni=False)
+        parsed = parse_client_hello(hello.build())
+        assert parsed.ok and parsed.sni is None
+
+    def test_empty_sni(self):
+        parsed = parse_client_hello(ClientHello(server_name="").build())
+        assert parsed.sni == ""
+
+    def test_sni_padding_applied(self):
+        hello = ClientHello(server_name=SNI, sni_padding="**")
+        parsed = parse_client_hello(hello.build())
+        assert parsed.sni == "**" + SNI
+
+    def test_cipher_suites_round_trip(self):
+        suites = ["TLS_RSA_WITH_RC4_128_SHA"]
+        hello = ClientHello(server_name=SNI, cipher_suites=suites)
+        parsed = parse_client_hello(hello.build())
+        assert parsed.cipher_suites == (CIPHER_SUITES[suites[0]],)
+
+    def test_supported_versions_range(self):
+        hello = ClientHello(
+            server_name=SNI, min_version=VERSION_TLS12, max_version=VERSION_TLS13
+        )
+        parsed = parse_client_hello(hello.build())
+        assert set(parsed.supported_versions) == {VERSION_TLS12, VERSION_TLS13}
+
+    def test_single_version_offer(self):
+        hello = ClientHello(
+            server_name=SNI, min_version=VERSION_TLS10, max_version=VERSION_TLS10
+        )
+        parsed = parse_client_hello(hello.build())
+        assert parsed.supported_versions == (VERSION_TLS10,)
+
+    def test_legacy_version_capped_at_tls12(self):
+        parsed = parse_client_hello(ClientHello.normal(SNI).build())
+        assert parsed.legacy_version == VERSION_TLS12
+
+    def test_client_certificate_flag_does_not_change_wire_bytes(self):
+        # The certificate is sent *after* the ClientHello; a censor
+        # inspecting the CH cannot see it (why the strategy never
+        # evades, §6.3).
+        plain = ClientHello(server_name=SNI).build()
+        with_cert = ClientHello(
+            server_name=SNI,
+            offers_client_certificate=True,
+            client_certificate_cn="CN=www.test.com",
+        ).build()
+        assert plain == with_cert
+
+    def test_deterministic_output(self):
+        assert ClientHello.normal(SNI).build() == ClientHello.normal(SNI).build()
+
+    @given(
+        name=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=40
+        )
+    )
+    def test_sni_round_trip_property(self, name):
+        parsed = parse_client_hello(ClientHello(server_name=name).build())
+        assert parsed.sni == name
+
+
+class TestParserRobustness:
+    def test_rejects_non_handshake_record(self):
+        assert not parse_client_hello(b"\x17\x03\x03\x00\x01\x00").ok
+
+    def test_rejects_server_hello(self):
+        assert not parse_client_hello(ServerHello().build()).ok
+
+    def test_rejects_truncated(self):
+        raw = ClientHello.normal(SNI).build()
+        assert not parse_client_hello(raw[:10]).ok
+
+    def test_rejects_empty(self):
+        assert not parse_client_hello(b"").ok
+
+    def test_sniffer(self):
+        assert looks_like_client_hello(ClientHello.normal(SNI).build())
+        assert not looks_like_client_hello(b"GET / HTTP/1.1\r\n")
+        assert not looks_like_client_hello(ServerHello().build())
+
+
+class TestServerSide:
+    def test_server_hello_parses_as_record(self):
+        raw = ServerHello().build()
+        assert raw[0] == 22  # handshake record
+        assert raw[5] == 2  # ServerHello type
+
+    def test_alert_structure(self):
+        raw = tls_alert(40)
+        assert raw[0] == 21
+        assert raw[-1] == 40

@@ -1,0 +1,67 @@
+"""The simulator's pcap-like capture log."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    ENDPOINT_IP,
+    OK_DOMAIN,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.devices.vendors import KZ_STATE
+from repro.netmodel.http import HTTPRequest
+from repro.netsim.simulator import Simulator
+from repro.netsim.tcpstack import open_connection
+
+
+def _world_with_capture(device=None):
+    world = build_linear_world(device=device, device_link=2)
+    world.sim = Simulator(world.topology, seed=7, capture=True)
+    return world
+
+
+class TestCapture:
+    def test_disabled_by_default(self):
+        world = build_linear_world()
+        conn = open_connection(world.sim, world.client, ENDPOINT_IP, 80)
+        conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=2)
+        assert world.sim.capture == []
+
+    def test_records_expiry_and_arrival(self):
+        world = _world_with_capture()
+        conn = open_connection(world.sim, world.client, ENDPOINT_IP, 80)
+        conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=2)
+        events = {record.event for record in world.sim.capture}
+        assert "ttl-expired" in events
+        assert "arrived" in events
+
+    def test_records_delivery_to_endpoint(self):
+        world = _world_with_capture()
+        conn = open_connection(world.sim, world.client, ENDPOINT_IP, 80)
+        conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=64)
+        deliveries = [r for r in world.sim.capture if r.event == "delivered"]
+        assert deliveries
+        assert deliveries[0].location == "endpoint"
+
+    def test_records_device_actions_with_note(self):
+        device = make_profile_device(KZ_STATE)
+        world = _world_with_capture(device=device)
+        conn = open_connection(world.sim, world.client, ENDPOINT_IP, 80)
+        conn.send_payload(HTTPRequest.normal(BLOCKED_DOMAIN).build(), ttl=64)
+        actions = [r for r in world.sim.capture if r.event == "device"]
+        assert actions
+        assert "triggered:" in actions[0].detail
+
+    def test_clock_stamps_monotonic(self):
+        world = _world_with_capture()
+        conn = open_connection(world.sim, world.client, ENDPOINT_IP, 80)
+        for ttl in (1, 2, 3):
+            conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=ttl)
+        stamps = [record.clock for record in world.sim.capture]
+        assert stamps == sorted(stamps)

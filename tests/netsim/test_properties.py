@@ -1,0 +1,87 @@
+"""Property-based simulator invariants (hypothesis)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import OK_DOMAIN, build_linear_world
+
+from repro.netmodel.http import HTTPRequest
+from repro.netsim.tcpstack import open_connection
+
+
+@st.composite
+def topology_and_ttl(draw):
+    n_routers = draw(st.integers(min_value=2, max_value=10))
+    ttl = draw(st.integers(min_value=1, max_value=n_routers + 4))
+    seed = draw(st.integers(min_value=0, max_value=100))
+    return n_routers, ttl, seed
+
+
+class TestForwardingInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(params=topology_and_ttl())
+    def test_icmp_source_matches_hop_distance(self, params):
+        """A probe with TTL t <= router count always draws its ICMP
+        from exactly the t-th router."""
+        n_routers, ttl, seed = params
+        world = build_linear_world(n_routers=n_routers, seed=seed)
+        conn = open_connection(world.sim, world.client, world.endpoint.ip, 80)
+        result = conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=ttl)
+        if ttl <= n_routers:
+            icmp = [p for p in result.received if p.is_icmp]
+            assert len(icmp) == 1
+            assert icmp[0].ip.src == world.routers[ttl - 1].ip
+        else:
+            # Past the last router the endpoint answers.
+            assert any(
+                p.is_tcp and p.ip.src == world.endpoint.ip
+                for p in result.received
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(params=topology_and_ttl())
+    def test_no_response_without_cause(self, params):
+        """On a lossless path every probe elicits exactly one kind of
+        reaction: ICMP below the endpoint, endpoint traffic at/above."""
+        n_routers, ttl, seed = params
+        world = build_linear_world(n_routers=n_routers, seed=seed)
+        conn = open_connection(world.sim, world.client, world.endpoint.ip, 80)
+        result = conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=ttl)
+        assert result.received, "lossless path must always answer"
+        kinds = {("icmp" if p.is_icmp else "tcp") for p in result.received}
+        assert len(kinds) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_routers=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_reply_ttl_arithmetic(self, n_routers, seed):
+        """An ICMP from hop k arrives with TTL 64 - (k-1): the reverse
+        path crosses k-1 routers."""
+        world = build_linear_world(n_routers=n_routers, seed=seed)
+        conn = open_connection(world.sim, world.client, world.endpoint.ip, 80)
+        for k in range(1, n_routers + 1):
+            result = conn.send_payload(
+                HTTPRequest.normal(OK_DOMAIN).build(), ttl=k
+            )
+            icmp = [p for p in result.received if p.is_icmp]
+            assert icmp[0].ip.ttl == 64 - (k - 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_routers=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_clock_monotonic_under_traffic(self, n_routers, seed):
+        world = build_linear_world(n_routers=n_routers, seed=seed)
+        last = world.sim.clock
+        for _ in range(5):
+            conn = open_connection(world.sim, world.client, world.endpoint.ip, 80)
+            conn.send_payload(HTTPRequest.normal(OK_DOMAIN).build(), ttl=3)
+            assert world.sim.clock > last
+            last = world.sim.clock

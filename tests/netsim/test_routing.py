@@ -1,0 +1,86 @@
+"""Routes, paths and flow-hash selection (ECMP)."""
+
+import pytest
+
+from repro.devices.vendors import KZ_STATE, make_device
+from repro.netmodel.ip import FlowKey
+from repro.netsim.routing import Hop, Path, Route, single_path_route
+
+
+def _path(names):
+    return Path([Hop(n) for n in names])
+
+
+class TestPath:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path([])
+
+    def test_length_and_names(self):
+        path = _path(["a", "b", "c"])
+        assert path.length == 3
+        assert path.node_names() == ("a", "b", "c")
+
+    def test_devices_enumerated_with_link_index(self):
+        device = make_device(KZ_STATE, "d", ["x.example"])
+        path = Path([Hop("a"), Hop("b", link_devices=[device]), Hop("c")])
+        assert path.devices() == [(1, device)]
+
+
+class TestRoute:
+    def test_single_path_always_selected(self):
+        route = single_path_route(["a", "b"])
+        flow = FlowKey("1.1.1.1", "2.2.2.2", 1, 2)
+        assert route.select(flow).node_names() == ("a", "b")
+
+    def test_requires_paths(self):
+        with pytest.raises(ValueError):
+            Route([])
+
+    def test_weights_must_match(self):
+        with pytest.raises(ValueError):
+            Route([_path(["a"])], weights=[1.0, 2.0])
+
+    def test_selection_deterministic_per_flow(self):
+        route = Route([_path(["a", "x"]), _path(["b", "x"])])
+        flow = FlowKey("1.1.1.1", "2.2.2.2", 1234, 80)
+        chosen = {route.select(flow).node_names() for _ in range(10)}
+        assert len(chosen) == 1
+
+    def test_different_ports_spread_over_paths(self):
+        route = Route([_path(["a", "x"]), _path(["b", "x"])])
+        seen = {
+            route.select(FlowKey("1.1.1.1", "2.2.2.2", sport, 80)).node_names()
+            for sport in range(2000, 2200)
+        }
+        assert len(seen) == 2
+
+    def test_weights_bias_selection(self):
+        route = Route(
+            [_path(["heavy"]), _path(["light"])], weights=[9.0, 1.0]
+        )
+        counts = {"heavy": 0, "light": 0}
+        for sport in range(3000, 4000):
+            name = route.select(FlowKey("1.1.1.1", "2.2.2.2", sport, 80)).node_names()[0]
+            counts[name] += 1
+        assert counts["heavy"] > 5 * counts["light"]
+
+    def test_seed_changes_mapping(self):
+        route = Route([_path(["a"]), _path(["b"])])
+        flow = FlowKey("1.1.1.1", "2.2.2.2", 5555, 80)
+        names = {route.select(flow, seed=s).node_names() for s in range(30)}
+        assert len(names) == 2
+
+    def test_all_devices_deduplicates(self):
+        device = make_device(KZ_STATE, "d", ["x.example"])
+        paths = [
+            Path([Hop("a"), Hop("b", link_devices=[device])]),
+            Path([Hop("c"), Hop("b", link_devices=[device])]),
+        ]
+        route = Route(paths)
+        assert len(route.all_devices()) == 1
+
+    def test_single_path_route_devices(self):
+        device = make_device(KZ_STATE, "d", ["x.example"])
+        route = single_path_route(["a", "b", "c"], devices_at={1: [device]})
+        assert route.paths[0].devices() == [(1, device)]

@@ -1,0 +1,80 @@
+"""Topology registration, lookups and service scanning."""
+
+import pytest
+
+from repro.netsim.topology import Client, Endpoint, Router, Service, Topology
+
+
+def _topology():
+    topo = Topology("t")
+    topo.add_router(Router("r1", "10.0.0.1", asn=1))
+    topo.add_client(Client("c1", "10.0.1.1", asn=2))
+    topo.add_endpoint(Endpoint("e1", "10.0.2.1", asn=3))
+    return topo
+
+
+class TestRegistration:
+    def test_duplicate_ip_rejected(self):
+        topo = _topology()
+        with pytest.raises(ValueError):
+            topo.add_router(Router("r2", "10.0.0.1", asn=9))
+
+    def test_node_lookup_by_ip(self):
+        topo = _topology()
+        assert topo.node_at("10.0.0.1").name == "r1"
+        assert topo.node_at("192.0.2.1") is None
+
+    def test_kind_registries(self):
+        topo = _topology()
+        assert "r1" in topo.routers
+        assert "c1" in topo.clients
+        assert "e1" in topo.endpoints
+
+
+class TestRoutes:
+    def test_missing_route_raises_keyerror(self):
+        topo = _topology()
+        with pytest.raises(KeyError):
+            topo.route_between("10.0.1.1", "10.0.2.1")
+
+    def test_has_route(self):
+        from repro.netsim.routing import single_path_route
+
+        topo = _topology()
+        topo.add_route("10.0.1.1", "10.0.2.1", single_path_route(["r1", "e1"]))
+        assert topo.has_route("10.0.1.1", "10.0.2.1")
+        assert not topo.has_route("10.0.2.1", "10.0.1.1")
+
+
+class TestServices:
+    def test_scan_open_ports(self):
+        topo = _topology()
+        node = topo.node_at("10.0.0.1")
+        node.add_service(Service(port=22, protocol="ssh", banner=b"SSH-2.0-x\r\n"))
+        node.add_service(Service(port=443, protocol="https"))
+        assert topo.scan_ports("10.0.0.1", [22, 80, 443]) == [22, 443]
+
+    def test_scan_unknown_ip_empty(self):
+        assert _topology().scan_ports("203.0.113.1", [22]) == []
+
+    def test_service_at(self):
+        topo = _topology()
+        node = topo.node_at("10.0.0.1")
+        node.add_service(Service(port=22, protocol="ssh"))
+        assert topo.service_at("10.0.0.1", 22).protocol == "ssh"
+        assert topo.service_at("10.0.0.1", 23) is None
+
+    def test_service_probe_responses_prefix_match(self):
+        service = Service(
+            port=80,
+            protocol="http",
+            probe_responses={b"GET ": b"HTTP/1.1 200 OK\r\n\r\n"},
+        )
+        assert service.respond(b"GET / HTTP/1.1\r\n") == b"HTTP/1.1 200 OK\r\n\r\n"
+        assert service.respond(b"PUT /") == b""
+
+    def test_open_ports_sorted(self):
+        node = Router("r", "10.0.9.1", asn=1)
+        node.add_service(Service(port=443, protocol="https"))
+        node.add_service(Service(port=22, protocol="ssh"))
+        assert node.open_ports() == [22, 443]

@@ -1,0 +1,52 @@
+"""Banner service builders."""
+
+from repro.services.banners import (
+    ftp_service,
+    generic_linux_services,
+    http_admin_service,
+    smtp_service,
+    snmp_service,
+    ssh_service,
+    telnet_service,
+)
+
+
+class TestBuilders:
+    def test_ssh_banner_terminated(self):
+        service = ssh_service("SSH-2.0-TestSSH")
+        assert service.banner == b"SSH-2.0-TestSSH\r\n"
+        assert service.port == 22 and service.protocol == "ssh"
+
+    def test_ftp_smtp_get_220_prefix(self):
+        assert ftp_service("hello ftp").banner.startswith(b"220 ")
+        assert smtp_service("hello smtp").banner.startswith(b"220 ")
+
+    def test_telnet_greeting(self):
+        assert b"login:" in telnet_service("router login:").banner
+
+    def test_snmp_answers_sysdescr_probe(self):
+        service = snmp_service("TestOS v1.2")
+        assert service.respond(b"SNMP-GET sysDescr") == b"TestOS v1.2"
+        assert service.respond(b"SNMP-GET other") == b""
+
+    def test_http_admin_serves_title(self):
+        service = http_admin_service(server_header="TestServe", title="Admin UI")
+        response = service.respond(b"GET / HTTP/1.1\r\n\r\n")
+        assert b"Server: TestServe" in response
+        assert b"<title>Admin UI</title>" in response
+
+    def test_http_admin_auth_realm(self):
+        service = http_admin_service(title="x", realm="router")
+        response = service.respond(b"GET /")
+        assert b"401 Unauthorized" in response
+        assert b'realm="router"' in response
+
+    def test_http_admin_ignores_non_http_probe(self):
+        service = http_admin_service(title="x")
+        assert service.respond(b"\x16\x03\x01") == b""
+
+    def test_generic_services_have_no_vendor_hints(self):
+        for service in generic_linux_services():
+            text = (service.banner + b" ".join(service.probe_responses.values())).lower()
+            for vendor in (b"fortigate", b"cisco", b"kerio", b"mikrotik"):
+                assert vendor not in text
