@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-update
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Perf regression gate: measures probe throughput + serial-vs-parallel
+# campaign timing, fails on >20% throughput regression against the
+# committed benchmarks/BENCH_campaign.json.
+bench:
+	$(PYTHON) -m benchmarks
+
+bench-update:
+	$(PYTHON) -m benchmarks --update

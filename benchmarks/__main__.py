@@ -1,0 +1,162 @@
+"""Perf regression gate: ``python -m benchmarks`` (or ``make bench``).
+
+Measures current probe throughput and serial-vs-parallel campaign
+timings, verifies the parallel run is bit-identical to the serial run,
+writes the numbers to ``benchmarks/output/BENCH_campaign.json``, and
+exits non-zero when probe throughput regressed more than 20% against
+the committed ``benchmarks/BENCH_campaign.json`` baseline.
+
+``--update`` rewrites the committed baseline with the fresh numbers
+(do this deliberately, on a quiet machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_campaign.json"
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_campaign.json"
+REGRESSION_TOLERANCE = 0.20  # fail when >20% slower than baseline
+
+
+def measure_probe_throughput(probes: int = 3000) -> float:
+    """Probes per second on the canonical 8-hop perf topology."""
+    from repro.netmodel.http import HTTPRequest
+    from repro.netsim.tcpstack import open_connection
+
+    from benchmarks.test_perf import _world
+
+    sim, client, endpoint = _world(with_device=False)
+    payload = HTTPRequest.normal("ok.example").build()
+
+    def probe() -> None:
+        conn = open_connection(sim, client, endpoint.ip, 80)
+        conn.send_payload(payload, ttl=4)
+        conn.close()
+
+    for _ in range(200):  # warm caches/allocator before timing
+        probe()
+    start = time.perf_counter()
+    for _ in range(probes):
+        probe()
+    elapsed = time.perf_counter() - start
+    return probes / elapsed
+
+
+def measure_campaign(scale: float, repetitions: int) -> dict:
+    """Serial vs 4-worker campaign timing, with a bit-identity check."""
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+    from repro.geo.countries import build_world
+    from repro.persist import save_campaign
+
+    import tempfile
+
+    config = CampaignConfig(repetitions=repetitions)
+
+    def timed(workers):
+        world = build_world("RU", seed=7, scale=scale)
+        start = time.perf_counter()
+        campaign = run_campaign(world, config, workers=workers)
+        elapsed = time.perf_counter() - start
+        with tempfile.TemporaryDirectory() as tmp:
+            save_campaign(campaign, tmp)
+            digest = hashlib.sha256()
+            for path in sorted(Path(tmp).iterdir()):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        return elapsed, digest.hexdigest(), campaign
+
+    serial_s, serial_digest, campaign = timed(None)
+    parallel_s, parallel_digest, _ = timed(4)
+    if serial_digest != parallel_digest:
+        raise SystemExit(
+            "FATAL: parallel campaign output differs from serial output"
+        )
+    return {
+        "country": "RU",
+        "scale": scale,
+        "repetitions": repetitions,
+        "trace_measurements": len(campaign.all_trace_results()),
+        "fuzz_reports": len(campaign.fuzz_reports),
+        "serial_s": round(serial_s, 3),
+        "workers_4_s": round(parallel_s, 3),
+        "speedup_x4": round(serial_s / parallel_s, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed BENCH_campaign.json baseline",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.3")),
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_REPETITIONS", "2")),
+    )
+    args = parser.parse_args(argv)
+
+    probes_per_s = measure_probe_throughput()
+    print(f"probe throughput: {probes_per_s:,.0f} probes/s")
+    campaign = measure_campaign(args.scale, args.repetitions)
+    print(
+        f"campaign (RU, scale={campaign['scale']}): "
+        f"serial {campaign['serial_s']}s, 4 workers "
+        f"{campaign['workers_4_s']}s ({campaign['speedup_x4']}x), "
+        "outputs bit-identical"
+    )
+
+    current = {
+        "probe_throughput_per_s": round(probes_per_s, 1),
+        "campaign": campaign,
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+    }
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT_PATH}")
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"updated baseline {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update to create")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["probe_throughput_per_s"] * (1 - REGRESSION_TOLERANCE)
+    if probes_per_s < floor:
+        print(
+            f"FAIL: probe throughput {probes_per_s:,.0f}/s is >"
+            f"{REGRESSION_TOLERANCE:.0%} below baseline "
+            f"{baseline['probe_throughput_per_s']:,.0f}/s"
+        )
+        return 1
+    print(
+        f"OK: within {REGRESSION_TOLERANCE:.0%} of baseline "
+        f"{baseline['probe_throughput_per_s']:,.0f}/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,3 +86,59 @@ def test_perf_clienthello_roundtrip(benchmark):
         assert parse_client_hello(raw).sni == BLOCKED
 
     benchmark(round_trip)
+
+
+@pytest.mark.slow
+def test_perf_campaign_serial_vs_parallel(tmp_path, campaign_bench_record):
+    """Full campaign, serial vs 4 workers: timing and bit-identity.
+
+    Scale via REPRO_BENCH_SCALE (1.0 = paper-scale). Timings land in
+    benchmarks/output/BENCH_campaign.json; compare against the
+    committed benchmarks/BENCH_campaign.json via `make bench`.
+    """
+    import hashlib
+    import json
+    import os
+    import time
+
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+    from repro.geo.countries import build_world
+    from repro.persist import save_campaign
+
+    from .conftest import BENCH_REPETITIONS, BENCH_SCALE
+
+    config = CampaignConfig(repetitions=BENCH_REPETITIONS)
+
+    def timed(workers, tag):
+        world = build_world("RU", seed=7, scale=BENCH_SCALE)
+        start = time.perf_counter()
+        campaign = run_campaign(world, config, workers=workers)
+        elapsed = time.perf_counter() - start
+        out = tmp_path / tag
+        save_campaign(campaign, str(out))
+        digest = hashlib.sha256()
+        for path in sorted(out.iterdir()):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        return elapsed, digest.hexdigest(), campaign
+
+    serial_s, serial_digest, campaign = timed(None, "serial")
+    parallel_s, parallel_digest, _ = timed(4, "parallel")
+    assert serial_digest == parallel_digest  # bit-identical, always
+    assert campaign.remote_results
+
+    campaign_bench_record.update(
+        {
+            "country": "RU",
+            "scale": BENCH_SCALE,
+            "repetitions": BENCH_REPETITIONS,
+            "trace_measurements": len(campaign.all_trace_results()),
+            "fuzz_reports": len(campaign.fuzz_reports),
+            "serial_s": round(serial_s, 3),
+            "workers_4_s": round(parallel_s, 3),
+            "speedup_x4": round(serial_s / parallel_s, 3),
+            "cpus": os.cpu_count(),
+        }
+    )
+    print()
+    print(json.dumps(campaign_bench_record, indent=2, sort_keys=True))

@@ -214,6 +214,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             fuzz_all_blocked=args.fuzz_all,
         ),
+        workers=args.workers,
     )
     blocked = len(campaign.blocked_remote())
     print(
@@ -317,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(campaign)
     campaign.add_argument("--repetitions", type=int, default=3)
     campaign.add_argument("--fuzz-all", action="store_true")
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard measurements over N worker processes "
+        "(bit-identical to the serial run)",
+    )
     campaign.add_argument("--out", help="directory for raw JSONL data")
     campaign.set_defaults(func=cmd_campaign)
 

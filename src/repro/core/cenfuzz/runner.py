@@ -144,6 +144,24 @@ class CenFuzz:
         self.config = config or CenFuzzConfig()
         self.matcher = matcher or DEFAULT_MATCHER
         self._strategies = all_strategies()
+        # Built payload per (permutation, domain): permutation builders
+        # are deterministic and every endpoint re-sends the same fuzzed
+        # request for the same domains. (strategy, label, protocol) is
+        # unique across all permutations.
+        self._payload_cache: Dict[tuple, bytes] = {}
+
+    def _payload(self, permutation: Permutation, domain: str) -> bytes:
+        key = (
+            permutation.strategy,
+            permutation.label,
+            permutation.protocol,
+            domain,
+        )
+        payload = self._payload_cache.get(key)
+        if payload is None:
+            payload = permutation.payload(domain)
+            self._payload_cache[key] = payload
+        return payload
 
     # -- single request -----------------------------------------------------
 
@@ -159,7 +177,7 @@ class CenFuzz:
             conn = open_connection(self.sim, self.client, endpoint_ip, port)
             if conn is None:
                 return FuzzProbeOutcome(OUTCOME_HANDSHAKE_FAILED)
-        payload = permutation.payload(domain)
+        payload = self._payload(permutation, domain)
         result = conn.send_payload(payload, retries=cfg.probe_retries)
         conn.close()
         outcome = self._classify(result.received)

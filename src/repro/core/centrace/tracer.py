@@ -20,6 +20,7 @@ otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 from ...geo.asdb import ASDatabase
@@ -67,9 +68,15 @@ class CenTraceConfig:
     extra_probes_past_terminating: int = 2
 
 
+@lru_cache(maxsize=1024)
 def build_probe_payload(domain: str, protocol: str) -> bytes:
     """The application payload CenTrace sends: GET, ClientHello or a
-    DNS query (the §8 DNS extension)."""
+    DNS query (the §8 DNS extension).
+
+    Cached per (domain, protocol): every builder is deterministic (the
+    ClientHello "random" is seeded from the SNI) and a campaign sweeps
+    the same payload thousands of times across TTLs and repetitions.
+    """
     if protocol == PROTO_HTTP:
         return HTTPRequest.normal(domain).build()
     if protocol == PROTO_TLS:

@@ -157,6 +157,11 @@ def _next_sequential_id() -> int:
     return _sequential_ip_id[0]
 
 
+def reset_sequential_ip_id(start: int = 0x1000) -> None:
+    """Rewind the shared IPID_SEQUENTIAL counter (per-unit determinism)."""
+    _sequential_ip_id[0] = start
+
+
 def build_injections(
     action: BlockAction,
     trigger: Packet,

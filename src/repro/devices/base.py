@@ -100,6 +100,17 @@ class CensorshipDevice(LinkDevice):
 
     # ------------------------------------------------------------------
 
+    def reset_state(self) -> None:
+        """Forget all per-flow state (residual timers, injection counts).
+
+        Ground-truth ``stats`` counters keep accumulating: they never
+        influence measurement results, only tests and world validation.
+        """
+        self.residual._entries.clear()
+        self.injections._counts.clear()
+
+    # ------------------------------------------------------------------
+
     def inspect(self, packet: Packet, ctx: InspectionContext) -> Verdict:
         if packet.injected:
             return Verdict.pass_through()

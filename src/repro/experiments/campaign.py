@@ -19,16 +19,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.features import EndpointFeatures, extract_features
 from ..core.blockpages import DEFAULT_MATCHER
-from ..core.cenfuzz import CenFuzz, EndpointFuzzReport
+from ..core.cenfuzz import EndpointFuzzReport
 from ..core.cenprobe import CenProbe, ProbeReport
 from ..core.centrace import (
-    CenTrace,
-    CenTraceConfig,
     CenTraceResult,
     PROTO_HTTP,
     PROTO_TLS,
 )
 from ..geo.countries import StudyWorld, build_world
+from .executor import (
+    VANTAGE_IN_COUNTRY,
+    VANTAGE_REMOTE,
+    CampaignExecutor,
+    FuzzUnit,
+    TraceUnit,
+)
 
 PROTOCOLS = (PROTO_HTTP, PROTO_TLS)
 
@@ -182,80 +187,88 @@ class CountryCampaign:
         return features
 
 
-def run_campaign(world: StudyWorld, config: Optional[CampaignConfig] = None) -> CountryCampaign:
-    """Collect every measurement the experiments need for ``world``."""
-    config = config or CampaignConfig()
-    campaign = CountryCampaign(world=world, config=config)
-    trace_config = CenTraceConfig(repetitions=config.repetitions)
-    tracer = CenTrace(
-        world.sim, world.remote_client, asdb=world.asdb, config=trace_config
-    )
+def trace_units_for(
+    world: StudyWorld, config: CampaignConfig
+) -> List[TraceUnit]:
+    """Canonical CenTrace work-unit order for a campaign.
 
+    Remote units first (endpoint x test domain x protocol, §4.2), then
+    in-country units. This ordering is the contract that lets parallel
+    results merge back bit-identically.
+    """
     endpoints = world.endpoints
     if config.max_endpoints is not None:
         endpoints = endpoints[: config.max_endpoints]
-
-    # Remote CenTraces: endpoint x test domain x protocol (§4.2).
-    for endpoint in endpoints:
-        for domain in world.test_domains:
-            for protocol in config.protocols:
-                campaign.remote_results.append(
-                    tracer.measure(
-                        endpoint.ip,
-                        domain,
-                        protocol,
-                        control_domain=world.control_domain,
-                    )
-                )
-
-    # In-country CenTraces.
+    units = [
+        TraceUnit(VANTAGE_REMOTE, endpoint.ip, domain, protocol)
+        for endpoint in endpoints
+        for domain in world.test_domains
+        for protocol in config.protocols
+    ]
     if world.in_country_client is not None and world.in_country_targets:
-        in_tracer = CenTrace(
-            world.sim,
-            world.in_country_client,
-            asdb=world.asdb,
-            config=trace_config,
+        units.extend(
+            TraceUnit(VANTAGE_IN_COUNTRY, target.ip, domain, protocol)
+            for target in world.in_country_targets
+            for domain in world.test_domains
+            for protocol in config.protocols
         )
-        for target in world.in_country_targets:
-            for domain in world.test_domains:
-                for protocol in config.protocols:
-                    campaign.in_country_results.append(
-                        in_tracer.measure(
-                            target.ip,
-                            domain,
-                            protocol,
-                            control_domain=world.control_domain,
-                        )
-                    )
+    return units
 
-    # Banner grabs at every potential device IP (§5.2).
-    if config.run_probe:
-        prober = CenProbe(world.topology)
-        for ip in campaign.potential_device_ips():
-            campaign.probe_reports[ip] = prober.scan(ip)
 
-    # CenFuzz against blocked endpoints (§6.2) — one endpoint per
-    # distinct blocking hop unless fuzz_all_blocked is set.
-    if config.run_fuzz:
-        fuzzer = CenFuzz(world.sim, world.remote_client)
-        targets = _fuzz_targets(campaign, config)
-        for endpoint_ip, domain, protocol in targets:
-            campaign.fuzz_reports.append(
-                fuzzer.run_endpoint(
-                    endpoint_ip,
-                    domain,
-                    protocol,
-                    control_domain=world.control_domain,
-                )
-            )
+def run_campaign(
+    world: StudyWorld,
+    config: Optional[CampaignConfig] = None,
+    workers: Optional[int] = None,
+) -> CountryCampaign:
+    """Collect every measurement the experiments need for ``world``.
+
+    ``workers=N`` shards CenTrace and CenFuzz work units across N
+    processes (each rebuilding a world replica from ``world.spec``);
+    the result is bit-identical to the serial run — see
+    ``experiments/executor.py`` for the determinism discipline.
+    """
+    config = config or CampaignConfig()
+    campaign = CountryCampaign(world=world, config=config)
+
+    units = trace_units_for(world, config)
+    n_remote = sum(1 for u in units if u.vantage == VANTAGE_REMOTE)
+
+    with CampaignExecutor(
+        world, repetitions=config.repetitions, workers=workers
+    ) as executor:
+        results = executor.run_traces(units)
+        campaign.remote_results = results[:n_remote]
+        campaign.in_country_results = results[n_remote:]
+
+        # Banner grabs at every potential device IP (§5.2). CenProbe
+        # reads only the static topology (no simulator state), so it
+        # runs serially in the parent under either mode.
+        if config.run_probe:
+            prober = CenProbe(world.topology)
+            for ip in campaign.potential_device_ips():
+                campaign.probe_reports[ip] = prober.scan(ip)
+
+        # CenFuzz against blocked endpoints (§6.2) — one endpoint per
+        # distinct blocking hop unless fuzz_all_blocked is set.
+        if config.run_fuzz:
+            targets = _fuzz_targets(campaign, config)
+            fuzz_units = [FuzzUnit(*target) for target in targets]
+            campaign.fuzz_reports = executor.run_fuzz(fuzz_units)
     return campaign
 
 
 def _fuzz_targets(
     campaign: CountryCampaign, config: CampaignConfig
 ) -> List[Tuple[str, str, str]]:
-    """(endpoint, domain, protocol) triples to fuzz."""
-    targets: List[Tuple[str, str, str]] = []
+    """(endpoint, domain, protocol) triples to fuzz.
+
+    Also records ``campaign.fuzz_target_hops`` — but only for targets
+    that survive the ``fuzz_max_endpoints`` cut, so downstream
+    re-weighting (``fuzz_weights``) and clustering
+    (``endpoint_features``) never see entries for endpoints that were
+    never fuzzed.
+    """
+    selected: List[Tuple[Tuple[str, str], Optional[str], Tuple[str, str, str]]] = []
     seen_hops = set()
     seen_endpoint_protocol = set()
     for result in campaign.blocked_remote():
@@ -269,10 +282,14 @@ def _fuzz_targets(
                 continue
         seen_hops.add(hop_key)
         seen_endpoint_protocol.add(key_ep)
-        campaign.fuzz_target_hops[key_ep] = hop_ip
-        targets.append((result.endpoint_ip, result.test_domain, result.protocol))
+        triple = (result.endpoint_ip, result.test_domain, result.protocol)
+        selected.append((key_ep, hop_ip, triple))
     if config.fuzz_max_endpoints is not None:
-        targets = targets[: config.fuzz_max_endpoints]
+        selected = selected[: config.fuzz_max_endpoints]
+    targets: List[Tuple[str, str, str]] = []
+    for key_ep, hop_ip, triple in selected:
+        campaign.fuzz_target_hops[key_ep] = hop_ip
+        targets.append(triple)
     return targets
 
 
@@ -287,16 +304,45 @@ def get_campaign(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     repetitions: int = 3,
+    protocols: Tuple[str, ...] = PROTOCOLS,
+    max_endpoints: Optional[int] = None,
     fuzz_all_blocked: bool = False,
+    fuzz_max_endpoints: Optional[int] = None,
+    run_fuzz: bool = True,
+    run_probe: bool = True,
+    workers: Optional[int] = None,
 ) -> CountryCampaign:
-    """Build (or fetch from cache) the campaign for ``country``."""
-    key = (country, scale, seed, repetitions, fuzz_all_blocked)
+    """Build (or fetch from cache) the campaign for ``country``.
+
+    The cache key covers every knob that changes campaign *content* —
+    (country, scale, seed) plus all :class:`CampaignConfig` fields.
+    ``workers`` is deliberately excluded: parallel runs are
+    bit-identical to serial ones, so it only affects wall-clock time.
+    """
+    config = CampaignConfig(
+        repetitions=repetitions,
+        protocols=tuple(protocols),
+        max_endpoints=max_endpoints,
+        fuzz_all_blocked=fuzz_all_blocked,
+        fuzz_max_endpoints=fuzz_max_endpoints,
+        run_fuzz=run_fuzz,
+        run_probe=run_probe,
+    )
+    key = (
+        country,
+        scale,
+        seed,
+        config.repetitions,
+        config.protocols,
+        config.max_endpoints,
+        config.fuzz_all_blocked,
+        config.fuzz_max_endpoints,
+        config.run_fuzz,
+        config.run_probe,
+    )
     if key not in _CACHE:
         world = build_world(country, seed=seed, scale=scale)
-        config = CampaignConfig(
-            repetitions=repetitions, fuzz_all_blocked=fuzz_all_blocked
-        )
-        _CACHE[key] = run_campaign(world, config)
+        _CACHE[key] = run_campaign(world, config, workers=workers)
     return _CACHE[key]
 
 

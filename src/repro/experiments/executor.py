@@ -1,0 +1,282 @@
+"""Parallel campaign execution engine.
+
+A campaign decomposes into independent **work units**: one CenTrace
+measurement per (vantage, endpoint, domain, protocol) and one CenFuzz
+endpoint run per (endpoint, domain, protocol). This module shards those
+units across ``multiprocessing`` workers while keeping a hard
+guarantee: a parallel run is **bit-identical** to the serial run.
+
+Two properties make that possible:
+
+1. Worlds are pure functions of :class:`~repro.geo.countries.WorldSpec`
+   (country, seed, scale), so each worker process rebuilds its own
+   replica instead of sharing simulator state.
+
+2. Every unit starts from the same canonical state regardless of which
+   process — or in what order — executes it. :func:`prepare_unit`
+   resets all cross-measurement mutable state (simulator clock/RNG/
+   stacks/capture, device residual and injection tracking, the global
+   ephemeral-port, IP-ID and injected-IP-ID counters) and re-seeds the
+   simulator RNG from a digest of the unit's content. A unit's result
+   is then a function of (world spec, unit) alone.
+
+Results are merged back in canonical work-unit order, so callers never
+observe scheduling. Serial execution (``workers=None``) goes through
+the exact same prepare/execute path in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cenfuzz import CenFuzz, EndpointFuzzReport
+from ..core.centrace import CenTrace, CenTraceConfig, CenTraceResult
+from ..devices.actions import reset_sequential_ip_id
+from ..geo.countries import StudyWorld
+from ..netmodel.packet import reset_ip_ids
+from ..netsim.tcpstack import reset_ephemeral_ports
+
+VANTAGE_REMOTE = "remote"
+VANTAGE_IN_COUNTRY = "in_country"
+
+# Test hook: when set, worker processes die immediately (hard exit, no
+# exception) so tests can exercise crash surfacing without a real fault.
+CRASH_ENV = "REPRO_EXECUTOR_TEST_CRASH"
+
+
+class ExecutorError(RuntimeError):
+    """A worker pool failed in a way that loses results."""
+
+
+@dataclass(frozen=True)
+class TraceUnit:
+    """One CenTrace measurement."""
+
+    vantage: str  # VANTAGE_REMOTE | VANTAGE_IN_COUNTRY
+    endpoint_ip: str
+    domain: str
+    protocol: str
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.vantage, self.endpoint_ip, self.domain, self.protocol)
+
+
+@dataclass(frozen=True)
+class FuzzUnit:
+    """One CenFuzz endpoint run."""
+
+    endpoint_ip: str
+    domain: str
+    protocol: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.endpoint_ip, self.domain, self.protocol)
+
+
+# -- per-unit determinism ----------------------------------------------------
+
+
+def unit_seed(world_seed: int, kind: str, key: Sequence[str]) -> int:
+    """Deterministic RNG seed for one work unit.
+
+    Content-based (never index-based) so the seed is stable across
+    processes, unit orderings and subsetting.
+    """
+    material = "|".join([str(world_seed), kind, *key]).encode("utf-8")
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def prepare_unit(world: StudyWorld, kind: str, key: Sequence[str]) -> None:
+    """Reset all cross-measurement mutable state before one unit.
+
+    After this call the upcoming measurement depends only on the world's
+    construction parameters and the unit's content — the invariant that
+    makes serial and parallel campaigns bit-identical.
+    """
+    world.sim.reset(rng_seed=unit_seed(world.sim.seed, kind, key))
+    for device in world.devices:
+        device.reset_state()
+    reset_ephemeral_ports()
+    reset_ip_ids()
+    reset_sequential_ip_id()
+
+
+# -- unit execution (shared by serial path and workers) ----------------------
+
+
+@dataclass
+class _Toolset:
+    """Tracers/fuzzer bound to one world instance."""
+
+    world: StudyWorld
+    remote_tracer: CenTrace
+    in_country_tracer: Optional[CenTrace]
+    fuzzer: CenFuzz
+
+    @classmethod
+    def build(cls, world: StudyWorld, repetitions: int) -> "_Toolset":
+        trace_config = CenTraceConfig(repetitions=repetitions)
+        remote = CenTrace(
+            world.sim, world.remote_client, asdb=world.asdb, config=trace_config
+        )
+        in_country = None
+        if world.in_country_client is not None:
+            in_country = CenTrace(
+                world.sim,
+                world.in_country_client,
+                asdb=world.asdb,
+                config=trace_config,
+            )
+        fuzzer = CenFuzz(world.sim, world.remote_client)
+        return cls(world, remote, in_country, fuzzer)
+
+    def run_trace(self, unit: TraceUnit) -> CenTraceResult:
+        prepare_unit(self.world, "trace", unit.key)
+        if unit.vantage == VANTAGE_REMOTE:
+            tracer = self.remote_tracer
+        elif self.in_country_tracer is not None:
+            tracer = self.in_country_tracer
+        else:
+            raise ExecutorError(
+                f"unit {unit} needs an in-country vantage but "
+                f"world {self.world.country!r} has none"
+            )
+        return tracer.measure(
+            unit.endpoint_ip,
+            unit.domain,
+            unit.protocol,
+            control_domain=self.world.control_domain,
+        )
+
+    def run_fuzz(self, unit: FuzzUnit) -> EndpointFuzzReport:
+        prepare_unit(self.world, "fuzz", unit.key)
+        return self.fuzzer.run_endpoint(
+            unit.endpoint_ip,
+            unit.domain,
+            unit.protocol,
+            control_domain=self.world.control_domain,
+        )
+
+
+# -- worker process side -----------------------------------------------------
+
+# One toolset per worker process, built once by the pool initializer
+# around a private world replica.
+_WORKER_TOOLSET: Optional[_Toolset] = None
+
+
+def _worker_init(spec, repetitions: int) -> None:
+    global _WORKER_TOOLSET
+    if os.environ.get(CRASH_ENV):
+        # Hard exit — simulates a worker segfault/OOM kill. The parent
+        # sees BrokenProcessPool, which must surface as ExecutorError.
+        os._exit(17)
+    world = spec.build()
+    _WORKER_TOOLSET = _Toolset.build(world, repetitions)
+
+
+def _worker_trace(unit: TraceUnit) -> CenTraceResult:
+    assert _WORKER_TOOLSET is not None, "worker initializer did not run"
+    return _WORKER_TOOLSET.run_trace(unit)
+
+
+def _worker_fuzz(unit: FuzzUnit) -> EndpointFuzzReport:
+    assert _WORKER_TOOLSET is not None, "worker initializer did not run"
+    return _WORKER_TOOLSET.run_fuzz(unit)
+
+
+# -- the executor ------------------------------------------------------------
+
+
+class CampaignExecutor:
+    """Executes campaign work units, optionally across worker processes.
+
+    ``workers=None`` (or 0) runs every unit in-process; ``workers=N``
+    shards units over N processes, each holding a world replica rebuilt
+    from ``world.spec``. Both paths produce byte-identical results in
+    canonical (input) order. Use as a context manager so the pool is
+    torn down promptly.
+    """
+
+    def __init__(
+        self,
+        world: StudyWorld,
+        repetitions: int = 3,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.world = world
+        self.repetitions = repetitions
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._toolset: Optional[_Toolset] = None
+        if workers is not None and workers >= 1:
+            if world.spec is None:
+                raise ExecutorError(
+                    "parallel execution needs world.spec so workers can "
+                    "rebuild replicas; this world was hand-built — use "
+                    "build_world() or run with workers=None"
+                )
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-forking platforms
+                ctx = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(world.spec, repetitions),
+            )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- execution ----------------------------------------------------
+
+    def run_traces(self, units: Sequence[TraceUnit]) -> List[CenTraceResult]:
+        return self._run(units, _worker_trace, "run_trace")
+
+    def run_fuzz(self, units: Sequence[FuzzUnit]) -> List[EndpointFuzzReport]:
+        return self._run(units, _worker_fuzz, "run_fuzz")
+
+    def _run(self, units: Sequence[object], worker_fn, method: str) -> List:
+        if not units:
+            return []
+        if self._pool is None:
+            toolset = self._local_toolset()
+            bound = getattr(toolset, method)
+            return [bound(unit) for unit in units]
+        try:
+            # map() preserves input order, so merged results come back
+            # in canonical work-unit order regardless of scheduling.
+            return list(self._pool.map(worker_fn, units))
+        except BrokenProcessPool as exc:
+            raise ExecutorError(
+                f"a campaign worker process died while executing "
+                f"{len(units)} {method} unit(s); partial results were "
+                f"discarded (workers={self.workers}). Re-run with "
+                f"workers=None to execute serially."
+            ) from exc
+
+    def _local_toolset(self) -> _Toolset:
+        if self._toolset is None:
+            self._toolset = _Toolset.build(self.world, self.repetitions)
+        return self._toolset

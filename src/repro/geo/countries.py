@@ -91,6 +91,23 @@ TEST_DOMAINS = {
 }
 
 
+@dataclass(frozen=True)
+class WorldSpec:
+    """Everything needed to rebuild a study world from scratch.
+
+    Worlds are fully deterministic functions of (country, seed, scale),
+    so a parallel campaign worker can reconstruct a bit-identical
+    replica in its own process from this spec alone.
+    """
+
+    country: str
+    seed: Optional[int] = None
+    scale: Optional[float] = None
+
+    def build(self) -> "StudyWorld":
+        return build_world(self.country, seed=self.seed, scale=self.scale)
+
+
 @dataclass
 class StudyWorld:
     """One country's measurement environment."""
@@ -109,6 +126,9 @@ class StudyWorld:
     devices: List[CensorshipDevice] = field(default_factory=list)
     device_host_ip: Dict[str, str] = field(default_factory=dict)
     notes: Dict[str, object] = field(default_factory=dict)
+    # Set by build_world(); None for hand-built worlds (which then
+    # cannot be sharded across processes — see experiments/executor.py).
+    spec: Optional[WorldSpec] = None
 
     def endpoint_by_ip(self, ip: str) -> Optional[Endpoint]:
         node = self.topology.node_at(ip)
@@ -1167,4 +1187,6 @@ def build_world(country: str, *, seed: Optional[int] = None, scale: Optional[flo
         kwargs["seed"] = seed
     if scale is not None:
         kwargs["scale"] = scale
-    return builder(**kwargs)
+    world = builder(**kwargs)
+    world.spec = WorldSpec(country=country.upper(), seed=seed, scale=scale)
+    return world

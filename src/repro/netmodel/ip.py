@@ -10,7 +10,7 @@ checksum.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Tuple
 
 PROTO_ICMP = 1
@@ -142,12 +142,51 @@ class IPHeader:
         return header, ihl
 
     def copy(self, **changes) -> "IPHeader":
-        """Return a copy with ``changes`` applied."""
-        return replace(self, **changes)
+        """Return a copy with ``changes`` applied.
+
+        Hand-rolled rather than :func:`dataclasses.replace`: headers are
+        copied on every hop walk, making this one of the hottest
+        allocation sites in the simulator.
+        """
+        new = IPHeader.__new__(IPHeader)
+        new.src = self.src
+        new.dst = self.dst
+        new.ttl = self.ttl
+        new.protocol = self.protocol
+        new.tos = self.tos
+        new.identification = self.identification
+        new.flags = self.flags
+        new.frag_offset = self.frag_offset
+        new.total_length = self.total_length
+        new.checksum = self.checksum
+        if changes:
+            for name, value in changes.items():
+                if name not in _IP_HEADER_FIELDS:
+                    raise TypeError(
+                        f"IPHeader.copy() got an unexpected field {name!r}"
+                    )
+                setattr(new, name, value)
+        return new
 
     def verify_checksum(self, raw: bytes) -> bool:
         """Check that the checksum in serialized ``raw`` header verifies."""
         return checksum16(raw[: self.HEADER_LEN]) == 0
+
+
+_IP_HEADER_FIELDS = frozenset(
+    (
+        "src",
+        "dst",
+        "ttl",
+        "protocol",
+        "tos",
+        "identification",
+        "flags",
+        "frag_offset",
+        "total_length",
+        "checksum",
+    )
+)
 
 
 @dataclass

@@ -26,6 +26,17 @@ def next_ip_id() -> int:
     return next(_ip_id_counter) & 0xFFFF
 
 
+def reset_ip_ids(start: int = 1) -> None:
+    """Rewind the IP-ID counter (deterministic per-measurement replay).
+
+    The campaign executor calls this before every work unit so a
+    measurement produces identical identification fields no matter which
+    process — or how many prior measurements — preceded it.
+    """
+    global _ip_id_counter
+    _ip_id_counter = itertools.count(start)
+
+
 @dataclass
 class Packet:
     """An IP packet with a TCP, UDP or ICMP payload."""

@@ -40,10 +40,30 @@ class Path:
     endpoint (inclusive, as the final hop)."""
 
     hops: List[Hop]
+    # Node objects resolved per hop (same order as ``hops``), filled in
+    # when the path is registered on a topology so the simulator walks
+    # object references instead of doing per-hop name/IP dict lookups.
+    nodes: Optional[List[object]] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.hops:
             raise ValueError("a path needs at least the endpoint hop")
+
+    def resolve(self, topology) -> List[object]:
+        """Bind each hop name to its topology node (cached on the path)."""
+        nodes = []
+        for hop in self.hops:
+            name = hop.node_name
+            node = (
+                topology.routers.get(name)
+                or topology.endpoints.get(name)
+                or topology.clients.get(name)
+            )
+            if node is None:
+                raise KeyError(f"unknown hop node: {name}")
+            nodes.append(node)
+        self.nodes = nodes
+        return nodes
 
     @property
     def length(self) -> int:

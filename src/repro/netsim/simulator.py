@@ -28,9 +28,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..netmodel import tcp as tcpmod
 from ..netmodel.icmp import time_exceeded
 from ..netmodel.ip import FlowKey
-from ..netmodel.packet import Packet, icmp_packet
+from ..netmodel.packet import Packet, icmp_packet, next_ip_id
 from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
 from .routing import Path
 from .topology import Endpoint, Router, Topology
@@ -75,6 +76,22 @@ class Simulator:
         if seconds < 0:
             raise ValueError("time only moves forward")
         self.clock += seconds
+
+    # -- deterministic replay ---------------------------------------------
+
+    def reset(self, rng_seed: Optional[int] = None) -> None:
+        """Return the simulator to its just-built state.
+
+        The campaign executor calls this before every work unit so that
+        a measurement's outcome depends only on the world's construction
+        parameters and the unit itself — never on which measurements ran
+        before it or in which process. ``rng_seed`` overrides the seed
+        of the per-hop loss RNG (the executor derives one per unit).
+        """
+        self.clock = 0.0
+        self._rng = random.Random(self.seed if rng_seed is None else rng_seed)
+        self._endpoint_stacks.clear()
+        self.capture.clear()
 
     # -- capture ----------------------------------------------------------
 
@@ -137,13 +154,19 @@ class Simulator:
     ) -> None:
         """Walk ``packet`` from link ``start_index`` toward the endpoint."""
         ttl = packet.ip.ttl
+        nodes = path.nodes
+        if nodes is None:
+            nodes = path.resolve(self.topology)
+        capture = self._capture_enabled
+        lossy = self.loss_rate > 0
         # TTL spent before reaching start_index (for injected-to-server
         # packets this is 0: they start fresh at the device).
         for index in range(start_index, len(path.hops)):
             hop = path.hops[index]
             # 1. The link leading to this hop: loss, then devices.
-            if self._lost():
-                self._record(hop.node_name, "loss", packet.brief())
+            if lossy and self._lost():
+                if capture:
+                    self._record(hop.node_name, "loss", packet.brief())
                 return
             for device in hop.link_devices:
                 ctx = InspectionContext(
@@ -153,7 +176,7 @@ class Simulator:
                     direction=DIRECTION_FORWARD,
                 )
                 verdict = device.inspect(packet, ctx)
-                if verdict.acted:
+                if capture and verdict.acted:
                     self._record(
                         device.name, "device", f"{verdict.note} {packet.brief()}"
                     )
@@ -163,9 +186,7 @@ class Simulator:
                 if verdict.drop and device.in_path:
                     return
             # 2. Arrive at the node.
-            node = self.topology.nodes_by_ip.get(
-                self._hop_ip(path, index)
-            )
+            node = nodes[index]
             if isinstance(node, Router):
                 ttl -= 1
                 if ttl <= 0:
@@ -184,15 +205,10 @@ class Simulator:
                 return
 
     def _hop_ip(self, path: Path, index: int) -> str:
-        name = path.hops[index].node_name
-        node = (
-            self.topology.routers.get(name)
-            or self.topology.endpoints.get(name)
-            or self.topology.clients.get(name)
-        )
-        if node is None:
-            raise KeyError(f"unknown hop node: {name}")
-        return node.ip
+        nodes = path.nodes
+        if nodes is None:
+            nodes = path.resolve(self.topology)
+        return nodes[index].ip
 
     def _apply_router_transforms(self, router: Router, packet: Packet) -> None:
         if router.rewrite_tos is not None and packet.ip.tos != router.rewrite_tos:
@@ -213,7 +229,8 @@ class Simulator:
         client_ip: str,
     ) -> None:
         """TTL hit zero at ``router``: maybe emit ICMP Time Exceeded."""
-        self._record(router.name, "ttl-expired", packet.brief())
+        if self._capture_enabled:
+            self._record(router.name, "ttl-expired", packet.brief())
         if not router.responds_icmp:
             return
         # The quoted copy reflects the packet as received here: any
@@ -235,7 +252,8 @@ class Simulator:
         deliveries: List[Packet],
         client_ip: str,
     ) -> None:
-        self._record(endpoint.name, "delivered", packet.brief())
+        if self._capture_enabled:
+            self._record(endpoint.name, "delivered", packet.brief())
         if packet.is_udp:
             if endpoint.resolver is not None:
                 for response in endpoint.resolver.handle_query(
@@ -307,24 +325,34 @@ class Simulator:
         spoofed source, not to our client).
         """
         ttl = packet.ip.ttl
+        nodes = path.nodes
+        if nodes is None:
+            nodes = path.resolve(self.topology)
+        capture = self._capture_enabled
+        lossy = self.loss_rate > 0
         for index in range(from_index - 1, -1, -1):
-            if self._lost():
-                self._record(
-                    path.hops[index].node_name, "loss-reverse", packet.brief()
-                )
+            if lossy and self._lost():
+                if capture:
+                    self._record(
+                        path.hops[index].node_name, "loss-reverse", packet.brief()
+                    )
                 return
-            node = self.topology.nodes_by_ip.get(self._hop_ip(path, index))
+            node = nodes[index]
             if isinstance(node, Router):
                 ttl -= 1
                 if ttl <= 0:
-                    self._record(node.name, "reverse-ttl-expired", packet.brief())
+                    if capture:
+                        self._record(
+                            node.name, "reverse-ttl-expired", packet.brief()
+                        )
                     return
         # Final link to the client.
-        if self._lost():
+        if lossy and self._lost():
             return
         arrived = packet
         arrived.ip = arrived.ip.copy(ttl=ttl)
-        self._record(client_ip, "arrived", arrived.brief())
+        if capture:
+            self._record(client_ip, "arrived", arrived.brief())
         deliveries.append(arrived)
 
 
@@ -345,8 +373,6 @@ class EndpointStack:
         self.flows: Dict[Tuple, str] = {}
 
     def receive(self, packet: Packet, clock: float) -> List[Packet]:
-        from ..netmodel import tcp as tcpmod
-
         if packet.tcp is None:
             return []
         segment = packet.tcp
@@ -356,8 +382,6 @@ class EndpointStack:
         responses: List[Packet] = []
 
         def reply(flags: int, payload: bytes = b"", seq: int = 0, ack: int = 0) -> Packet:
-            from ..netmodel.packet import next_ip_id
-
             reply_packet = Packet(
                 ip=packet.ip.copy(
                     src=self.endpoint.ip,

@@ -18,13 +18,25 @@ from ..netmodel.packet import Packet, tcp_packet
 from .simulator import Simulator
 from .topology import Client
 
-_EPHEMERAL_PORTS = itertools.count(32768)
+_EPHEMERAL_BASE = 32768
+_EPHEMERAL_PORTS = itertools.count(_EPHEMERAL_BASE)
 
 
 def next_ephemeral_port() -> int:
     """A fresh client source port (wraps within the ephemeral range)."""
     port = next(_EPHEMERAL_PORTS)
-    return 32768 + ((port - 32768) % 28000)
+    return _EPHEMERAL_BASE + ((port - _EPHEMERAL_BASE) % 28000)
+
+
+def reset_ephemeral_ports(base: int = _EPHEMERAL_BASE) -> None:
+    """Rewind the shared source-port counter.
+
+    Source ports feed the ECMP flow hash, so replaying a measurement
+    bit-identically (the campaign executor's per-unit determinism
+    guarantee) requires starting every work unit from the same port.
+    """
+    global _EPHEMERAL_PORTS
+    _EPHEMERAL_PORTS = itertools.count(base)
 
 
 @dataclass

@@ -135,6 +135,16 @@ class Topology:
 
     def add_route(self, client_ip: str, endpoint_ip: str, route: "Route") -> None:
         self._routes[(client_ip, endpoint_ip)] = route
+        # Resolve hop names to node objects now, while registration is
+        # cheap; the simulator then walks object references instead of
+        # paying dict lookups per hop per packet. Paths naming a node
+        # that is not registered yet stay unresolved — the simulator
+        # resolves them lazily (and errors) on first use.
+        for path in route.paths:
+            try:
+                path.resolve(self)
+            except KeyError:
+                path.nodes = None
 
     # -- lookup --------------------------------------------------------
 

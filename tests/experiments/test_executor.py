@@ -1,0 +1,90 @@
+"""Parallel executor: bit-identity with serial runs, crash surfacing."""
+
+import hashlib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.experiments.executor import (
+    CampaignExecutor,
+    ExecutorError,
+    CRASH_ENV,
+    TraceUnit,
+    unit_seed,
+)
+from repro.geo.countries import WorldSpec, build_world
+from repro.persist import save_campaign
+
+# Small but non-trivial: enough endpoints that every unit kind (remote,
+# in-country, fuzz) is exercised, small enough that three full runs per
+# parameter combination stay fast.
+_CONFIG = CampaignConfig(repetitions=2, max_endpoints=4, fuzz_max_endpoints=2)
+
+
+def _campaign_digest(tmp_path: Path, country: str, seed: int, workers, tag: str):
+    """Run a campaign and hash its full serialized form."""
+    world = build_world(country, seed=seed, scale=0.35)
+    campaign = run_campaign(world, _CONFIG, workers=workers)
+    out = tmp_path / tag
+    save_campaign(campaign, str(out))
+    digest = hashlib.sha256()
+    for path in sorted(out.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest(), campaign
+
+
+@pytest.mark.parametrize("country", ["AZ", "KZ"])
+@pytest.mark.parametrize("seed", [7, 99])
+def test_parallel_runs_bit_identical_to_serial(tmp_path, country, seed):
+    serial, campaign = _campaign_digest(tmp_path, country, seed, None, "serial")
+    one, _ = _campaign_digest(tmp_path, country, seed, 1, "w1")
+    four, _ = _campaign_digest(tmp_path, country, seed, 4, "w4")
+    assert serial == one == four
+    # The runs measured something real, not vacuously-equal emptiness.
+    assert campaign.remote_results
+    assert campaign.blocked_remote()
+
+
+def test_fuzz_target_hops_only_for_fuzzed_endpoints(tmp_path):
+    _, campaign = _campaign_digest(tmp_path, "AZ", 7, None, "hops")
+    fuzzed = {(r.endpoint_ip, r.protocol) for r in campaign.fuzz_reports}
+    assert set(campaign.fuzz_target_hops) == fuzzed
+    assert len(campaign.fuzz_reports) <= _CONFIG.fuzz_max_endpoints
+    # fuzz_weights must therefore cover exactly the fuzzed endpoints.
+    assert set(campaign.fuzz_weights()) == fuzzed
+
+
+def test_worker_crash_surfaces_clearly(monkeypatch):
+    monkeypatch.setenv(CRASH_ENV, "1")
+    world = build_world("AZ", seed=7, scale=0.35)
+    units = [TraceUnit("remote", world.endpoints[0].ip, "example.com", "http")]
+    with CampaignExecutor(world, repetitions=2, workers=2) as executor:
+        with pytest.raises(ExecutorError, match="worker process died"):
+            executor.run_traces(units)
+
+
+def test_handbuilt_world_rejects_parallel():
+    world = build_world("AZ", seed=7, scale=0.35)
+    world.spec = None  # simulate a hand-assembled StudyWorld
+    with pytest.raises(ExecutorError, match="world.spec"):
+        CampaignExecutor(world, workers=2)
+
+
+def test_world_spec_round_trip():
+    world = build_world("KZ", seed=11, scale=0.35)
+    assert world.spec == WorldSpec(country="KZ", seed=11, scale=0.35)
+    replica = world.spec.build()
+    assert [e.ip for e in replica.endpoints] == [e.ip for e in world.endpoints]
+    assert replica.sim.seed == world.sim.seed
+
+
+def test_unit_seed_is_content_based():
+    key = ("remote", "10.0.0.1", "example.com", "http")
+    assert unit_seed(7, "trace", key) == unit_seed(7, "trace", key)
+    assert unit_seed(7, "trace", key) != unit_seed(8, "trace", key)
+    assert unit_seed(7, "trace", key) != unit_seed(7, "fuzz", key)
+    other = ("remote", "10.0.0.2", "example.com", "http")
+    assert unit_seed(7, "trace", key) != unit_seed(7, "trace", other)
