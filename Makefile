@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-update
+.PHONY: test bench bench-update chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-injection invariant suite over the full fault-plan grid
+# (the default `make test` runs only the fast chaos subset).
+chaos:
+	$(PYTHON) -m pytest -q -m chaos --runslow
 
 # Perf regression gate: measures probe throughput + serial-vs-parallel
 # campaign timing, fails on >20% throughput regression against the

@@ -23,6 +23,7 @@ from .core.cenfuzz import CenFuzz
 from .core.cenprobe import CenProbe, summarize_reports
 from .core.centrace import CenTrace, CenTraceConfig
 from .geo.countries import COUNTRIES, build_world
+from .netsim.faults import FaultPlan
 from .persist import (
     fuzz_report_to_dict,
     probe_report_to_dict,
@@ -33,10 +34,18 @@ from .persist import (
 _WORLD_CACHE = {}
 
 
-def _world(country: str, scale: Optional[float], seed: Optional[int]):
-    key = (country.upper(), scale, seed)
+def _world(
+    country: str,
+    scale: Optional[float],
+    seed: Optional[int],
+    fault_plan: Optional[str] = None,
+):
+    plan = FaultPlan.from_spec(fault_plan) if fault_plan else None
+    key = (country.upper(), scale, seed, plan)
     if key not in _WORLD_CACHE:
-        _WORLD_CACHE[key] = build_world(country, scale=scale, seed=seed)
+        _WORLD_CACHE[key] = build_world(
+            country, scale=scale, seed=seed, fault_plan=plan
+        )
     return _WORLD_CACHE[key]
 
 
@@ -47,6 +56,13 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fault-injection plan: a preset name (none/light/lossy/"
+        "ratelimit/churn/flaky/duplicate/chaos), inline JSON, or "
+        "@path/to/plan.json",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
@@ -85,7 +101,7 @@ def cmd_worlds(args: argparse.Namespace) -> int:
 
 
 def cmd_centrace(args: argparse.Namespace) -> int:
-    world = _world(args.country, args.scale, args.seed)
+    world = _world(args.country, args.scale, args.seed, args.fault_plan)
     client = (
         world.in_country_client
         if args.in_country and world.in_country_client
@@ -125,7 +141,7 @@ def cmd_centrace(args: argparse.Namespace) -> int:
 
 
 def cmd_cenfuzz(args: argparse.Namespace) -> int:
-    world = _world(args.country, args.scale, args.seed)
+    world = _world(args.country, args.scale, args.seed, args.fault_plan)
     client = (
         world.in_country_client
         if args.in_country and world.in_country_client
@@ -158,7 +174,7 @@ def cmd_cenfuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_cenprobe(args: argparse.Namespace) -> int:
-    world = _world(args.country, args.scale, args.seed)
+    world = _world(args.country, args.scale, args.seed, args.fault_plan)
     prober = CenProbe(world.topology)
     if args.ip:
         ips = [args.ip]
@@ -180,7 +196,7 @@ def cmd_cenprobe(args: argparse.Namespace) -> int:
 def cmd_residual(args: argparse.Namespace) -> int:
     from .core.centrace.residual import ResidualProbe
 
-    world = _world(args.country, args.scale, args.seed)
+    world = _world(args.country, args.scale, args.seed, args.fault_plan)
     probe = ResidualProbe(world.sim, world.remote_client)
     endpoint_ip = args.endpoint or world.endpoints[0].ip
     domain = args.domain or world.test_domains[0]
@@ -207,7 +223,7 @@ def cmd_residual(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .experiments.campaign import CampaignConfig, run_campaign
 
-    world = _world(args.country, args.scale, args.seed)
+    world = _world(args.country, args.scale, args.seed, args.fault_plan)
     campaign = run_campaign(
         world,
         CampaignConfig(

@@ -58,6 +58,7 @@ class FuzzProbeOutcome:
     outcome: str
     status_code: Optional[int] = None
     served_vhost: Optional[str] = None  # resource actually delivered
+    reprobed: bool = False  # an ambiguous timeout was probed again
 
     @property
     def blocked(self) -> bool:
@@ -85,6 +86,7 @@ class PermutationResult:
     successful: bool = False
     unsuccessful: bool = False
     circumvented: bool = False
+    degraded: bool = False  # a re-probe disagreed with the first attempt
 
 
 @dataclass
@@ -101,6 +103,7 @@ class EndpointFuzzReport:
         default_factory=lambda: FuzzProbeOutcome(OUTCOME_RESPONSE)
     )
     results: List[PermutationResult] = field(default_factory=list)
+    degraded: bool = False  # any permutation needed a tie-breaking re-probe
 
     @property
     def normal_blocked(self) -> bool:
@@ -186,6 +189,33 @@ class CenFuzz:
         )
         return outcome
 
+    def _probe_confirmed(
+        self,
+        endpoint_ip: str,
+        permutation: Permutation,
+        domain: str,
+        baseline: FuzzProbeOutcome,
+    ) -> FuzzProbeOutcome:
+        """Probe, re-probing ambiguous timeouts once before labeling.
+
+        A timeout is *ambiguous* when the Normal baseline for the same
+        domain did not time out: silence is then as likely packet loss
+        as blocking. The tie-breaking probe's verdict wins; when the
+        two attempts disagree, the outcome is marked ``reprobed`` so
+        the permutation can be flagged degraded. (When the baseline
+        itself timed out — e.g. a drop-device path — the timeout is
+        expected and no extra probe is spent.)
+        """
+        outcome = self.probe(endpoint_ip, permutation, domain)
+        if (
+            outcome.outcome != OUTCOME_TIMEOUT
+            or baseline.outcome == OUTCOME_TIMEOUT
+        ):
+            return outcome
+        confirm = self.probe(endpoint_ip, permutation, domain)
+        confirm.reprobed = True
+        return confirm
+
     def _classify(self, received) -> FuzzProbeOutcome:
         """Classify received packets in arrival order.
 
@@ -268,6 +298,7 @@ class CenFuzz:
                         report, permutation, endpoint_ip, test_domain, control_domain
                     )
                 )
+        report.degraded = any(r.degraded for r in report.results)
         return report
 
     def _evaluate(
@@ -278,8 +309,12 @@ class CenFuzz:
         test_domain: str,
         control_domain: str,
     ) -> PermutationResult:
-        control = self.probe(endpoint_ip, permutation, control_domain)
-        test = self.probe(endpoint_ip, permutation, test_domain)
+        control = self._probe_confirmed(
+            endpoint_ip, permutation, control_domain, report.normal_control
+        )
+        test = self._probe_confirmed(
+            endpoint_ip, permutation, test_domain, report.normal_test
+        )
         result = PermutationResult(
             endpoint_ip=endpoint_ip,
             test_domain=test_domain,
@@ -290,6 +325,11 @@ class CenFuzz:
             test=test,
             control=control,
         )
+        # Degraded: a tie-breaking re-probe overturned the original
+        # timeout verdict, i.e. the first attempt was loss, not policy.
+        result.degraded = (
+            test.reprobed and test.outcome != OUTCOME_TIMEOUT
+        ) or (control.reprobed and control.outcome != OUTCOME_TIMEOUT)
         if report.normal_blocked and not control.blocked:
             if test.blocked:
                 result.unsuccessful = True

@@ -133,6 +133,9 @@ def classify_measurement(
         sweeps_control=control_sweeps,
         sweeps_test=test_sweeps,
     )
+    result.degraded = any(
+        s.degraded for s in control_sweeps
+    ) or any(s.degraded for s in test_sweeps)
     control_hops = build_hop_distribution(control_sweeps)
     result.control_hops = control_hops
 

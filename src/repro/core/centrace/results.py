@@ -59,6 +59,7 @@ class ProbeObservation:
     sent_bytes: bytes = b""
     responses: List[ResponseSummary] = field(default_factory=list)
     handshake_failed: bool = False
+    retries_used: int = 0  # retransmissions needed before a response
 
     @property
     def timed_out(self) -> bool:
@@ -81,6 +82,11 @@ class TraceSweep:
     terminating_ttl: Optional[int] = None
     terminating_type: str = TYPE_NORMAL
     terminating_response: Optional[ResponseSummary] = None
+    # Degradation counters (filled by CenTrace._finalize_sweep): how
+    # noisy the sweep was, so analysis can weight its contribution.
+    probes_retried: int = 0
+    hops_rate_limited: int = 0
+    degraded: bool = False
 
     def hop_ips(self) -> Dict[int, Optional[str]]:
         """TTL -> the ICMP-responding hop IP (None on silence)."""
@@ -117,6 +123,7 @@ class CenTraceResult:
     protocol: str
     blocked: bool = False
     valid: bool = True  # False when the control trace itself misbehaved
+    degraded: bool = False  # any sweep needed retries / saw silent hops
     blocking_type: str = TYPE_NORMAL
     terminating_ttl: Optional[int] = None
     endpoint_distance: Optional[int] = None  # hops to the endpoint

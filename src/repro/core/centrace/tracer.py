@@ -60,6 +60,8 @@ class CenTraceConfig:
     repetitions: int = 3
     max_ttl: int = 30
     probe_retries: int = 2  # paper: retry up to three times total
+    retry_base_wait: float = 1.0  # virtual seconds before the first retry
+    retry_backoff: float = 2.0  # exponential growth per further retry
     timeout_streak_stop: int = 4  # consecutive timeouts before giving up
     wait_after_block: float = 120.0  # §4.1 / §6.2
     wait_normal: float = 3.0
@@ -243,33 +245,58 @@ class CenTrace:
             if conn is None:
                 return ProbeObservation(ttl=ttl, handshake_failed=True)
         result = conn.send_payload(
-            payload, ttl=ttl, retries=self.config.probe_retries
+            payload,
+            ttl=ttl,
+            retries=self.config.probe_retries,
+            retry_wait=self.config.retry_base_wait,
+            retry_backoff=self.config.retry_backoff,
         )
         conn.close()
-        observation = ProbeObservation(ttl=ttl, sent_bytes=result.sent_bytes)
+        observation = ProbeObservation(
+            ttl=ttl,
+            sent_bytes=result.sent_bytes,
+            retries_used=result.retries_used,
+        )
         observation.responses = [_summarize(p) for p in result.received]
         return observation
 
     def _probe_dns(
         self, endpoint_ip: str, domain: str, ttl: int
     ) -> ProbeObservation:
-        """A TTL-limited UDP DNS query (no handshake; §8 extension)."""
+        """A TTL-limited UDP DNS query (no handshake; §8 extension).
+
+        Each retry is a *new* query — fresh source port, fresh IP ID,
+        fresh DNS transaction ID — paced by exponential backoff, the
+        way a real resolver retransmits. Reusing the identical packet
+        would make retries indistinguishable from the original on the
+        wire and defeat loss modeling.
+        """
         from ...netmodel.dns import query
         from ...netmodel.packet import udp_packet
         from ...netsim.tcpstack import next_ephemeral_port
 
-        sport = next_ephemeral_port()
-        payload = query(domain, txid=(sport * 7919) & 0xFFFF).to_bytes()
-        packet = udp_packet(
-            self.client.ip, endpoint_ip, sport, 53, payload=payload, ttl=ttl
-        )
-        sent_bytes = packet.to_bytes()
+        cfg = self.config
         received = []
-        for attempt in range(self.config.probe_retries + 1):
+        sent_bytes = b""
+        retries_used = 0
+        wait = cfg.retry_base_wait
+        for attempt in range(cfg.probe_retries + 1):
+            sport = next_ephemeral_port()
+            payload = query(domain, txid=(sport * 7919) & 0xFFFF).to_bytes()
+            packet = udp_packet(
+                self.client.ip, endpoint_ip, sport, 53, payload=payload, ttl=ttl
+            )
+            sent_bytes = packet.to_bytes()
+            retries_used = attempt
             received = self.sim.send_from_client(packet)
             if received:
                 break
-        observation = ProbeObservation(ttl=ttl, sent_bytes=sent_bytes)
+            if attempt < cfg.probe_retries and wait > 0:
+                self.sim.advance(wait)
+                wait *= cfg.retry_backoff
+        observation = ProbeObservation(
+            ttl=ttl, sent_bytes=sent_bytes, retries_used=retries_used
+        )
         observation.responses = [_summarize(p) for p in received]
         return observation
 
@@ -320,7 +347,27 @@ class CenTrace:
         from the endpoint address. Timeouts terminate only when every
         subsequent probe also timed out (§4.1, "Accounting for packet
         drops").
+
+        Also tallies the sweep's degradation counters: probes that
+        needed retransmission, and silent hops strictly below the last
+        responding TTL (ICMP-rate-limited or lossy routers mid-path).
         """
+        sweep.probes_retried = sum(
+            1 for probe in sweep.probes if probe.retries_used > 0
+        )
+        responding = [
+            probe.ttl
+            for probe in sweep.probes
+            if not (probe.timed_out or probe.handshake_failed)
+        ]
+        last_responding = max(responding) if responding else 0
+        sweep.hops_rate_limited = sum(
+            1
+            for probe in sweep.probes
+            if (probe.timed_out or probe.handshake_failed)
+            and probe.ttl < last_responding
+        )
+        sweep.degraded = bool(sweep.probes_retried or sweep.hops_rate_limited)
         first_terminating: Optional[ProbeObservation] = None
         for probe in sweep.probes:
             if self._terminating_response(probe, endpoint_ip) is not None:

@@ -14,6 +14,7 @@ Campaigns are cached per configuration because several experiments
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from ..core.centrace import (
     PROTO_TLS,
 )
 from ..geo.countries import StudyWorld, build_world
+from ..netsim.faults import FaultPlan
 from .executor import (
     VANTAGE_IN_COUNTRY,
     VANTAGE_REMOTE,
@@ -49,6 +51,9 @@ class CampaignConfig:
     fuzz_max_endpoints: Optional[int] = None
     run_fuzz: bool = True
     run_probe: bool = True
+    # Fault-injection plan applied to the world before measuring (see
+    # repro.netsim.faults); None = the world's own configuration.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -228,6 +233,14 @@ def run_campaign(
     ``experiments/executor.py`` for the determinism discipline.
     """
     config = config or CampaignConfig()
+    if config.fault_plan is not None:
+        # Install the plan on the live simulator AND in the spec, so
+        # parallel workers rebuilding from the spec fault identically.
+        world.sim.set_fault_plan(config.fault_plan)
+        if world.spec is not None:
+            world.spec = dataclasses.replace(
+                world.spec, fault_plan=config.fault_plan
+            )
     campaign = CountryCampaign(world=world, config=config)
 
     units = trace_units_for(world, config)
@@ -311,6 +324,7 @@ def get_campaign(
     run_fuzz: bool = True,
     run_probe: bool = True,
     workers: Optional[int] = None,
+    fault_plan=None,
 ) -> CountryCampaign:
     """Build (or fetch from cache) the campaign for ``country``.
 
@@ -318,7 +332,10 @@ def get_campaign(
     (country, scale, seed) plus all :class:`CampaignConfig` fields.
     ``workers`` is deliberately excluded: parallel runs are
     bit-identical to serial ones, so it only affects wall-clock time.
+    ``fault_plan`` accepts anything :meth:`FaultPlan.from_spec` does
+    (a plan, a preset name, a dict, inline JSON, or ``@file``).
     """
+    plan = FaultPlan.from_spec(fault_plan) if fault_plan is not None else None
     config = CampaignConfig(
         repetitions=repetitions,
         protocols=tuple(protocols),
@@ -327,6 +344,7 @@ def get_campaign(
         fuzz_max_endpoints=fuzz_max_endpoints,
         run_fuzz=run_fuzz,
         run_probe=run_probe,
+        fault_plan=plan,
     )
     key = (
         country,
@@ -339,6 +357,7 @@ def get_campaign(
         config.fuzz_max_endpoints,
         config.run_fuzz,
         config.run_probe,
+        plan,
     )
     if key not in _CACHE:
         world = build_world(country, seed=seed, scale=scale)

@@ -50,6 +50,7 @@ from ..devices.vendors import (
     make_device,
 )
 from ..netmodel.icmp import QUOTE_RFC792, QUOTE_RFC1812
+from ..netsim.faults import FaultPlan
 from ..netsim.routing import Hop, Path, Route
 from ..netsim.simulator import Simulator
 from ..netsim.topology import Client, Endpoint, Router, Topology
@@ -103,9 +104,18 @@ class WorldSpec:
     country: str
     seed: Optional[int] = None
     scale: Optional[float] = None
+    # Optional fault-injection plan (repro.netsim.faults.FaultPlan).
+    # FaultPlan is frozen/hashable, so the spec stays usable as a cache
+    # key and travels to parallel campaign workers unchanged.
+    fault_plan: Optional[FaultPlan] = None
 
     def build(self) -> "StudyWorld":
-        return build_world(self.country, seed=self.seed, scale=self.scale)
+        return build_world(
+            self.country,
+            seed=self.seed,
+            scale=self.scale,
+            fault_plan=self.fault_plan,
+        )
 
 
 @dataclass
@@ -1174,7 +1184,13 @@ _BUILDERS = {
 COUNTRIES = tuple(_BUILDERS)
 
 
-def build_world(country: str, *, seed: Optional[int] = None, scale: Optional[float] = None) -> StudyWorld:
+def build_world(
+    country: str,
+    *,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> StudyWorld:
     """Build the study world for ``country`` ("AZ", "BY", "KZ", "RU")."""
     try:
         builder = _BUILDERS[country.upper()]
@@ -1188,5 +1204,9 @@ def build_world(country: str, *, seed: Optional[int] = None, scale: Optional[flo
     if scale is not None:
         kwargs["scale"] = scale
     world = builder(**kwargs)
-    world.spec = WorldSpec(country=country.upper(), seed=seed, scale=scale)
+    if fault_plan is not None:
+        world.sim.set_fault_plan(fault_plan)
+    world.spec = WorldSpec(
+        country=country.upper(), seed=seed, scale=scale, fault_plan=fault_plan
+    )
     return world

@@ -6,6 +6,15 @@ endpoints with TCP/HTTP/TLS behaviour, multi-path routes with flow-hash
 load balancing, and attachment points for censorship devices.
 """
 
+from .faults import (
+    DeliveryFaultProfile,
+    FaultPlan,
+    FlakyDeviceProfile,
+    IcmpRateLimitProfile,
+    LossProfile,
+    PathChurnProfile,
+    PRESETS as FAULT_PRESETS,
+)
 from .interfaces import (
     ApplicationServer,
     AppReply,
@@ -21,6 +30,13 @@ from .tcpstack import Connection, ProbeResult, open_connection
 from .topology import Client, Endpoint, Node, Router, Service, Topology
 
 __all__ = [
+    "DeliveryFaultProfile",
+    "FaultPlan",
+    "FAULT_PRESETS",
+    "FlakyDeviceProfile",
+    "IcmpRateLimitProfile",
+    "LossProfile",
+    "PathChurnProfile",
     "ApplicationServer",
     "AppReply",
     "DIRECTION_FORWARD",

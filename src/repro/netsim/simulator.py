@@ -32,6 +32,7 @@ from ..netmodel import tcp as tcpmod
 from ..netmodel.icmp import time_exceeded
 from ..netmodel.ip import FlowKey
 from ..netmodel.packet import Packet, icmp_packet, next_ip_id
+from .faults import FATE_FAIL_CLOSED, FATE_FAIL_OPEN, FaultPlan, FaultState
 from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
 from .routing import Path
 from .topology import Endpoint, Router, Topology
@@ -58,6 +59,7 @@ class Simulator:
         loss_rate: float = 0.0,
         capture: bool = False,
         per_packet_time: float = 0.01,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.topology = topology
         self.seed = seed
@@ -68,6 +70,9 @@ class Simulator:
         self._capture_enabled = capture
         self.capture: List[CaptureRecord] = []
         self._endpoint_stacks: Dict[str, "EndpointStack"] = {}
+        self.fault_plan: Optional[FaultPlan] = None
+        self._faults: Optional[FaultState] = None
+        self.set_fault_plan(fault_plan)
 
     # -- time -----------------------------------------------------------
 
@@ -89,9 +94,24 @@ class Simulator:
         of the per-hop loss RNG (the executor derives one per unit).
         """
         self.clock = 0.0
-        self._rng = random.Random(self.seed if rng_seed is None else rng_seed)
+        seed = self.seed if rng_seed is None else rng_seed
+        self._rng = random.Random(seed)
         self._endpoint_stacks.clear()
         self.capture.clear()
+        if self._faults is not None:
+            # Fault state (token buckets, churn counters, the fault
+            # RNG) is part of the replayed state: rebuilding it here is
+            # what keeps faulted campaigns bit-identical across runs
+            # and across serial/parallel execution.
+            self._faults.reset(seed)
+
+    def set_fault_plan(self, fault_plan: Optional[FaultPlan]) -> None:
+        """Install (or remove) a fault plan, resetting its runtime state."""
+        self.fault_plan = fault_plan
+        if fault_plan is None or fault_plan.is_noop():
+            self._faults = None
+        else:
+            self._faults = FaultState(fault_plan, self.seed)
 
     # -- capture ----------------------------------------------------------
 
@@ -121,14 +141,7 @@ class Simulator:
         self.clock += self.per_packet_time
         # Work on a copy: routers transform headers in flight and the
         # caller's packet must keep reflecting what was actually sent.
-        packet = Packet(
-            ip=packet.ip.copy(),
-            tcp=packet.tcp,
-            icmp=packet.icmp,
-            udp=packet.udp,
-            emitted_by=packet.emitted_by,
-            injected=packet.injected,
-        )
+        packet = self._clone(packet)
         client_ip = packet.ip.src
         route = self.topology.route_between(client_ip, packet.ip.dst)
         flow = (
@@ -136,13 +149,55 @@ class Simulator:
             if packet.is_tcp
             else FlowKey(packet.ip.src, packet.ip.dst, 0, 0, 1)
         )
-        path = route.select(flow, seed=self.seed)
+        faults = self._faults
+        path_seed = self.seed
+        if faults is not None:
+            faults.note_client_packet(self.clock)
+            path_seed = faults.path_seed(self.seed)
+        path = route.select(flow, seed=path_seed)
         deliveries: List[Packet] = []
         self._walk_forward(packet, path, deliveries, client_ip)
+        if faults is not None:
+            deliveries = faults.shape_deliveries(deliveries, self._clone)
         return deliveries
+
+    @staticmethod
+    def _clone(packet: Packet) -> Packet:
+        """An independent copy of ``packet`` (fresh header object).
+
+        Transport payloads are immutable in the walk, so sharing them is
+        safe; the IP header is the piece routers rebind in flight.
+        """
+        return Packet(
+            ip=packet.ip.copy(),
+            tcp=packet.tcp,
+            icmp=packet.icmp,
+            udp=packet.udp,
+            emitted_by=packet.emitted_by,
+            injected=packet.injected,
+        )
 
     def _lost(self) -> bool:
         return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def _link_lost(self, node) -> bool:
+        """Loss roll for the link leading to ``node`` (None = client link).
+
+        With a fault-plan loss profile installed, the per-link/per-AS
+        rates replace the uniform ``loss_rate``; draws then come from
+        the fault RNG so plans never perturb the base RNG stream.
+        """
+        faults = self._faults
+        if faults is not None and faults.per_link_loss:
+            return faults.link_lost(node)
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    @property
+    def _lossy(self) -> bool:
+        faults = self._faults
+        if faults is not None and faults.per_link_loss:
+            return True
+        return self.loss_rate > 0
 
     def _walk_forward(
         self,
@@ -158,17 +213,37 @@ class Simulator:
         if nodes is None:
             nodes = path.resolve(self.topology)
         capture = self._capture_enabled
-        lossy = self.loss_rate > 0
+        lossy = self._lossy
+        faults = self._faults
+        flaky = faults is not None and faults.plan.flaky_devices is not None
         # TTL spent before reaching start_index (for injected-to-server
         # packets this is 0: they start fresh at the device).
         for index in range(start_index, len(path.hops)):
             hop = path.hops[index]
+            node = nodes[index]
             # 1. The link leading to this hop: loss, then devices.
-            if lossy and self._lost():
+            if lossy and self._link_lost(node):
                 if capture:
                     self._record(hop.node_name, "loss", packet.brief())
                 return
             for device in hop.link_devices:
+                if flaky:
+                    fate = faults.device_fate(device)
+                    if fate == FATE_FAIL_OPEN:
+                        # Enforcement lapses: the packet passes without
+                        # inspection (the device also misses any state
+                        # it would have built from this packet).
+                        if capture:
+                            self._record(
+                                device.name, "fail-open", packet.brief()
+                            )
+                        continue
+                    if fate == FATE_FAIL_CLOSED and device.in_path:
+                        if capture:
+                            self._record(
+                                device.name, "fail-closed", packet.brief()
+                            )
+                        return
                 ctx = InspectionContext(
                     clock=self.clock,
                     remaining_ttl=ttl,
@@ -186,7 +261,6 @@ class Simulator:
                 if verdict.drop and device.in_path:
                     return
             # 2. Arrive at the node.
-            node = nodes[index]
             if isinstance(node, Router):
                 ttl -= 1
                 if ttl <= 0:
@@ -232,6 +306,15 @@ class Simulator:
         if self._capture_enabled:
             self._record(router.name, "ttl-expired", packet.brief())
         if not router.responds_icmp:
+            return
+        if self._faults is not None and self._faults.icmp_suppressed(
+            router, self.clock
+        ):
+            # Token bucket empty: the router stays silent for this
+            # expiry, exactly like rate-limited real-world hops during
+            # dense TTL sweeps.
+            if self._capture_enabled:
+                self._record(router.name, "icmp-rate-limited", packet.brief())
             return
         # The quoted copy reflects the packet as received here: any
         # in-flight header rewrites are visible, and the TTL has been
@@ -282,29 +365,75 @@ class Simulator:
             # The device sits on the link leading to hop ``link_index``,
             # so its injections must cross every router at indices
             # link_index-1 .. 0 — exactly what _walk_reverse does when
-            # told the packet originates "at" hop link_index.
+            # told the packet originates "at" hop link_index. Walk a
+            # copy: the walk rebinds headers (TTL rewrite on arrival)
+            # and the device may reuse its injection template.
             self._walk_reverse(
-                injected, path, link_index, deliveries, client_ip
+                self._clone(injected), path, link_index, deliveries, client_ip
             )
         for injected in verdict.inject_to_server:
-            self._walk_injected_to_server(injected, path, link_index)
+            self._walk_injected_to_server(
+                self._clone(injected), path, link_index, deliveries, client_ip
+            )
 
     def _walk_injected_to_server(
-        self, packet: Packet, path: Path, start_index: int
+        self,
+        packet: Packet,
+        path: Path,
+        start_index: int,
+        deliveries: List[Packet],
+        client_ip: str,
     ) -> None:
         """Carry a device-forged packet the rest of the way to the endpoint.
 
-        Device injections are not re-inspected by other devices and we
-        give them a fresh TTL, so they reach the endpoint unless lost.
+        Device injections are not re-inspected by other devices, but
+        they do cross the remaining links (each with its own loss roll)
+        and routers (TTL decrement; expiry dies silently — the ICMP
+        error would go to the spoofed source, not our client). Whatever
+        the endpoint stack answers — e.g. the RST a real stack sends
+        for injected data on an unknown flow — walks back to the
+        client like any other endpoint response.
         """
-        if self._lost():
-            return
-        final = path.hops[-1].node_name
-        endpoint = self.topology.endpoints.get(final)
-        if endpoint is None:
-            return
-        stack = self._stack_for(endpoint)
-        stack.receive(packet, self.clock)
+        ttl = packet.ip.ttl
+        nodes = path.nodes
+        if nodes is None:
+            nodes = path.resolve(self.topology)
+        capture = self._capture_enabled
+        lossy = self._lossy
+        # The device sits on the link leading to hop ``start_index``;
+        # the packet next arrives at that hop's node, then continues
+        # across links start_index+1 .. end.
+        for index in range(start_index, len(path.hops)):
+            node = nodes[index]
+            if index > start_index and lossy and self._link_lost(node):
+                if capture:
+                    self._record(
+                        path.hops[index].node_name,
+                        "loss-injected",
+                        packet.brief(),
+                    )
+                return
+            if isinstance(node, Router):
+                ttl -= 1
+                if ttl <= 0:
+                    if capture:
+                        self._record(
+                            node.name, "injected-ttl-expired", packet.brief()
+                        )
+                    return
+                self._apply_router_transforms(node, packet)
+            elif isinstance(node, Endpoint):
+                packet.ip.ttl = ttl
+                if capture:
+                    self._record(node.name, "delivered", packet.brief())
+                stack = self._stack_for(node)
+                for response in stack.receive(packet, self.clock):
+                    self._walk_reverse(
+                        response, path, index, deliveries, client_ip
+                    )
+                return
+            else:  # pragma: no cover - defensive: unknown hop node
+                return
 
     def _walk_reverse(
         self,
@@ -329,15 +458,15 @@ class Simulator:
         if nodes is None:
             nodes = path.resolve(self.topology)
         capture = self._capture_enabled
-        lossy = self.loss_rate > 0
+        lossy = self._lossy
         for index in range(from_index - 1, -1, -1):
-            if lossy and self._lost():
+            node = nodes[index]
+            if lossy and self._link_lost(node):
                 if capture:
                     self._record(
                         path.hops[index].node_name, "loss-reverse", packet.brief()
                     )
                 return
-            node = nodes[index]
             if isinstance(node, Router):
                 ttl -= 1
                 if ttl <= 0:
@@ -347,7 +476,7 @@ class Simulator:
                         )
                     return
         # Final link to the client.
-        if lossy and self._lost():
+        if lossy and self._link_lost(None):
             return
         arrived = packet
         arrived.ip = arrived.ip.copy(ttl=ttl)
@@ -369,6 +498,12 @@ class EndpointStack:
 
     def __init__(self, endpoint: Endpoint) -> None:
         self.endpoint = endpoint
+        # Ports come from the endpoint's configured services; a web
+        # server additionally listens on 80/443. A DNS-only endpoint
+        # therefore refuses HTTP handshakes instead of faking them.
+        self.open_ports = set(endpoint.services)
+        if endpoint.server is not None:
+            self.open_ports.update((80, 443))
         # canonical flow tuple -> (state, next_expected_client_seq)
         self.flows: Dict[Tuple, str] = {}
 
@@ -406,7 +541,7 @@ class EndpointStack:
             self.flows.pop(flow, None)
             return []
         if segment.flags & tcpmod.SYN and not (segment.flags & tcpmod.ACK):
-            if segment.dport not in (80, 443) and segment.dport not in self.endpoint.services:
+            if segment.dport not in self.open_ports:
                 return [
                     reply(tcpmod.RST | tcpmod.ACK, ack=segment.seq + 1)
                 ]

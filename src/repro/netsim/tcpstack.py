@@ -46,6 +46,9 @@ class ProbeResult:
     sent: Packet
     sent_bytes: bytes
     received: List[Packet] = field(default_factory=list)
+    # How many retransmissions were needed before anything came back
+    # (0 = first attempt answered, or silence with no retries left).
+    retries_used: int = 0
 
     @property
     def timed_out(self) -> bool:
@@ -127,12 +130,17 @@ class Connection:
         ttl: int = 64,
         tos: int = 0,
         retries: int = 0,
+        retry_wait: float = 0.0,
+        retry_backoff: float = 2.0,
     ) -> ProbeResult:
         """Send application ``payload`` on the established connection.
 
         ``ttl`` is the probe TTL CenTrace manipulates. Retries re-send
         the identical segment (same seq), mimicking TCP retransmission,
-        and are only used by callers that treat silence as loss.
+        and are only used by callers that treat silence as loss. A
+        non-zero ``retry_wait`` advances the virtual clock before each
+        retransmission, growing by ``retry_backoff`` per attempt — the
+        exponential backoff a real TCP sender applies.
         """
         if not self.established:
             raise RuntimeError("connection not established")
@@ -152,12 +160,17 @@ class Connection:
         sent_bytes = probe.to_bytes()
         result = ProbeResult(sent=probe, sent_bytes=sent_bytes)
         attempt = 0
+        wait = retry_wait
         while True:
             received = self.sim.send_from_client(probe)
             result.received.extend(received)
             if received or attempt >= retries:
                 break
+            if wait > 0:
+                self.sim.advance(wait)
+                wait *= retry_backoff
             attempt += 1
+        result.retries_used = attempt
         return result
 
     def close(self) -> None:

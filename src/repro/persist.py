@@ -72,6 +72,7 @@ def trace_result_to_dict(result: CenTraceResult) -> Dict:
         "protocol": result.protocol,
         "blocked": result.blocked,
         "valid": result.valid,
+        "degraded": result.degraded,
         "blocking_type": result.blocking_type,
         "terminating_ttl": result.terminating_ttl,
         "endpoint_distance": result.endpoint_distance,
@@ -106,6 +107,7 @@ def trace_result_from_dict(data: Dict) -> CenTraceResult:
         protocol=data["protocol"],
         blocked=data["blocked"],
         valid=data.get("valid", True),
+        degraded=data.get("degraded", False),
         blocking_type=data["blocking_type"],
         terminating_ttl=data.get("terminating_ttl"),
         endpoint_distance=data.get("endpoint_distance"),
@@ -162,6 +164,7 @@ def _outcome_to_dict(outcome: FuzzProbeOutcome) -> Dict:
         "outcome": outcome.outcome,
         "status_code": outcome.status_code,
         "served_vhost": outcome.served_vhost,
+        "reprobed": outcome.reprobed,
     }
 
 
@@ -170,6 +173,7 @@ def _outcome_from_dict(data: Dict) -> FuzzProbeOutcome:
         outcome=data["outcome"],
         status_code=data.get("status_code"),
         served_vhost=data.get("served_vhost"),
+        reprobed=data.get("reprobed", False),
     )
 
 
@@ -181,6 +185,7 @@ def fuzz_report_to_dict(report: EndpointFuzzReport) -> Dict:
         "protocol": report.protocol,
         "normal_test": _outcome_to_dict(report.normal_test),
         "normal_control": _outcome_to_dict(report.normal_control),
+        "degraded": report.degraded,
         "results": [
             {
                 "strategy": r.strategy,
@@ -188,6 +193,7 @@ def fuzz_report_to_dict(report: EndpointFuzzReport) -> Dict:
                 "successful": r.successful,
                 "unsuccessful": r.unsuccessful,
                 "circumvented": r.circumvented,
+                "degraded": r.degraded,
                 "test": _outcome_to_dict(r.test),
                 "control": _outcome_to_dict(r.control),
             }
@@ -203,6 +209,7 @@ def fuzz_report_from_dict(data: Dict) -> EndpointFuzzReport:
         protocol=data["protocol"],
         normal_test=_outcome_from_dict(data["normal_test"]),
         normal_control=_outcome_from_dict(data["normal_control"]),
+        degraded=data.get("degraded", False),
     )
     for entry in data["results"]:
         report.results.append(
@@ -218,6 +225,7 @@ def fuzz_report_from_dict(data: Dict) -> EndpointFuzzReport:
                 successful=entry["successful"],
                 unsuccessful=entry["unsuccessful"],
                 circumvented=entry["circumvented"],
+                degraded=entry.get("degraded", False),
             )
         )
     return report

@@ -17,6 +17,24 @@ sys.path.insert(0, str(Path(__file__).parent))
 from helpers import build_linear_world  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (e.g. the full chaos grid)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def linear_world():
     """A clean 5-router world without any censorship device."""
