@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-update chaos
+.PHONY: test bench bench-update chaos lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Determinism lint: forbids wall-clock reads (time.time/perf_counter/
+# datetime.now) anywhere in src/ outside repro/telemetry.py.
+lint:
+	$(PYTHON) tools/lint_determinism.py
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

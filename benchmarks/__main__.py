@@ -26,14 +26,23 @@ OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_campaign.json"
 REGRESSION_TOLERANCE = 0.20  # fail when >20% slower than baseline
 
 
-def measure_probe_throughput(probes: int = 3000) -> float:
-    """Probes per second on the canonical 8-hop perf topology."""
+def measure_probe_throughput(probes: int = 3000, telemetry: bool = False) -> float:
+    """Probes per second on the canonical 8-hop perf topology.
+
+    ``telemetry=True`` installs an active telemetry sink on the
+    simulator, measuring the overhead of the instrumented path relative
+    to the default NullTelemetry hot path.
+    """
     from repro.netmodel.http import HTTPRequest
     from repro.netsim.tcpstack import open_connection
 
     from benchmarks.test_perf import _world
 
     sim, client, endpoint = _world(with_device=False)
+    if telemetry:
+        from repro.telemetry import Telemetry
+
+        sim.set_telemetry(Telemetry())
     payload = HTTPRequest.normal("ok.example").build()
 
     def probe() -> None:
@@ -112,6 +121,11 @@ def main(argv=None) -> int:
 
     probes_per_s = measure_probe_throughput()
     print(f"probe throughput: {probes_per_s:,.0f} probes/s")
+    metered_per_s = measure_probe_throughput(telemetry=True)
+    print(
+        f"probe throughput (telemetry on): {metered_per_s:,.0f} probes/s "
+        f"({probes_per_s / metered_per_s:.2f}x overhead factor)"
+    )
     campaign = measure_campaign(args.scale, args.repetitions)
     print(
         f"campaign (RU, scale={campaign['scale']}): "
@@ -122,6 +136,9 @@ def main(argv=None) -> int:
 
     current = {
         "probe_throughput_per_s": round(probes_per_s, 1),
+        # Informational (not gated): the same workload with an active
+        # telemetry sink, recorded so overhead drift is visible.
+        "probe_throughput_telemetry_per_s": round(metered_per_s, 1),
         "campaign": campaign,
         "machine": {
             "cpus": os.cpu_count(),

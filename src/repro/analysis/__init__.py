@@ -9,7 +9,13 @@ from .cluster import (
     rank_features,
     vendor_correlations,
 )
-from .dbscan import DBSCANResult, dbscan, estimate_eps, k_distance_curve
+from .dbscan import (
+    DBSCANResult,
+    dbscan,
+    estimate_eps,
+    estimate_eps_info,
+    k_distance_curve,
+)
 from .features import (
     EndpointFeatures,
     all_feature_names,
@@ -51,6 +57,7 @@ __all__ = [
     "DBSCANResult",
     "dbscan",
     "estimate_eps",
+    "estimate_eps_info",
     "k_distance_curve",
     "EndpointFeatures",
     "all_feature_names",

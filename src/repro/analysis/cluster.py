@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .dbscan import DBSCANResult, dbscan, estimate_eps
+from .dbscan import DBSCANResult, dbscan, estimate_eps_info
 from .features import (
     EndpointFeatures,
     all_feature_names,
@@ -55,6 +55,10 @@ class ClusterReport:
     used_feature_names: List[str]
     result: DBSCANResult
     importance: Optional[FeatureImportanceReport] = None
+    # How ε was chosen when it was k-NN-estimated (eps=None): records
+    # degenerate-input fallbacks (see dbscan.estimate_eps_info); None
+    # when a fixed ε was supplied.
+    eps_info: Optional[Dict] = None
 
     def clusters(self) -> Dict[int, List[EndpointFeatures]]:
         groups: Dict[int, List[EndpointFeatures]] = {}
@@ -147,14 +151,16 @@ def cluster_endpoints(
     names, X, _ = feature_matrix(feature_list, names)
     names, X = drop_empty_columns(list(names), X)
     X = zscore(impute_median(X))
+    eps_info = None
     if eps is None:
-        eps = estimate_eps(X, k=min_samples)
+        eps, eps_info = estimate_eps_info(X, k=min_samples)
     result = dbscan(X, eps=eps, min_samples=min_samples)
     return ClusterReport(
         features=feature_list,
         used_feature_names=names,
         result=result,
         importance=importance,
+        eps_info=eps_info,
     )
 
 

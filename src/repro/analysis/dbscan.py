@@ -8,7 +8,7 @@ technique of Rahmah & Sitanggang. Both pieces are implemented here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,10 +83,20 @@ def dbscan(
 
 
 def k_distance_curve(X: np.ndarray, k: int) -> np.ndarray:
-    """Sorted distance of every point to its k-th nearest neighbor."""
+    """Sorted distance of every point to its k-th nearest neighbor.
+
+    Raises ``ValueError`` when the dataset has no k-th neighbor
+    (``n <= k``) — silently clamping k would return a curve for a
+    different, smaller k and mislead the knee inspection.
+    """
     X = np.asarray(X, dtype=float)
+    n = X.shape[0]
+    if n <= k:
+        raise ValueError(
+            f"k-distance curve needs more than k={k} points, got {n}"
+        )
     distances = _pairwise_distances(X)
-    kth = np.sort(distances, axis=1)[:, min(k, X.shape[0] - 1)]
+    kth = np.sort(distances, axis=1)[:, k]
     return np.sort(kth)
 
 
@@ -95,15 +105,43 @@ def estimate_eps(X: np.ndarray, k: int = 3) -> float:
     neighbors (Rahmah & Sitanggang's technique, cited in §7.3).
 
     ``k`` should be the minimum number of points expected to form a
-    cluster (the paper's min_samples analog).
+    cluster (the paper's min_samples analog). Datasets with ``n <= k``
+    points have no k-th neighbor, so no estimate exists — that raises
+    ``ValueError`` rather than returning an arbitrary constant (callers
+    that want a recorded fallback use :func:`estimate_eps_info`).
+    """
+    eps, info = estimate_eps_info(X, k=k)
+    if info["fallback"] is not None:
+        raise ValueError(
+            f"cannot estimate eps with k={k} from {info['n_points']} "
+            f"point(s): need at least k+1 points"
+        )
+    return eps
+
+
+def estimate_eps_info(X: np.ndarray, k: int = 3) -> Tuple[float, Dict]:
+    """Like :func:`estimate_eps`, but degrades explicitly on degenerate
+    inputs instead of raising, returning ``(eps, info)``.
+
+    ``info`` records how the estimate was produced: ``n_points``, ``k``,
+    and ``fallback`` — ``None`` for a genuine k-NN estimate,
+    ``"too_few_points"`` when ``n <= k`` (eps falls back to 1.0), or
+    ``"duplicate_points"`` when every k-NN distance is zero (eps is
+    clamped to a strictly positive floor so DBSCAN stays well-defined).
     """
     X = np.asarray(X, dtype=float)
-    if X.shape[0] <= k:
-        return 1.0
+    n = X.shape[0]
+    info: Dict = {"n_points": int(n), "k": int(k), "fallback": None}
+    if n <= k:
+        info["fallback"] = "too_few_points"
+        return 1.0, info
     distances = _pairwise_distances(X)
     sorted_d = np.sort(distances, axis=1)
     # Columns 1..k: the k nearest neighbors (column 0 is self).
     knn = sorted_d[:, 1 : k + 1]
-    # A zero estimate (duplicated points) would make DBSCAN degenerate;
-    # keep ε strictly positive.
-    return float(max(knn.mean(), 1e-9))
+    mean = float(knn.mean())
+    if mean <= 0.0:
+        # All points coincide: a zero ε would make DBSCAN degenerate.
+        info["fallback"] = "duplicate_points"
+        return 1e-9, info
+    return mean, info

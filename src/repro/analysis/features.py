@@ -125,15 +125,22 @@ def extract_features(
         injected = [r for r in blocked if r.injected_tcp_flags is not None]
         if injected:
             first = injected[0]
-            values["InjectedIPTTL"] = float(
+
+            # A field the injection never exposed is *missing* (NaN, so
+            # imputation fills it), not 0 — IP-ID 0 and window 0 are
+            # legitimate observed values that distinguish injectors.
+            def _observed(value: Optional[float]) -> float:
+                return nan if value is None else float(value)
+
+            values["InjectedIPTTL"] = _observed(
                 first.injected_initial_ttl
                 if first.injected_initial_ttl is not None
                 else first.injected_ttl
             )
-            values["InjectedIPID"] = float(first.injected_ip_id or 0)
-            values["InjectedIPFlags"] = float(first.injected_ip_flags or 0)
-            values["InjectedTCPFlags"] = float(first.injected_tcp_flags or 0)
-            values["InjectedTCPWindow"] = float(first.injected_tcp_window or 0)
+            values["InjectedIPID"] = _observed(first.injected_ip_id)
+            values["InjectedIPFlags"] = _observed(first.injected_ip_flags)
+            values["InjectedTCPFlags"] = _observed(first.injected_tcp_flags)
+            values["InjectedTCPWindow"] = _observed(first.injected_tcp_window)
             values["InjectedTCPOptionCount"] = float(
                 len(first.injected_tcp_options)
             )
@@ -160,6 +167,12 @@ def extract_features(
             for strategy, (ok, evaluated) in report.success_by_strategy().items():
                 per_strategy.setdefault(strategy, []).append((ok, evaluated))
         for strategy, counts in per_strategy.items():
+            if strategy not in values:
+                # Reports can carry strategy names this build doesn't
+                # know (older saved data, renamed strategies); writing
+                # them through would silently widen the feature vector
+                # beyond all_feature_names() and break column alignment.
+                continue
             ok = sum(c[0] for c in counts)
             evaluated = sum(c[1] for c in counts)
             if evaluated:

@@ -53,18 +53,32 @@ def pairwise_group_correlation(
     X: np.ndarray, indices_a: Sequence[int], indices_b: Optional[Sequence[int]] = None
 ) -> Tuple[float, float]:
     """Average pairwise Spearman correlation within a group (or between
-    two groups), as §7.4 reports per vendor."""
+    two groups), as §7.4 reports per vendor.
+
+    Only *distinct* row pairs count: a row is never correlated with
+    itself (the trivial r_s = 1.0 would inflate between-group averages
+    whenever the groups overlap), and each unordered pair contributes
+    once even if it is reachable from both directions. A group with no
+    valid pairs — a singleton within-group call, or between-groups whose
+    overlap leaves no distinct pair — has no defined average and returns
+    ``(nan, nan)``.
+    """
     rows_a = list(indices_a)
     rows_b = list(indices_b) if indices_b is not None else rows_a
     correlations: List[float] = []
     p_values: List[float] = []
+    seen_pairs = set()
     for i in rows_a:
         for j in rows_b:
-            if indices_b is None and j <= i:
+            if i == j:
                 continue
+            pair = (i, j) if i < j else (j, i)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
             r, p = spearman_pair(X[i], X[j])
             correlations.append(r)
             p_values.append(p)
     if not correlations:
-        return 1.0, 0.0
+        return float("nan"), float("nan")
     return float(np.mean(correlations)), float(np.mean(p_values))

@@ -222,8 +222,10 @@ def cmd_residual(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .experiments.campaign import CampaignConfig, run_campaign
+    from .telemetry import Telemetry
 
     world = _world(args.country, args.scale, args.seed, args.fault_plan)
+    telemetry = Telemetry() if args.metrics else None
     campaign = run_campaign(
         world,
         CampaignConfig(
@@ -231,6 +233,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             fuzz_all_blocked=args.fuzz_all,
         ),
         workers=args.workers,
+        telemetry=telemetry,
     )
     blocked = len(campaign.blocked_remote())
     print(
@@ -238,6 +241,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f" {blocked} blocked; {len(campaign.fuzz_reports)} fuzz reports;"
         f" {len(campaign.probe_reports)} banner scans"
     )
+    if campaign.run_report is not None:
+        print()
+        print(campaign.run_report.render())
     if args.out:
         counts = save_campaign(campaign, args.out)
         print(f"saved to {args.out}: {counts}")
@@ -264,6 +270,28 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.run:
+        # Render the telemetry run report persisted with a saved
+        # campaign (``repro campaign --metrics --out DIR``).
+        from pathlib import Path
+
+        from .telemetry import RunReport
+
+        report_path = Path(args.run) / "report.json"
+        if not report_path.exists():
+            print(
+                f"no report.json under {args.run!r} — re-run the campaign "
+                "with --metrics to collect one",
+                file=sys.stderr,
+            )
+            return 2
+        report = RunReport.from_dict(json.loads(report_path.read_text()))
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0
+
     from .experiments.report import main as report_main
 
     argv = ["--out", args.out]
@@ -342,6 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to the serial run)",
     )
     campaign.add_argument("--out", help="directory for raw JSONL data")
+    campaign.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry and print/persist a run report",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     experiment = sub.add_parser(
@@ -351,9 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=None)
     experiment.set_defaults(func=cmd_experiment)
 
-    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report = sub.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md, or render a saved run report",
+    )
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.add_argument("--scale", type=float, default=None)
+    report.add_argument(
+        "--run",
+        default=None,
+        metavar="DIR",
+        help="render the telemetry run report saved in campaign dir DIR",
+    )
+    report.add_argument("--json", action="store_true")
     report.set_defaults(func=cmd_report)
 
     return parser

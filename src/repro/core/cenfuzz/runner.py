@@ -173,17 +173,25 @@ class CenFuzz:
     ) -> FuzzProbeOutcome:
         """Send one fuzzed request; classify what happened."""
         cfg = self.config
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count("cenfuzz.probes")
         port = cfg.http_port if permutation.protocol == PROTO_HTTP else cfg.tls_port
         conn = open_connection(self.sim, self.client, endpoint_ip, port)
         if conn is None:
             self.sim.advance(cfg.wait_after_block)
             conn = open_connection(self.sim, self.client, endpoint_ip, port)
             if conn is None:
+                if tel.enabled:
+                    tel.count("cenfuzz.handshake_failures")
+                    tel.count("cenfuzz.blocked_probes")
                 return FuzzProbeOutcome(OUTCOME_HANDSHAKE_FAILED)
         payload = self._payload(permutation, domain)
         result = conn.send_payload(payload, retries=cfg.probe_retries)
         conn.close()
         outcome = self._classify(result.received)
+        if tel.enabled and outcome.blocked:
+            tel.count("cenfuzz.blocked_probes")
         self.sim.advance(
             cfg.wait_after_block if outcome.blocked else cfg.wait_normal
         )
@@ -212,6 +220,9 @@ class CenFuzz:
             or baseline.outcome == OUTCOME_TIMEOUT
         ):
             return outcome
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count("cenfuzz.reprobes")
         confirm = self.probe(endpoint_ip, permutation, domain)
         confirm.reprobed = True
         return confirm
@@ -284,21 +295,45 @@ class CenFuzz:
         report = EndpointFuzzReport(
             endpoint_ip=endpoint_ip, test_domain=test_domain, protocol=protocol
         )
-        normal = normal_permutation(protocol)
-        report.normal_test = self.probe(endpoint_ip, normal, test_domain)
-        report.normal_control = self.probe(endpoint_ip, normal, control_domain)
-        for strategy, permutations in sorted(self._strategies.items()):
-            if permutations[0].protocol != protocol:
-                continue
-            if strategies is not None and strategy not in strategies:
-                continue
-            for permutation in permutations:
-                report.results.append(
-                    self._evaluate(
-                        report, permutation, endpoint_ip, test_domain, control_domain
+        with self.sim.telemetry.span("cenfuzz.endpoint", sim=self.sim):
+            normal = normal_permutation(protocol)
+            report.normal_test = self.probe(endpoint_ip, normal, test_domain)
+            report.normal_control = self.probe(
+                endpoint_ip, normal, control_domain
+            )
+            for strategy, permutations in sorted(self._strategies.items()):
+                if permutations[0].protocol != protocol:
+                    continue
+                if strategies is not None and strategy not in strategies:
+                    continue
+                for permutation in permutations:
+                    report.results.append(
+                        self._evaluate(
+                            report,
+                            permutation,
+                            endpoint_ip,
+                            test_domain,
+                            control_domain,
+                        )
                     )
-                )
         report.degraded = any(r.degraded for r in report.results)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            evasions = sum(1 for r in report.results if r.successful)
+            tel.count("cenfuzz.endpoints")
+            tel.count("cenfuzz.permutations", len(report.results))
+            tel.count("cenfuzz.evasions", evasions)
+            if report.degraded:
+                tel.count("cenfuzz.degraded_endpoints")
+            tel.event(
+                "cenfuzz.endpoint",
+                endpoint=endpoint_ip,
+                domain=test_domain,
+                protocol=protocol,
+                normal_blocked=report.normal_blocked,
+                permutations=len(report.results),
+                evasions=evasions,
+            )
         return report
 
     def _evaluate(

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...netsim.topology import Service, Topology
+from ...telemetry import NULL_TELEMETRY
 from .fingerprints import DEFAULT_REPOSITORY, FingerprintRepository
 
 # The subset of Nmap's top-1000 ports that can host the services our
@@ -89,16 +90,26 @@ class CenProbe:
         topology: Topology,
         repository: Optional[FingerprintRepository] = None,
         ports: Sequence[int] = TOP_PORTS,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.topology = topology
         self.repository = repository or DEFAULT_REPOSITORY
         self.ports = tuple(ports)
+        # CenProbe reads static topology only (no simulator), so its
+        # observability sink is injected directly.
+        self.telemetry = telemetry
 
     def scan(self, ip: str) -> ProbeReport:
         """Scan one IP: ports, banners, fingerprints."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("cenprobe.scans")
+            tel.count("cenprobe.ports_scanned", len(self.ports))
         report = ProbeReport(ip=ip)
         node = self.topology.node_at(ip)
         if node is None:
+            if tel.enabled:
+                tel.count("cenprobe.unreachable")
             return report
         report.reachable = True
         report.open_ports = self.topology.scan_ports(ip, self.ports)
@@ -122,6 +133,11 @@ class CenProbe:
                 report.matched_rule = rule.name
             elif not rule.is_filtering_product:
                 report.other_identifications.append(rule.vendor)
+        if tel.enabled:
+            tel.count("cenprobe.open_ports", len(report.open_ports))
+            tel.count("cenprobe.banner_grabs", len(report.grabs))
+            if report.vendor is not None:
+                tel.count("cenprobe.vendor_labels")
         return report
 
     def scan_many(self, ips: Sequence[str]) -> List[ProbeReport]:

@@ -159,7 +159,7 @@ class CenTrace:
             self.sweep(endpoint_ip, test_domain, protocol)
             for _ in range(cfg.repetitions)
         ]
-        return classify_measurement(
+        result = classify_measurement(
             endpoint_ip=endpoint_ip,
             test_domain=test_domain,
             protocol=protocol,
@@ -168,6 +168,22 @@ class CenTrace:
             asdb=self.asdb,
             matcher=self.matcher,
         )
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count("centrace.measurements")
+            if result.blocked:
+                tel.count("centrace.blocked")
+                tel.event(
+                    "centrace.blocked",
+                    endpoint=endpoint_ip,
+                    domain=test_domain,
+                    protocol=protocol,
+                    type=result.blocking_type,
+                    ttl=result.terminating_ttl,
+                )
+            if result.degraded:
+                tel.count("centrace.degraded_measurements")
+        return result
 
     # -- sweeps -----------------------------------------------------------
 
@@ -185,51 +201,52 @@ class CenTrace:
         timeout_streak = 0
         streak_start_ttl = 0
         past_terminating = 0
-        for ttl in range(1, cfg.max_ttl + 1):
-            if protocol == PROTO_DNS:
-                probe = self._probe_dns(endpoint_ip, domain, ttl)
-            else:
-                probe = self._probe(endpoint_ip, port, payload, ttl)
-            sweep.probes.append(probe)
-            # Pace the next probe: long wait whenever this one may have
-            # tripped a stateful device.
-            suspicious = (
-                probe.handshake_failed
-                or probe.timed_out
-                or any(
-                    r.kind == "tcp" and (r.tcp_flags & tcpmod.RST)
-                    for r in probe.responses
+        with self.sim.telemetry.span("centrace.sweep", sim=self.sim):
+            for ttl in range(1, cfg.max_ttl + 1):
+                if protocol == PROTO_DNS:
+                    probe = self._probe_dns(endpoint_ip, domain, ttl)
+                else:
+                    probe = self._probe(endpoint_ip, port, payload, ttl)
+                sweep.probes.append(probe)
+                # Pace the next probe: long wait whenever this one may
+                # have tripped a stateful device.
+                suspicious = (
+                    probe.handshake_failed
+                    or probe.timed_out
+                    or any(
+                        r.kind == "tcp" and (r.tcp_flags & tcpmod.RST)
+                        for r in probe.responses
+                    )
+                    or self._has_terminating(probe, endpoint_ip)
                 )
-                or self._has_terminating(probe, endpoint_ip)
-            )
-            self.sim.advance(
-                cfg.wait_after_block if suspicious else cfg.wait_normal
-            )
-            if probe.timed_out or probe.handshake_failed:
-                if timeout_streak == 0:
-                    streak_start_ttl = ttl
-                timeout_streak += 1
-                # TTL-copying injectors (§4.3) only get a forged RST
-                # back to us once the probe TTL reaches ~2x the device
-                # distance, so a timeout streak starting at TTL s must
-                # be probed out to at least 2s+1 before concluding the
-                # device simply drops.
-                if (
-                    timeout_streak >= cfg.timeout_streak_stop
-                    and ttl >= 2 * streak_start_ttl + 1
-                ):
-                    break
-                continue
-            timeout_streak = 0
-            terminating = self._terminating_response(probe, endpoint_ip)
-            if terminating is not None and not probe.icmp_responses():
-                # "Only a terminating response" (§4.1): stop, with a
-                # couple of confirmation probes to detect TTL-copying
-                # injectors whose responses keep shifting.
-                past_terminating += 1
-                if past_terminating > cfg.extra_probes_past_terminating:
-                    break
-        self._finalize_sweep(sweep, endpoint_ip)
+                self.sim.advance(
+                    cfg.wait_after_block if suspicious else cfg.wait_normal
+                )
+                if probe.timed_out or probe.handshake_failed:
+                    if timeout_streak == 0:
+                        streak_start_ttl = ttl
+                    timeout_streak += 1
+                    # TTL-copying injectors (§4.3) only get a forged RST
+                    # back to us once the probe TTL reaches ~2x the
+                    # device distance, so a timeout streak starting at
+                    # TTL s must be probed out to at least 2s+1 before
+                    # concluding the device simply drops.
+                    if (
+                        timeout_streak >= cfg.timeout_streak_stop
+                        and ttl >= 2 * streak_start_ttl + 1
+                    ):
+                        break
+                    continue
+                timeout_streak = 0
+                terminating = self._terminating_response(probe, endpoint_ip)
+                if terminating is not None and not probe.icmp_responses():
+                    # "Only a terminating response" (§4.1): stop, with a
+                    # couple of confirmation probes to detect TTL-copying
+                    # injectors whose responses keep shifting.
+                    past_terminating += 1
+                    if past_terminating > cfg.extra_probes_past_terminating:
+                        break
+            self._finalize_sweep(sweep, endpoint_ip)
         return sweep
 
     def _probe(
@@ -368,6 +385,23 @@ class CenTrace:
             and probe.ttl < last_responding
         )
         sweep.degraded = bool(sweep.probes_retried or sweep.hops_rate_limited)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count("centrace.sweeps")
+            tel.count("centrace.probes", len(sweep.probes))
+            tel.count(
+                "centrace.probe_retries",
+                sum(probe.retries_used for probe in sweep.probes),
+            )
+            handshake_failures = sum(
+                1 for probe in sweep.probes if probe.handshake_failed
+            )
+            if handshake_failures:
+                tel.count("centrace.handshake_failures", handshake_failures)
+            if sweep.hops_rate_limited:
+                tel.count("centrace.hops_rate_limited", sweep.hops_rate_limited)
+            if sweep.degraded:
+                tel.count("centrace.degraded_sweeps")
         first_terminating: Optional[ProbeObservation] = None
         for probe in sweep.probes:
             if self._terminating_response(probe, endpoint_ip) is not None:

@@ -29,6 +29,7 @@ from ..core.centrace import (
 )
 from ..geo.countries import StudyWorld, build_world
 from ..netsim.faults import FaultPlan
+from ..telemetry import NULL_TELEMETRY, RunReport, wall_now
 from .executor import (
     VANTAGE_IN_COUNTRY,
     VANTAGE_REMOTE,
@@ -71,6 +72,9 @@ class CountryCampaign:
     fuzz_target_hops: Dict[Tuple[str, str], Optional[str]] = field(
         default_factory=dict
     )
+    # Observability: set when run_campaign() is given an active
+    # telemetry sink; None under the default NULL_TELEMETRY.
+    run_report: Optional[RunReport] = None
 
     # -- derived views ----------------------------------------------------
 
@@ -224,6 +228,7 @@ def run_campaign(
     world: StudyWorld,
     config: Optional[CampaignConfig] = None,
     workers: Optional[int] = None,
+    telemetry=None,
 ) -> CountryCampaign:
     """Collect every measurement the experiments need for ``world``.
 
@@ -231,8 +236,15 @@ def run_campaign(
     processes (each rebuilding a world replica from ``world.spec``);
     the result is bit-identical to the serial run — see
     ``experiments/executor.py`` for the determinism discipline.
+
+    ``telemetry`` accepts a :class:`repro.telemetry.Telemetry` sink;
+    when given, the campaign's counters, virtual-clock spans and events
+    are collected (identically for serial and parallel runs) and frozen
+    into ``campaign.run_report``. The default ``NULL_TELEMETRY`` keeps
+    the hot path uninstrumented.
     """
     config = config or CampaignConfig()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     if config.fault_plan is not None:
         # Install the plan on the live simulator AND in the spec, so
         # parallel workers rebuilding from the spec fault identically.
@@ -245,9 +257,10 @@ def run_campaign(
 
     units = trace_units_for(world, config)
     n_remote = sum(1 for u in units if u.vantage == VANTAGE_REMOTE)
+    wall0 = wall_now() if tel.enabled else 0.0
 
     with CampaignExecutor(
-        world, repetitions=config.repetitions, workers=workers
+        world, repetitions=config.repetitions, workers=workers, telemetry=tel
     ) as executor:
         results = executor.run_traces(units)
         campaign.remote_results = results[:n_remote]
@@ -255,11 +268,13 @@ def run_campaign(
 
         # Banner grabs at every potential device IP (§5.2). CenProbe
         # reads only the static topology (no simulator state), so it
-        # runs serially in the parent under either mode.
+        # runs serially in the parent under either mode — its counters
+        # flow straight into the campaign sink.
         if config.run_probe:
-            prober = CenProbe(world.topology)
-            for ip in campaign.potential_device_ips():
-                campaign.probe_reports[ip] = prober.scan(ip)
+            with tel.span("campaign.probe"):
+                prober = CenProbe(world.topology, telemetry=tel)
+                for ip in campaign.potential_device_ips():
+                    campaign.probe_reports[ip] = prober.scan(ip)
 
         # CenFuzz against blocked endpoints (§6.2) — one endpoint per
         # distinct blocking hop unless fuzz_all_blocked is set.
@@ -267,6 +282,23 @@ def run_campaign(
             targets = _fuzz_targets(campaign, config)
             fuzz_units = [FuzzUnit(*target) for target in targets]
             campaign.fuzz_reports = executor.run_fuzz(fuzz_units)
+
+    if tel.enabled:
+        tel.add_wall("campaign", wall_now() - wall0)
+        campaign.run_report = tel.build_report(
+            meta={
+                "country": world.country,
+                "repetitions": config.repetitions,
+                "protocols": list(config.protocols),
+                "trace_units": len(units),
+                "fuzz_units": len(campaign.fuzz_reports),
+                "fault_plan": config.fault_plan is not None,
+            },
+            # Environment-specific facts must not enter the identity
+            # sections: a serial and a 4-worker run of the same
+            # campaign must stay byte-identical there.
+            wall_extra={"workers_requested": workers},
+        )
     return campaign
 
 

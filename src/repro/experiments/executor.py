@@ -27,6 +27,7 @@ the exact same prepare/execute path in-process.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
@@ -41,6 +42,7 @@ from ..devices.actions import reset_sequential_ip_id
 from ..geo.countries import StudyWorld
 from ..netmodel.packet import reset_ip_ids
 from ..netsim.tcpstack import reset_ephemeral_ports
+from ..telemetry import NULL_TELEMETRY, Telemetry, wall_now
 
 VANTAGE_REMOTE = "remote"
 VANTAGE_IN_COUNTRY = "in_country"
@@ -167,31 +169,83 @@ class _Toolset:
         )
 
 
+# -- per-unit telemetry ------------------------------------------------------
+
+
+def run_unit_instrumented(
+    toolset: _Toolset, method: str, unit, collect: bool
+) -> Tuple[object, Optional[Dict]]:
+    """Execute one unit, optionally under a fresh per-unit telemetry sink.
+
+    Both the serial path and the worker processes come through here, so
+    serial and parallel campaigns perform *identical* telemetry work:
+    one fresh :class:`~repro.telemetry.Telemetry` per unit, snapshotted
+    after the measurement and merged back in canonical unit order. The
+    snapshot also carries the unit's total virtual-clock duration (the
+    simulator clock ends the unit at its virtual runtime, since
+    :func:`prepare_unit` zeroes it) and the ground-truth fault tallies.
+
+    Wall-clock duration and the executing PID ride along for the wall
+    section of the run report (worker shard balance, unit latency) and
+    never enter the deterministic identity sections.
+    """
+    bound = getattr(toolset, method)
+    if not collect:
+        return bound(unit), None
+    sim = toolset.world.sim
+    tel = Telemetry()
+    previous = sim.telemetry
+    sim.set_telemetry(tel)
+    wall0 = wall_now()
+    try:
+        result = bound(unit)
+    finally:
+        sim.set_telemetry(previous)
+    snapshot = tel.snapshot()
+    if sim._faults is not None:
+        for f in dataclasses.fields(sim._faults.counters):
+            value = getattr(sim._faults.counters, f.name)
+            if value:
+                counters = snapshot["counters"]
+                key = f"faults.{f.name}"
+                counters[key] = counters.get(key, 0) + value
+    snapshot["virtual_seconds"] = sim.clock
+    snapshot["wall_seconds"] = wall_now() - wall0
+    snapshot["pid"] = os.getpid()
+    return result, snapshot
+
+
 # -- worker process side -----------------------------------------------------
 
 # One toolset per worker process, built once by the pool initializer
 # around a private world replica.
 _WORKER_TOOLSET: Optional[_Toolset] = None
+_WORKER_COLLECT = False
 
 
-def _worker_init(spec, repetitions: int) -> None:
-    global _WORKER_TOOLSET
+def _worker_init(spec, repetitions: int, collect_telemetry: bool = False) -> None:
+    global _WORKER_TOOLSET, _WORKER_COLLECT
     if os.environ.get(CRASH_ENV):
         # Hard exit — simulates a worker segfault/OOM kill. The parent
         # sees BrokenProcessPool, which must surface as ExecutorError.
         os._exit(17)
     world = spec.build()
     _WORKER_TOOLSET = _Toolset.build(world, repetitions)
+    _WORKER_COLLECT = collect_telemetry
 
 
-def _worker_trace(unit: TraceUnit) -> CenTraceResult:
+def _worker_trace(unit: TraceUnit):
     assert _WORKER_TOOLSET is not None, "worker initializer did not run"
-    return _WORKER_TOOLSET.run_trace(unit)
+    return run_unit_instrumented(
+        _WORKER_TOOLSET, "run_trace", unit, _WORKER_COLLECT
+    )
 
 
-def _worker_fuzz(unit: FuzzUnit) -> EndpointFuzzReport:
+def _worker_fuzz(unit: FuzzUnit):
     assert _WORKER_TOOLSET is not None, "worker initializer did not run"
-    return _WORKER_TOOLSET.run_fuzz(unit)
+    return run_unit_instrumented(
+        _WORKER_TOOLSET, "run_fuzz", unit, _WORKER_COLLECT
+    )
 
 
 # -- the executor ------------------------------------------------------------
@@ -212,10 +266,12 @@ class CampaignExecutor:
         world: StudyWorld,
         repetitions: int = 3,
         workers: Optional[int] = None,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.world = world
         self.repetitions = repetitions
         self.workers = workers
+        self.telemetry = telemetry
         self._pool: Optional[ProcessPoolExecutor] = None
         self._toolset: Optional[_Toolset] = None
         if workers is not None and workers >= 1:
@@ -233,7 +289,7 @@ class CampaignExecutor:
                 max_workers=workers,
                 mp_context=ctx,
                 initializer=_worker_init,
-                initargs=(world.spec, repetitions),
+                initargs=(world.spec, repetitions, telemetry.enabled),
             )
 
     # -- lifecycle ----------------------------------------------------
@@ -252,29 +308,57 @@ class CampaignExecutor:
     # -- execution ----------------------------------------------------
 
     def run_traces(self, units: Sequence[TraceUnit]) -> List[CenTraceResult]:
-        return self._run(units, _worker_trace, "run_trace")
+        return self._run(units, _worker_trace, "run_trace", "traces")
 
     def run_fuzz(self, units: Sequence[FuzzUnit]) -> List[EndpointFuzzReport]:
-        return self._run(units, _worker_fuzz, "run_fuzz")
+        return self._run(units, _worker_fuzz, "run_fuzz", "fuzz")
 
-    def _run(self, units: Sequence[object], worker_fn, method: str) -> List:
+    def _run(
+        self, units: Sequence[object], worker_fn, method: str, stage: str
+    ) -> List:
         if not units:
             return []
+        tel = self.telemetry
+        collect = tel.enabled
+        if collect:
+            tel.event("stage", stage=stage, units=len(units))
+        wall0 = wall_now() if collect else 0.0
         if self._pool is None:
             toolset = self._local_toolset()
-            bound = getattr(toolset, method)
-            return [bound(unit) for unit in units]
-        try:
-            # map() preserves input order, so merged results come back
-            # in canonical work-unit order regardless of scheduling.
-            return list(self._pool.map(worker_fn, units))
-        except BrokenProcessPool as exc:
-            raise ExecutorError(
-                f"a campaign worker process died while executing "
-                f"{len(units)} {method} unit(s); partial results were "
-                f"discarded (workers={self.workers}). Re-run with "
-                f"workers=None to execute serially."
-            ) from exc
+            pairs = [
+                run_unit_instrumented(toolset, method, unit, collect)
+                for unit in units
+            ]
+        else:
+            try:
+                # map() preserves input order, so merged results come
+                # back in canonical work-unit order regardless of
+                # scheduling.
+                pairs = list(self._pool.map(worker_fn, units))
+            except BrokenProcessPool as exc:
+                raise ExecutorError(
+                    f"a campaign worker process died while executing "
+                    f"{len(units)} {method} unit(s); partial results were "
+                    f"discarded (workers={self.workers}). Re-run with "
+                    f"workers=None to execute serially."
+                ) from exc
+        results = []
+        for result, snapshot in pairs:
+            results.append(result)
+            if snapshot is not None:
+                # Canonical-order merge: identical for serial and
+                # parallel runs, which keeps event order and float
+                # accumulation byte-identical.
+                tel.merge_snapshot(snapshot)
+                tel.add_virtual(
+                    f"campaign.{stage}", snapshot["virtual_seconds"]
+                )
+                tel.record_unit_wall(
+                    stage, snapshot["wall_seconds"], snapshot["pid"]
+                )
+        if collect:
+            tel.add_wall(f"campaign.{stage}", wall_now() - wall0)
+        return results
 
     def _local_toolset(self) -> _Toolset:
         if self._toolset is None:

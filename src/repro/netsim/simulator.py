@@ -32,6 +32,7 @@ from ..netmodel import tcp as tcpmod
 from ..netmodel.icmp import time_exceeded
 from ..netmodel.ip import FlowKey
 from ..netmodel.packet import Packet, icmp_packet, next_ip_id
+from ..telemetry import NULL_TELEMETRY
 from .faults import FATE_FAIL_CLOSED, FATE_FAIL_OPEN, FaultPlan, FaultState
 from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
 from .routing import Path
@@ -72,7 +73,16 @@ class Simulator:
         self._endpoint_stacks: Dict[str, "EndpointStack"] = {}
         self.fault_plan: Optional[FaultPlan] = None
         self._faults: Optional[FaultState] = None
+        # Observability sink (repro.telemetry). NULL_TELEMETRY keeps the
+        # hot path allocation-free; counters never influence the walk,
+        # the clock or any RNG stream, so instrumented and
+        # uninstrumented runs produce identical measurements.
+        self.telemetry = NULL_TELEMETRY
         self.set_fault_plan(fault_plan)
+
+    def set_telemetry(self, telemetry) -> None:
+        """Install an observability sink (``NULL_TELEMETRY`` disables)."""
+        self.telemetry = telemetry
 
     # -- time -----------------------------------------------------------
 
@@ -159,6 +169,11 @@ class Simulator:
         self._walk_forward(packet, path, deliveries, client_ip)
         if faults is not None:
             deliveries = faults.shape_deliveries(deliveries, self._clone)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("sim.client_packets")
+            if deliveries:
+                tel.count("sim.deliveries", len(deliveries))
         return deliveries
 
     @staticmethod
@@ -189,6 +204,8 @@ class Simulator:
         """
         faults = self._faults
         if faults is not None and faults.per_link_loss:
+            if self.telemetry.enabled:
+                self.telemetry.count("sim.fault_loss_rolls")
             return faults.link_lost(node)
         return self.loss_rate > 0 and self._rng.random() < self.loss_rate
 
@@ -216,6 +233,8 @@ class Simulator:
         lossy = self._lossy
         faults = self._faults
         flaky = faults is not None and faults.plan.flaky_devices is not None
+        tel = self.telemetry
+        telemetry_on = tel.enabled
         # TTL spent before reaching start_index (for injected-to-server
         # packets this is 0: they start fresh at the device).
         for index in range(start_index, len(path.hops)):
@@ -223,11 +242,15 @@ class Simulator:
             node = nodes[index]
             # 1. The link leading to this hop: loss, then devices.
             if lossy and self._link_lost(node):
+                if telemetry_on:
+                    tel.count("sim.packets_lost")
                 if capture:
                     self._record(hop.node_name, "loss", packet.brief())
                 return
             for device in hop.link_devices:
                 if flaky:
+                    if telemetry_on:
+                        tel.count("sim.fault_device_rolls")
                     fate = faults.device_fate(device)
                     if fate == FATE_FAIL_OPEN:
                         # Enforcement lapses: the packet passes without
@@ -251,6 +274,10 @@ class Simulator:
                     direction=DIRECTION_FORWARD,
                 )
                 verdict = device.inspect(packet, ctx)
+                if telemetry_on:
+                    tel.count("sim.device_inspections")
+                    if verdict.acted:
+                        tel.count("sim.device_actions")
                 if capture and verdict.acted:
                     self._record(
                         device.name, "device", f"{verdict.note} {packet.brief()}"
@@ -259,6 +286,8 @@ class Simulator:
                     verdict, path, index, deliveries, client_ip
                 )
                 if verdict.drop and device.in_path:
+                    if telemetry_on:
+                        tel.count("sim.device_drops")
                     return
             # 2. Arrive at the node.
             if isinstance(node, Router):
@@ -303,9 +332,12 @@ class Simulator:
         client_ip: str,
     ) -> None:
         """TTL hit zero at ``router``: maybe emit ICMP Time Exceeded."""
+        tel = self.telemetry
         if self._capture_enabled:
             self._record(router.name, "ttl-expired", packet.brief())
         if not router.responds_icmp:
+            if tel.enabled:
+                tel.count("sim.icmp_silent")
             return
         if self._faults is not None and self._faults.icmp_suppressed(
             router, self.clock
@@ -313,12 +345,16 @@ class Simulator:
             # Token bucket empty: the router stays silent for this
             # expiry, exactly like rate-limited real-world hops during
             # dense TTL sweeps.
+            if tel.enabled:
+                tel.count("sim.icmp_rate_limited")
             if self._capture_enabled:
                 self._record(router.name, "icmp-rate-limited", packet.brief())
             return
         # The quoted copy reflects the packet as received here: any
         # in-flight header rewrites are visible, and the TTL has been
         # decremented all the way down.
+        if tel.enabled:
+            tel.count("sim.icmp_generated")
         packet.ip = packet.ip.copy(ttl=1)
         quoted = packet.to_bytes()
         message = time_exceeded(quoted, policy=router.quoting)
@@ -361,6 +397,7 @@ class Simulator:
         deliveries: List[Packet],
         client_ip: str,
     ) -> None:
+        tel = self.telemetry
         for injected in verdict.inject_to_client:
             # The device sits on the link leading to hop ``link_index``,
             # so its injections must cross every router at indices
@@ -368,10 +405,14 @@ class Simulator:
             # told the packet originates "at" hop link_index. Walk a
             # copy: the walk rebinds headers (TTL rewrite on arrival)
             # and the device may reuse its injection template.
+            if tel.enabled:
+                tel.count("sim.injected_to_client")
             self._walk_reverse(
                 self._clone(injected), path, link_index, deliveries, client_ip
             )
         for injected in verdict.inject_to_server:
+            if tel.enabled:
+                tel.count("sim.injected_to_server")
             self._walk_injected_to_server(
                 self._clone(injected), path, link_index, deliveries, client_ip
             )
@@ -406,6 +447,8 @@ class Simulator:
         for index in range(start_index, len(path.hops)):
             node = nodes[index]
             if index > start_index and lossy and self._link_lost(node):
+                if self.telemetry.enabled:
+                    self.telemetry.count("sim.packets_lost")
                 if capture:
                     self._record(
                         path.hops[index].node_name,
@@ -462,6 +505,8 @@ class Simulator:
         for index in range(from_index - 1, -1, -1):
             node = nodes[index]
             if lossy and self._link_lost(node):
+                if self.telemetry.enabled:
+                    self.telemetry.count("sim.packets_lost")
                 if capture:
                     self._record(
                         path.hops[index].node_name, "loss-reverse", packet.brief()
@@ -477,6 +522,8 @@ class Simulator:
                     return
         # Final link to the client.
         if lossy and self._link_lost(None):
+            if self.telemetry.enabled:
+                self.telemetry.count("sim.packets_lost")
             return
         arrived = packet
         arrived.ip = arrived.ip.copy(ttl=ttl)

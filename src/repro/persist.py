@@ -28,8 +28,11 @@ from .core.cenfuzz.runner import (
 from .core.cenprobe.scanner import BannerGrab, ProbeReport
 from .core.centrace.results import CenTraceResult, HopInfo
 from .netmodel.icmp import QuoteDelta
+from .telemetry import RunReport
 
-FORMAT_VERSION = 1
+# 2: adds optional report.json (telemetry run report) + has_report meta.
+# Version-1 directories (no report) load unchanged.
+FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -307,8 +310,10 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
     """Write a campaign's measurements to ``directory``.
 
     Produces ``traces.jsonl`` (remote + in-country CenTraces),
-    ``fuzz.jsonl``, ``banners.jsonl`` and ``meta.json``; returns the
-    per-file record counts.
+    ``fuzz.jsonl``, ``banners.jsonl`` and ``meta.json`` — plus
+    ``report.json`` when the campaign carries a telemetry
+    :class:`~repro.telemetry.RunReport`; returns the per-file record
+    counts.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -333,6 +338,12 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
             (probe_report_to_dict(r) for r in campaign.probe_reports.values()),
         ),
     }
+    run_report = getattr(campaign, "run_report", None)
+    if run_report is not None:
+        (directory / "report.json").write_text(
+            json.dumps(run_report.to_dict(), indent=2, sort_keys=True)
+        )
+        counts["report"] = 1
     meta = {
         "version": FORMAT_VERSION,
         "country": campaign.world.country,
@@ -341,6 +352,7 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
         "control_domain": campaign.world.control_domain,
         "endpoints": len(campaign.world.endpoints),
         "repetitions": campaign.config.repetitions,
+        "has_report": run_report is not None,
         "counts": counts,
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
@@ -357,12 +369,14 @@ class LoadedCampaign:
         in_country_results: List[CenTraceResult],
         fuzz_reports: List[EndpointFuzzReport],
         probe_reports: Dict[str, ProbeReport],
+        run_report: Optional[RunReport] = None,
     ) -> None:
         self.meta = meta
         self.remote_results = remote_results
         self.in_country_results = in_country_results
         self.fuzz_reports = fuzz_reports
         self.probe_reports = probe_reports
+        self.run_report = run_report
 
     def blocked_remote(self) -> List[CenTraceResult]:
         return [r for r in self.remote_results if r.blocked and r.valid]
@@ -388,4 +402,10 @@ def load_campaign(directory: Union[str, Path]) -> LoadedCampaign:
         record["ip"]: probe_report_from_dict(record)
         for record in _read_jsonl(directory / "banners.jsonl")
     }
-    return LoadedCampaign(meta, remote, in_country, fuzz, banners)
+    # report.json appeared in FORMAT_VERSION 2; version-1 directories
+    # (and version-2 runs without telemetry) simply have none.
+    run_report = None
+    report_path = directory / "report.json"
+    if report_path.exists():
+        run_report = RunReport.from_dict(json.loads(report_path.read_text()))
+    return LoadedCampaign(meta, remote, in_country, fuzz, banners, run_report)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.dbscan import NOISE, dbscan, estimate_eps, k_distance_curve
+from repro.analysis.dbscan import (
+    NOISE,
+    dbscan,
+    estimate_eps,
+    estimate_eps_info,
+    k_distance_curve,
+)
 
 
 def _blobs(centers, n=10, spread=0.1, seed=0):
@@ -80,10 +86,36 @@ class TestEpsEstimation:
         result = dbscan(X, eps=eps, min_samples=3)
         assert result.n_clusters == 2
 
-    def test_tiny_dataset_fallback(self):
-        assert estimate_eps(np.zeros((2, 2)), k=3) == 1.0
+    def test_tiny_dataset_raises(self):
+        # n <= k has no k-th neighbor: no estimate exists, and the old
+        # silent 1.0 fallback hid that the ε was arbitrary.
+        with pytest.raises(ValueError, match="k=3"):
+            estimate_eps(np.zeros((2, 2)), k=3)
+
+    def test_tiny_dataset_info_records_fallback(self):
+        eps, info = estimate_eps_info(np.zeros((2, 2)), k=3)
+        assert eps == 1.0
+        assert info["fallback"] == "too_few_points"
+        assert info["n_points"] == 2 and info["k"] == 3
+
+    def test_duplicate_points_info_records_fallback(self):
+        # All-coincident points give zero k-NN distances; ε is clamped
+        # to a positive floor and the degeneracy is surfaced.
+        eps, info = estimate_eps_info(np.zeros((6, 2)), k=3)
+        assert eps > 0.0
+        assert info["fallback"] == "duplicate_points"
+
+    def test_healthy_estimate_has_no_fallback(self):
+        X = _blobs([(0, 0)], spread=0.2)
+        eps, info = estimate_eps_info(X, k=3)
+        assert info["fallback"] is None
+        assert eps == pytest.approx(estimate_eps(X, k=3))
 
     def test_k_distance_curve_sorted(self):
         curve = k_distance_curve(_blobs([(0, 0)], n=20), k=3)
         assert (np.diff(curve) >= 0).all()
         assert len(curve) == 20
+
+    def test_k_distance_curve_tiny_dataset_raises(self):
+        with pytest.raises(ValueError, match="k=3"):
+            k_distance_curve(np.zeros((3, 2)), k=3)

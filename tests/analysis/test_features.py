@@ -83,6 +83,66 @@ class TestExtraction:
         assert features.values["InjectedIPTTL"] == 64
         assert features.values["InjectedTCPOptionCount"] == 2
 
+    def test_injected_zero_values_preserved(self):
+        # IP-ID 0 and window 0 are genuine observations (some injectors
+        # always send IP-ID 0); they must survive as 0.0, not be
+        # conflated with "not observed".
+        trace = _trace(
+            blocking_type=TYPE_RST,
+            injected_tcp_flags=4,
+            injected_ip_id=0,
+            injected_ip_flags=0,
+            injected_tcp_window=0,
+        )
+        features = extract_features("10.0.0.9", [trace])
+        assert features.values["InjectedIPID"] == 0.0
+        assert features.values["InjectedIPFlags"] == 0.0
+        assert features.values["InjectedTCPWindow"] == 0.0
+
+    def test_injected_unobserved_fields_are_missing(self):
+        # An injection that exposed TCP flags but not IP-ID/flags/window
+        # leaves those features NaN (missing) for median imputation.
+        trace = _trace(blocking_type=TYPE_RST, injected_tcp_flags=4)
+        features = extract_features("10.0.0.9", [trace])
+        assert features.values["InjectedTCPFlags"] == 4.0
+        assert math.isnan(features.values["InjectedIPID"])
+        assert math.isnan(features.values["InjectedIPFlags"])
+        assert math.isnan(features.values["InjectedTCPWindow"])
+
+    def test_unknown_fuzz_strategy_not_widened(self):
+        # A fuzz report naming a strategy this build doesn't know (e.g.
+        # older saved data) must not grow the feature dict beyond
+        # all_feature_names() — that would desync matrix columns.
+        from repro.core.cenfuzz.runner import (
+            EndpointFuzzReport,
+            FuzzProbeOutcome,
+            PermutationResult,
+        )
+
+        report = EndpointFuzzReport(
+            endpoint_ip="10.0.0.9",
+            test_domain="www.blocked.example",
+            protocol="http",
+        )
+        report.results.append(
+            PermutationResult(
+                endpoint_ip="10.0.0.9",
+                test_domain="www.blocked.example",
+                strategy="Retired Strategy",
+                label="retired[0]",
+                protocol="http",
+                normal_blocked=True,
+                test=FuzzProbeOutcome("response"),
+                control=FuzzProbeOutcome("response"),
+                successful=True,
+            )
+        )
+        features = extract_features(
+            "10.0.0.9", [_trace()], fuzz_reports=[report]
+        )
+        assert "Retired Strategy" not in features.values
+        assert set(features.values) == set(all_feature_names())
+
     def test_quote_delta_features(self):
         trace = _trace(
             quote_delta=QuoteDelta(tos_changed=True, follows_rfc792=True)

@@ -90,6 +90,37 @@ class TestGroupCorrelation:
         r, _ = pairwise_group_correlation(X, [0, 1], [2])
         assert r == pytest.approx(-1.0)
 
-    def test_empty_pairs_default(self):
+    def test_singleton_group_is_nan(self):
+        # One row has no distinct pair: there is no correlation to
+        # average, and pretending r_s = 1.0 would report a perfectly
+        # self-similar "vendor" from a single device.
         X = np.zeros((1, 3))
-        assert pairwise_group_correlation(X, [0]) == (1.0, 0.0)
+        r, p = pairwise_group_correlation(X, [0])
+        assert np.isnan(r) and np.isnan(p)
+
+    def test_overlapping_groups_exclude_self_pairs(self):
+        # Row 0 appears in both groups. Its self-pair (r_s = 1.0) must
+        # not enter the average: the true cross-pairs are (0,1), (0,2)
+        # and (1,2) — hand-computed r_s of -1, -1 and +1 → mean -1/3.
+        X = np.array(
+            [[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0], [8.0, 6.0, 4.0, 2.0]]
+        )
+        r, _ = pairwise_group_correlation(X, [0, 1], [0, 2])
+        assert r == pytest.approx(-1.0 / 3.0)
+
+    def test_overlapping_groups_count_each_pair_once(self):
+        # Both rows sit in both groups, so the unordered pair (0,1) is
+        # reachable twice; it must still contribute a single sample
+        # (the average over one pair equals that pair's r_s exactly).
+        X = np.array([[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]])
+        r, p = pairwise_group_correlation(X, [0, 1], [0, 1])
+        r_single, p_single = spearman_pair(X[0], X[1])
+        assert r == pytest.approx(r_single)
+        assert p == pytest.approx(p_single)
+
+    def test_fully_overlapping_singletons_nan(self):
+        # Groups that overlap down to a single shared row leave no
+        # distinct pair at all.
+        X = np.zeros((2, 3))
+        r, p = pairwise_group_correlation(X, [0], [0])
+        assert np.isnan(r) and np.isnan(p)

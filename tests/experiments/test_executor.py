@@ -57,6 +57,61 @@ def test_fuzz_target_hops_only_for_fuzzed_endpoints(tmp_path):
     assert set(campaign.fuzz_weights()) == fuzzed
 
 
+def _identity_report(country, seed, workers, fault_plan=None):
+    from repro.telemetry import Telemetry
+
+    world = build_world(country, seed=seed, scale=0.35)
+    config = _CONFIG
+    if fault_plan is not None:
+        import dataclasses
+
+        from repro.netsim.faults import FaultPlan
+
+        config = dataclasses.replace(
+            _CONFIG, fault_plan=FaultPlan.from_spec(fault_plan)
+        )
+    campaign = run_campaign(world, config, workers=workers, telemetry=Telemetry())
+    return campaign.run_report
+
+
+def test_telemetry_identity_serial_vs_parallel():
+    # The observability correctness oracle: serial and parallel runs
+    # must do byte-identical *work* (counters, virtual-clock spans,
+    # events), not just produce identical results.
+    serial = _identity_report("KZ", 7, None)
+    parallel = _identity_report("KZ", 7, 4)
+    assert serial.identity_json() == parallel.identity_json()
+    # Real measurement activity was counted, not vacuous emptiness.
+    assert serial.counters["centrace.measurements"] > 0
+    assert serial.counters["sim.client_packets"] > 0
+    assert serial.spans["campaign.traces"]["virtual_seconds"] > 0
+
+
+def test_telemetry_identity_under_fault_plan():
+    # Fault draws are part of the identity contract too: the faults.*
+    # ground-truth tallies must match between execution modes.
+    serial = _identity_report("AZ", 7, None, fault_plan="lossy")
+    parallel = _identity_report("AZ", 7, 2, fault_plan="lossy")
+    assert serial.identity_json() == parallel.identity_json()
+    assert any(name.startswith("faults.") for name in serial.counters)
+
+
+def test_telemetry_wall_section_reflects_workers():
+    report = _identity_report("AZ", 7, 2)
+    stages = report.wall["stages"]
+    assert stages["traces"]["units"] > 0
+    # Unit wall latency and shard balance are recorded per stage.
+    assert stages["traces"]["unit_seconds"]["total"] > 0
+    assert sum(stages["traces"]["units_by_worker"].values()) == (
+        stages["traces"]["units"]
+    )
+
+
+def test_default_run_has_no_report(tmp_path):
+    _, campaign = _campaign_digest(tmp_path, "AZ", 7, None, "noreport")
+    assert campaign.run_report is None
+
+
 def test_worker_crash_surfaces_clearly(monkeypatch):
     monkeypatch.setenv(CRASH_ENV, "1")
     world = build_world("AZ", seed=7, scale=0.35)

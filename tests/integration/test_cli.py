@@ -120,6 +120,62 @@ class TestCampaign:
         assert code == 0
         assert (tmp_path / "az" / "traces.jsonl").exists()
         assert (tmp_path / "az" / "meta.json").exists()
+        # No --metrics -> no run report persisted.
+        assert not (tmp_path / "az" / "report.json").exists()
+
+    def test_campaign_metrics_prints_and_persists_report(
+        self, capsys, tmp_path
+    ):
+        out_dir = tmp_path / "azm"
+        code = main(
+            [
+                "campaign",
+                "--country",
+                "AZ",
+                "--repetitions",
+                "2",
+                "--scale",
+                "0.3",
+                "--metrics",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run report — AZ campaign" in out
+        assert "centrace.measurements" in out
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["counters"]["centrace.measurements"] > 0
+
+    def test_report_run_renders_saved_report(self, capsys, tmp_path):
+        out_dir = tmp_path / "azr"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--country",
+                    "AZ",
+                    "--repetitions",
+                    "2",
+                    "--scale",
+                    "0.3",
+                    "--metrics",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", "--run", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report — AZ campaign" in out
+        assert "Counters" in out
+
+    def test_report_run_missing_report_errors(self, capsys, tmp_path):
+        assert main(["report", "--run", str(tmp_path)]) == 2
+        assert "--metrics" in capsys.readouterr().err
 
 
 class TestExperiment:

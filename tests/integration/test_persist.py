@@ -103,3 +103,48 @@ class TestCampaignSaveLoad:
         meta = json.loads((tmp_path / "az3" / "meta.json").read_text())
         assert meta["endpoints"] == 29
         assert len(meta["test_domains"]) == 5
+        # Telemetry was off for this campaign: format v2 still records
+        # that, and writes no report file.
+        assert meta["version"] == 2
+        assert meta["has_report"] is False
+        assert not (tmp_path / "az3" / "report.json").exists()
+
+
+class TestRunReportPersistence:
+    @pytest.fixture(scope="class")
+    def metered_campaign(self):
+        from repro.experiments.campaign import CampaignConfig, run_campaign
+        from repro.geo.countries import build_az_world
+        from repro.telemetry import Telemetry
+
+        return run_campaign(
+            build_az_world(),
+            CampaignConfig(repetitions=2, max_endpoints=4, fuzz_max_endpoints=2),
+            telemetry=Telemetry(),
+        )
+
+    def test_report_round_trips(self, metered_campaign, tmp_path):
+        counts = save_campaign(metered_campaign, tmp_path / "m")
+        assert counts["report"] == 1
+        meta = json.loads((tmp_path / "m" / "meta.json").read_text())
+        assert meta["has_report"] is True
+        loaded = load_campaign(tmp_path / "m")
+        assert loaded.run_report is not None
+        assert (
+            loaded.run_report.identity_json()
+            == metered_campaign.run_report.identity_json()
+        )
+        assert loaded.run_report.wall == metered_campaign.run_report.wall
+
+    def test_old_format_directory_still_loads(self, az_campaign, tmp_path):
+        # A version-1 directory: no report.json, no has_report key.
+        save_campaign(az_campaign, tmp_path / "old")
+        meta_path = tmp_path / "old" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 1
+        del meta["has_report"]
+        meta_path.write_text(json.dumps(meta, indent=2))
+        loaded = load_campaign(tmp_path / "old")
+        assert loaded.meta["version"] == 1
+        assert loaded.run_report is None
+        assert len(loaded.remote_results) == len(az_campaign.remote_results)

@@ -1,0 +1,63 @@
+"""The determinism lint: wall-clock reads are caught, the tree is clean."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_determinism  # noqa: E402
+
+
+def _violations(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return lint_determinism.lint_file(path, Path("src/repro/mod.py"))
+
+
+class TestDetection:
+    def test_time_time_flagged(self, tmp_path):
+        found = _violations(tmp_path, "import time\nx = time.time()\n")
+        assert len(found) == 1
+        assert found[0][2] == "time.time()"
+
+    def test_perf_counter_flagged(self, tmp_path):
+        found = _violations(
+            tmp_path, "import time\nstart = time.perf_counter()\n"
+        )
+        assert found and found[0][2] == "time.perf_counter()"
+
+    def test_from_import_flagged(self, tmp_path):
+        found = _violations(
+            tmp_path, "from time import perf_counter\nt = perf_counter()\n"
+        )
+        assert found and found[0][2] == "perf_counter()"
+
+    def test_datetime_now_flagged(self, tmp_path):
+        found = _violations(
+            tmp_path, "import datetime\nd = datetime.datetime.now()\n"
+        )
+        assert found
+
+    def test_sanctioned_wrapper_clean(self, tmp_path):
+        found = _violations(
+            tmp_path,
+            "from repro.telemetry import wall_now\nt = wall_now()\n",
+        )
+        assert found == []
+
+    def test_strings_and_comments_clean(self, tmp_path):
+        found = _violations(
+            tmp_path, "# time.time() in a comment\nx = 'time.perf_counter()'\n"
+        )
+        assert found == []
+
+    def test_time_sleep_allowed(self, tmp_path):
+        # Only *reads* of the clock are forbidden.
+        found = _violations(tmp_path, "import time\ntime.sleep(0)\n")
+        assert found == []
+
+
+class TestTree:
+    def test_src_tree_is_clean(self):
+        assert lint_determinism.main([str(REPO_ROOT)]) == 0

@@ -1,0 +1,194 @@
+"""Telemetry primitives: counters, spans, events, reports."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_MAX_EVENTS,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    RunReport,
+    Telemetry,
+)
+
+
+class _FakeSim:
+    def __init__(self):
+        self.clock = 0.0
+
+
+class TestNullTelemetry:
+    def test_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert NullTelemetry.enabled is False
+
+    def test_all_operations_are_noops(self):
+        tel = NullTelemetry()
+        tel.count("x")
+        tel.add_virtual("x", 1.0)
+        tel.add_wall("x", 1.0)
+        tel.event("x", a=1)
+        tel.record_unit_wall("stage", 0.1, 123)
+        tel.merge_snapshot({"counters": {}, "spans": {}, "events": []})
+
+    def test_span_is_reusable_context_manager(self):
+        tel = NullTelemetry()
+        span = tel.span("x")
+        with span:
+            pass
+        # Same instance every time — no per-call allocation.
+        assert tel.span("y") is span
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tel = Telemetry()
+        tel.count("probes")
+        tel.count("probes", 4)
+        assert tel.counters == {"probes": 5}
+
+    def test_enabled(self):
+        assert Telemetry().enabled is True
+
+
+class TestSpans:
+    def test_virtual_span_measures_sim_clock(self):
+        tel = Telemetry()
+        sim = _FakeSim()
+        with tel.span("sweep", sim=sim):
+            sim.clock += 2.5
+        with tel.span("sweep", sim=sim):
+            sim.clock += 1.5
+        report = tel.build_report()
+        assert report.spans["sweep"]["count"] == 2
+        assert report.spans["sweep"]["virtual_seconds"] == pytest.approx(4.0)
+
+    def test_span_without_sim_has_zero_virtual(self):
+        tel = Telemetry()
+        with tel.span("probe"):
+            pass
+        report = tel.build_report()
+        assert report.spans["probe"]["virtual_seconds"] == 0.0
+        assert report.wall["spans"]["probe"] >= 0.0
+
+
+class TestEvents:
+    def test_event_records_kind_and_fields(self):
+        tel = Telemetry()
+        tel.event("blocked", endpoint="1.2.3.4", ttl=5)
+        assert tel.events == [{"kind": "blocked", "endpoint": "1.2.3.4", "ttl": 5}]
+
+    def test_event_cap_is_enforced_and_counted(self):
+        tel = Telemetry(max_events=3)
+        for i in range(5):
+            tel.event("e", i=i)
+        assert len(tel.events) == 3
+        assert tel.events_dropped == 2
+        assert [e["i"] for e in tel.events] == [0, 1, 2]
+
+    def test_default_cap(self):
+        assert Telemetry().max_events == DEFAULT_MAX_EVENTS
+
+
+class TestSnapshotMerge:
+    def _unit_snapshot(self, i):
+        unit = Telemetry()
+        unit.count("probes", i)
+        unit.add_virtual("sweep", float(i), count=1)
+        unit.event("done", i=i)
+        return unit.snapshot()
+
+    def test_merge_accumulates_in_order(self):
+        tel = Telemetry()
+        for i in (1, 2, 3):
+            tel.merge_snapshot(self._unit_snapshot(i))
+        assert tel.counters == {"probes": 6}
+        report = tel.build_report()
+        assert report.spans["sweep"] == {"count": 3, "virtual_seconds": 6.0}
+        assert [e["i"] for e in report.events] == [1, 2, 3]
+
+    def test_merge_respects_event_cap(self):
+        tel = Telemetry(max_events=2)
+        for i in range(4):
+            tel.merge_snapshot(self._unit_snapshot(i))
+        assert len(tel.events) == 2
+        assert tel.events_dropped == 2
+
+    def test_merge_carries_nested_drops(self):
+        unit = Telemetry(max_events=1)
+        unit.event("a")
+        unit.event("b")
+        tel = Telemetry()
+        tel.merge_snapshot(unit.snapshot())
+        assert tel.events_dropped == 1
+
+    def test_snapshot_is_json_safe(self):
+        json.dumps(self._unit_snapshot(1))
+
+
+class TestRunReport:
+    def _report(self):
+        tel = Telemetry()
+        tel.count("b", 2)
+        tel.count("a", 1)
+        sim = _FakeSim()
+        with tel.span("sweep", sim=sim):
+            sim.clock += 1.0
+        tel.event("done", i=0)
+        tel.record_unit_wall("traces", 0.25, 100)
+        tel.record_unit_wall("traces", 0.75, 101)
+        return tel.build_report(
+            meta={"country": "KZ"}, wall_extra={"workers_requested": 4}
+        )
+
+    def test_identity_excludes_wall(self):
+        report = self._report()
+        identity = report.identity_dict()
+        assert "wall" not in identity
+        assert set(identity) == {
+            "counters", "spans", "events", "events_dropped", "meta",
+        }
+
+    def test_identity_json_is_canonical(self):
+        report = self._report()
+        # Same content, different wall data -> same identity bytes.
+        other = RunReport(
+            counters=dict(report.counters),
+            spans={k: dict(v) for k, v in report.spans.items()},
+            events=list(report.events),
+            events_dropped=report.events_dropped,
+            wall={"totally": "different"},
+            meta=dict(report.meta),
+        )
+        assert report.identity_json() == other.identity_json()
+
+    def test_counters_sorted_in_report(self):
+        report = self._report()
+        assert list(report.counters) == ["a", "b"]
+
+    def test_wall_stage_aggregates(self):
+        stages = self._report().wall["stages"]
+        assert stages["traces"]["units"] == 2
+        assert stages["traces"]["unit_seconds"]["mean"] == pytest.approx(0.5)
+        assert stages["traces"]["units_by_worker"] == {"100": 1, "101": 1}
+        assert self._report().wall["workers_requested"] == 4
+
+    def test_round_trips_through_dict(self):
+        report = self._report()
+        restored = RunReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert restored.identity_json() == report.identity_json()
+        assert restored.wall == report.wall
+
+    def test_render_mentions_sections(self):
+        text = self._report().render()
+        assert "Run report — KZ campaign" in text
+        assert "Counters" in text
+        assert "Spans (virtual clock)" in text
+        assert "excluded from identity" in text
+        assert "[done]" in text
+
+    def test_render_empty_report(self):
+        assert RunReport().render().startswith("Run report")
