@@ -6,10 +6,13 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Determinism lint: forbids wall-clock reads (time.time/perf_counter/
-# datetime.now) anywhere in src/ outside repro/telemetry.py.
+# Invariant lint suite (tools/lintkit): multi-pass AST analysis —
+# RP101 wall-clock reads, RP2xx seeded-RNG discipline, RP3xx stable
+# iteration order, RP4xx layer DAG + import cycles, RP5xx shared
+# mutable state. Exit 1 on any violation; suppress a line with
+# `# lint: ignore[RPxxx] -- justification`.
 lint:
-	$(PYTHON) tools/lint_determinism.py
+	$(PYTHON) -m tools.lintkit src
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

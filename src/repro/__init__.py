@@ -28,10 +28,12 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+# NB: `repro.cli` is deliberately absent — it is the console entry
+# point (`repro = repro.cli:main`) and the layer lint (RP401) bans any
+# library code, including this package init, from importing it.
 from . import (
     analysis,
     baselines,
-    cli,
     core,
     devices,
     experiments,
@@ -46,7 +48,6 @@ from . import (
 __all__ = [
     "analysis",
     "baselines",
-    "cli",
     "persist",
     "core",
     "devices",

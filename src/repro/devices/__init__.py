@@ -22,6 +22,11 @@ from .rules import (
     PROTO_HTTP,
     PROTO_TLS,
 )
+from .personality import (
+    OSPersonality,
+    PERSONALITIES,
+    VENDOR_PERSONALITIES,
+)
 from .state import (
     FlowInjectionCounter,
     RESIDUAL_3TUPLE,
@@ -57,6 +62,9 @@ __all__ = [
     "RESIDUAL_HOSTS",
     "RESIDUAL_OFF",
     "ResidualTracker",
+    "OSPersonality",
+    "PERSONALITIES",
+    "VENDOR_PERSONALITIES",
     "ALL_PROFILES",
     "LABELED_PROFILES",
     "VendorProfile",

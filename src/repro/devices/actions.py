@@ -80,7 +80,20 @@ class DNSBlockAction:
     signature: InjectionSignature = InjectionSignature()
 
 
+# lint: ignore[RP502] -- rewound per work unit by reset_dns_fake_cursor()
 _dns_fake_cursor = [0]
+
+
+def reset_dns_fake_cursor(start: int = 0) -> None:
+    """Rewind the rotating fake-DNS-answer cursor (per-unit determinism).
+
+    Profiles with several ``fake_addresses`` (the GFW-style rotation)
+    advance this cursor once per forged answer. Without a per-unit
+    rewind the answer a measurement sees depends on how many DNS
+    injections ran earlier *in the same process* — serial and parallel
+    campaigns would then rotate differently and break bit-identity.
+    """
+    _dns_fake_cursor[0] = start
 
 
 def build_dns_injections(
@@ -149,6 +162,7 @@ def build_dns_injections(
     return forged
 
 
+# lint: ignore[RP502] -- rewound per work unit by reset_sequential_ip_id()
 _sequential_ip_id = [0x1000]
 
 

@@ -1,0 +1,121 @@
+"""OS stack personalities of the vendor catalog's appliances.
+
+Every node in the simulator may carry an :class:`OSPersonality` — the
+stack-level behaviours Nmap-style crafted probes elicit (initial TTL,
+SYN-ACK window and options, whether a FIN-to-open-port gets a reply,
+whether a UDP probe to a closed port draws an ICMP port-unreachable,
+IP-ID sequence style, DF bit). The *prober* that replays the crafted
+sequence lives up-stack in :mod:`repro.core.cenprobe.os_probes`; the
+personalities themselves are vendor-catalog data, so they live here in
+``devices`` where the world builders (``repro.geo``) may reach them
+without importing measurement code — ``geo -> core`` is a layer
+violation (RP401).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# IP-ID sequence classes (Nmap's "II" test, simplified). Distinct from
+# the injection-side IPID_* modes in repro.devices.actions: these
+# describe the *management stack*, those the forged packets.
+IPID_INCREMENTAL = "incremental"
+IPID_ZERO = "zero"
+IPID_RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class OSPersonality:
+    """Stack-level behaviours crafted probes elicit from one device OS."""
+
+    name: str
+    initial_ttl: int = 64
+    syn_ack_window: int = 64240
+    tcp_options: Tuple[int, ...] = (2, 4, 8, 1, 3)  # MSS,SACK,TS,NOP,WS
+    rst_window: int = 0
+    answers_fin_probe: bool = False  # RFC 793 stacks stay silent
+    answers_null_probe: bool = False
+    icmp_port_unreachable: bool = True
+    ip_id_pattern: str = IPID_INCREMENTAL
+    df_bit: bool = True
+    ecn_supported: bool = True
+
+
+# Personalities for the platforms our vendor catalog ships on.
+LINUX = OSPersonality(name="Linux 5.x")
+FORTIOS = OSPersonality(
+    name="FortiOS",
+    initial_ttl=255,
+    syn_ack_window=16384,
+    tcp_options=(2, 1, 3),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_ZERO,
+    ecn_supported=False,
+)
+CISCO_IOS = OSPersonality(
+    name="Cisco IOS",
+    initial_ttl=255,
+    syn_ack_window=4128,
+    tcp_options=(2,),
+    rst_window=4128,
+    icmp_port_unreachable=False,  # rate-limited to silence
+    ip_id_pattern=IPID_RANDOM,
+    df_bit=False,
+    ecn_supported=False,
+)
+ROUTEROS = OSPersonality(
+    name="MikroTik RouterOS",
+    initial_ttl=64,
+    syn_ack_window=14600,
+    tcp_options=(2, 4, 1, 3),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_INCREMENTAL,
+    ecn_supported=False,
+)
+PANOS = OSPersonality(
+    name="PAN-OS",
+    initial_ttl=64,
+    syn_ack_window=32768,
+    tcp_options=(2, 1, 1, 4),
+    answers_fin_probe=True,  # middlebox proxy stack answers anything
+    answers_null_probe=True,
+    ip_id_pattern=IPID_ZERO,
+)
+KERIO_OS = OSPersonality(
+    name="Kerio Control appliance",
+    initial_ttl=64,
+    syn_ack_window=29200,
+    tcp_options=(2, 4, 8, 1, 3),
+    icmp_port_unreachable=True,
+    ip_id_pattern=IPID_INCREMENTAL,
+)
+WINDOWS_LIKE = OSPersonality(
+    name="Windows Server",
+    initial_ttl=128,
+    syn_ack_window=8192,
+    tcp_options=(2, 1, 3, 1, 1, 4),
+    answers_fin_probe=False,
+    ip_id_pattern=IPID_INCREMENTAL,
+    ecn_supported=False,
+)
+
+PERSONALITIES = {
+    p.name: p
+    for p in (LINUX, FORTIOS, CISCO_IOS, ROUTEROS, PANOS, KERIO_OS, WINDOWS_LIKE)
+}
+
+# Vendor -> appliance OS mapping (used when placing devices).
+VENDOR_PERSONALITIES: Dict[str, OSPersonality] = {
+    "Fortinet": FORTIOS,
+    "Cisco": CISCO_IOS,
+    "Mikrotik": ROUTEROS,
+    "Palo Alto": PANOS,
+    "Kerio Control": KERIO_OS,
+    "Kaspersky": LINUX,
+    "DDoS-Guard": LINUX,
+    "Netsweeper": LINUX,
+    "SonicWall": WINDOWS_LIKE,
+    "Squid": LINUX,
+    "Sophos": LINUX,
+}

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cenfuzz import CenFuzz, EndpointFuzzReport
 from ..core.centrace import CenTrace, CenTraceConfig, CenTraceResult
-from ..devices.actions import reset_sequential_ip_id
+from ..devices.actions import reset_dns_fake_cursor, reset_sequential_ip_id
 from ..geo.countries import StudyWorld
 from ..netmodel.packet import reset_ip_ids
 from ..netsim.tcpstack import reset_ephemeral_ports
@@ -110,6 +110,7 @@ def prepare_unit(world: StudyWorld, kind: str, key: Sequence[str]) -> None:
     reset_ephemeral_ports()
     reset_ip_ids()
     reset_sequential_ip_id()
+    reset_dns_fake_cursor()
 
 
 # -- unit execution (shared by serial path and workers) ----------------------

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .. import viz
+# Submodule import, not `from .. import viz`: pulling attributes off
+# the package root at import time is a root->experiments->fig1 cycle
+# (RP402) that only resolves through partially-initialized-package
+# fallback behaviour.
+from ..viz import (
+    blocking_link_summary,
+    build_path_graph,
+    render_ascii,
+    render_dot,
+)
 from ..core.centrace import CenTrace, CenTraceConfig
 from ..geo.countries import build_kz_world
 from .base import ExperimentResult
@@ -37,8 +46,8 @@ def run(*, seed: Optional[int] = None, repetitions: int = 3) -> ExperimentResult
             results.append(
                 tracer.measure(target.ip, domain, "http", world.control_domain)
             )
-    graph = viz.build_path_graph(results, asdb=world.asdb, client_label="KZ client")
-    blocking_links = viz.blocking_link_summary(graph)
+    graph = build_path_graph(results, asdb=world.asdb, client_label="KZ client")
+    blocking_links = blocking_link_summary(graph)
 
     result = ExperimentResult(
         experiment_id="fig1",
@@ -52,8 +61,8 @@ def run(*, seed: Optional[int] = None, repetitions: int = 3) -> ExperimentResult
     distances = {r.terminating_ttl for r in blocked}
     result.extra["blocking_asns"] = sorted(a for a in asns if a)
     result.extra["device_distances"] = sorted(d for d in distances if d)
-    result.extra["ascii"] = viz.render_ascii(graph, root="KZ client")
-    result.extra["dot"] = viz.render_dot(graph)
+    result.extra["ascii"] = render_ascii(graph, root="KZ client")
+    result.extra["dot"] = render_dot(graph)
     result.notes.append(
         f"blocking ASNs: {result.extra['blocking_asns']} (paper: 9198),"
         f" device at hop {result.extra['device_distances']} from client"

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from .. import viz
+# Submodule import (see fig1.py): `from .. import viz` is a
+# root->experiments cycle the layer lint (RP402) rejects.
+from ..viz import blocking_link_summary, build_path_graph, render_dot
 from .base import ExperimentResult
 from .campaign import CountryCampaign, get_campaign
 
@@ -45,14 +47,14 @@ def run(
             if campaigns is not None
             else get_campaign(country, scale=scale, repetitions=repetitions)
         )
-        graph = viz.build_path_graph(
+        graph = build_path_graph(
             campaign.remote_results,
             asdb=campaign.world.asdb,
             client_label=f"{country} remote client",
         )
-        links = viz.blocking_link_summary(graph)
+        links = blocking_link_summary(graph)
         for from_as, to_as, count in links[:8]:
             result.rows.append((country, from_as, to_as, count))
-        result.extra[f"{country}_dot"] = viz.render_dot(graph)
+        result.extra[f"{country}_dot"] = render_dot(graph)
         result.extra[f"{country}_links"] = links
     return result

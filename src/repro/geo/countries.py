@@ -277,7 +277,7 @@ class WorldBuilder:
             for service in generic_linux_services():
                 host_router.add_service(service)
         if profile.name:
-            from ..core.cenprobe.os_probes import VENDOR_PERSONALITIES
+            from ..devices.personality import VENDOR_PERSONALITIES
 
             host_router.personality = VENDOR_PERSONALITIES.get(profile.name)
         self.devices.append(device)

@@ -33,6 +33,7 @@ def reset_ip_ids(start: int = 1) -> None:
     measurement produces identical identification fields no matter which
     process — or how many prior measurements — preceded it.
     """
+    # lint: ignore[RP502] -- this IS the sanctioned per-unit reset hook
     global _ip_id_counter
     _ip_id_counter = itertools.count(start)
 

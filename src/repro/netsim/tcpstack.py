@@ -35,6 +35,7 @@ def reset_ephemeral_ports(base: int = _EPHEMERAL_BASE) -> None:
     bit-identically (the campaign executor's per-unit determinism
     guarantee) requires starting every work unit from the same port.
     """
+    # lint: ignore[RP502] -- this IS the sanctioned per-unit reset hook
     global _EPHEMERAL_PORTS
     _EPHEMERAL_PORTS = itertools.count(base)
 

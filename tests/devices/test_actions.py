@@ -135,3 +135,59 @@ class TestSignatures:
 
         trigger = icmp_packet("1.1.1.1", "2.2.2.2", ICMPMessage(11, 0))
         assert build_injections(BlockAction(kind=KIND_RST), trigger, 9, "dev") == ([], [])
+
+
+class TestDnsFakeCursorReset:
+    """Regression: the rotating fake-answer cursor is rewindable.
+
+    Before the RP502 sweep the cursor was module-global with *no* reset
+    hook, so with a multi-address pool (the GFW-style rotation) the
+    answer a unit saw depended on how many DNS injections had run
+    earlier in the same process — serial and parallel campaigns rotated
+    differently.
+    """
+
+    @staticmethod
+    def _dns_trigger(domain="blocked.example"):
+        from repro.netmodel.dns import DNSMessage, DNSQuestion
+        from repro.netmodel.packet import udp_packet
+
+        query = DNSMessage(txid=7, questions=[DNSQuestion(domain)])
+        return udp_packet(
+            "10.0.0.1", "10.0.0.2", 40000, 53, payload=query.to_bytes()
+        )
+
+    def _answers(self, action, n):
+        from repro.netmodel.dns import DNSMessage
+        from repro.devices.actions import build_dns_injections
+
+        out = []
+        for _ in range(n):
+            (forged,) = build_dns_injections(action, self._dns_trigger(), 9, "dev")
+            out.append(DNSMessage.from_bytes(forged.udp.payload).answers[0].address)
+        return out
+
+    def test_reset_rewinds_rotation(self):
+        from repro.devices.actions import DNSBlockAction, reset_dns_fake_cursor
+
+        pool = ("198.18.0.1", "198.18.0.2", "198.18.0.3")
+        action = DNSBlockAction(fake_addresses=pool)
+        reset_dns_fake_cursor()
+        first_run = self._answers(action, 4)
+        assert first_run == list(pool) + [pool[0]]  # cycles in pool order
+        # Without the rewind the next run would start mid-pool...
+        assert self._answers(action, 1) != [pool[0]]
+        # ...and with it, it is bit-identical to the first.
+        reset_dns_fake_cursor()
+        assert self._answers(action, 4) == first_run
+
+    def test_prepare_unit_rewinds_cursor(self):
+        """The executor's per-unit reset covers the DNS cursor too."""
+        from repro.devices import actions
+        from repro.experiments.executor import prepare_unit
+        from repro.geo.countries import build_kz_world
+
+        world = build_kz_world()
+        actions._dns_fake_cursor[0] = 17
+        prepare_unit(world, "trace", ("endpoint", "domain"))
+        assert actions._dns_fake_cursor[0] == 0

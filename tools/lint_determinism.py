@@ -1,118 +1,38 @@
 #!/usr/bin/env python
-"""Determinism lint: no wall-clock reads outside ``repro.telemetry``.
+"""Deprecated shim — the determinism lint moved into ``tools/lintkit``.
 
-The simulator's virtual clock is the only time source measurement code
-may consult — a stray ``time.time()`` / ``time.perf_counter()`` in a
-hot path silently breaks the serial-vs-parallel bit-identity contract
-(wall readings differ between runs and, worse, can leak into results).
-``repro/telemetry.py`` wraps the one sanctioned read (``wall_now``);
-everything else in ``src/repro`` must go through it.
-
-AST-based, so comments and strings never false-positive. Run via
-``make lint`` or directly::
+The original single-purpose wall-clock linter is now lintkit pass
+``RP101`` (which also closes this script's aliased-import blind spot:
+``import time as t; t.time()`` used to walk straight past it). This
+wrapper keeps the old invocation and exit-code contract working::
 
     python tools/lint_determinism.py [root]
+
+but simply runs ``python -m tools.lintkit <root>/src --select RP101``.
+Prefer ``make lint``, which runs every pass.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: The single module allowed to read the wall clock.
-ALLOWED = {Path("src/repro/telemetry.py")}
-
-#: Forbidden call targets, by (module, attribute). ``strftime``-style
-#: formatting of an *existing* timestamp is fine; acquiring one is not.
-FORBIDDEN_TIME_ATTRS = {
-    "time",
-    "perf_counter",
-    "perf_counter_ns",
-    "monotonic",
-    "monotonic_ns",
-    "process_time",
-    "process_time_ns",
-    "time_ns",
-    "clock_gettime",
-}
-FORBIDDEN_DATETIME_ATTRS = {"now", "today", "utcnow"}
-
-
-class WallClockVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path) -> None:
-        self.path = path
-        self.violations: list = []
-        # Names bound by `from time import perf_counter` etc.
-        self._direct_names: set = set()
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "time":
-            for alias in node.names:
-                if alias.name in FORBIDDEN_TIME_ATTRS:
-                    self._direct_names.add(alias.asname or alias.name)
-        if node.module == "datetime":
-            for alias in node.names:
-                if alias.name == "datetime":
-                    self._direct_names.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            value = func.value
-            if isinstance(value, ast.Name):
-                if value.id == "time" and func.attr in FORBIDDEN_TIME_ATTRS:
-                    self._record(node, f"time.{func.attr}()")
-                elif (
-                    value.id == "datetime"
-                    and func.attr in FORBIDDEN_DATETIME_ATTRS
-                ):
-                    self._record(node, f"datetime.{func.attr}()")
-            elif (
-                isinstance(value, ast.Attribute)
-                and isinstance(value.value, ast.Name)
-                and value.value.id == "datetime"
-                and value.attr == "datetime"
-                and func.attr in FORBIDDEN_DATETIME_ATTRS
-            ):
-                self._record(node, f"datetime.datetime.{func.attr}()")
-        elif isinstance(func, ast.Name) and func.id in self._direct_names:
-            self._record(node, f"{func.id}()")
-        self.generic_visit(node)
-
-    def _record(self, node: ast.AST, what: str) -> None:
-        self.violations.append((self.path, node.lineno, what))
-
-
-def lint_file(path: Path, relative: Path) -> list:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    visitor = WallClockVisitor(relative)
-    visitor.visit(tree)
-    return visitor.violations
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
-    src = root / "src"
-    violations = []
-    for path in sorted(src.rglob("*.py")):
-        relative = path.relative_to(root)
-        if relative in ALLOWED:
-            continue
-        violations.extend(lint_file(path, relative))
-    for path, lineno, what in violations:
-        print(
-            f"{path}:{lineno}: wall-clock read {what} — measurement code "
-            "must use the simulator clock, or repro.telemetry.wall_now() "
-            "for observability"
-        )
-    if violations:
-        print(f"determinism lint: {len(violations)} violation(s)")
-        return 1
-    print("determinism lint: OK (no wall-clock reads outside repro.telemetry)")
-    return 0
+    sys.path.insert(0, str(REPO_ROOT))
+    from tools.lintkit.__main__ import main as lintkit_main
+
+    root = Path(argv[0]) if argv else REPO_ROOT
+    print(
+        "note: tools/lint_determinism.py is deprecated; running "
+        "`python -m tools.lintkit --select RP101` (use `make lint` "
+        "for the full pass suite)",
+        file=sys.stderr,
+    )
+    return lintkit_main([str(root / "src"), "--select", "RP101"])
 
 
 if __name__ == "__main__":

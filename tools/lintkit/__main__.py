@@ -1,0 +1,79 @@
+"""CLI entry point: ``python -m tools.lintkit [paths...] [--json]``.
+
+Exit codes (the contract ``make lint`` and CI rely on):
+
+* 0 — tree is clean
+* 1 — violations found (listed on stdout)
+* 2 — usage error (unknown rule id, missing path)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import REGISTRY, lint
+from .reporters import render_json, render_text
+
+#: Default target when invoked bare from the repo root.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lintkit",
+        description="Multi-pass AST invariant linter (determinism, RNG "
+        "discipline, iteration order, layering, shared state).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: <repo>/src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the versioned JSON report"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RPxxx[,RPxxx...]",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered passes"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in REGISTRY.select():
+            print(f"{rule.id}  {rule.name:24s} {rule.description}")
+        return 0
+
+    paths = args.paths or [REPO_ROOT / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"lintkit: path(s) do not exist: "
+            f"{', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        rules = REGISTRY.select(select)
+    except KeyError as exc:
+        print(f"lintkit: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    violations, checked = lint(paths, root=REPO_ROOT, select=select)
+    render = render_json if args.json else render_text
+    print(render(violations, rules, checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Core abstractions for the invariant lint framework.
+
+A *rule* is one invariant checker with a stable ID (``RP101``, ...).
+Rules come in two flavours:
+
+* :class:`FileRule` — sees one file at a time (a shared, pre-parsed
+  AST in a :class:`FileContext`).
+* :class:`ProjectRule` — sees every file at once, for whole-tree
+  invariants (the import DAG, cycle detection).
+
+Every violation can be suppressed at the offending line with a pragma
+comment::
+
+    x = time.time()  # lint: ignore[RP101] -- justification here
+
+or, for long lines, on the line immediately above::
+
+    # lint: ignore[RP502] -- rewound per-unit by reset_foo()
+    _counter = [0]
+
+Suppression is per-rule: the bracket list names the rule IDs being
+waived, and anything after ``--`` is a free-form justification (by
+convention mandatory in this repo — a bare pragma tells the reader
+nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+#: ``# lint: ignore[RP101]`` / ``# lint: ignore[RP101, RP502] -- why``
+PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+RULE_ID_RE = re.compile(r"^RP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule tripped at a specific file/line."""
+
+    rule_id: str
+    path: Path  # repo-relative where possible
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+class FileContext:
+    """One parsed source file, shared by every pass.
+
+    The walker parses each file exactly once; passes receive the same
+    ``tree`` so a five-pass run costs one ``ast.parse`` per file.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        relative: Path,
+        source: str,
+        tree: ast.Module,
+        module: Optional[str],
+    ) -> None:
+        self.path = path
+        self.relative = relative
+        self.source = source
+        self.tree = tree
+        #: Dotted module name (``repro.netsim.simulator``) when the file
+        #: sits inside an importable package, else ``None``.
+        self.module = module
+        self._suppressed: Dict[int, Set[str]] = self._parse_pragmas(source)
+
+    @staticmethod
+    def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+        suppressed: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = PRAGMA_RE.search(text)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            ids = {i for i in ids if RULE_ID_RE.match(i)}
+            if not ids:
+                continue
+            suppressed.setdefault(lineno, set()).update(ids)
+            # A standalone pragma comment shields the following line.
+            if text.split("#", 1)[0].strip() == "":
+                suppressed.setdefault(lineno + 1, set()).update(ids)
+        return suppressed
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self._suppressed.get(line, ())
+
+    #: Top-level package of :attr:`module` (``repro`` for
+    #: ``repro.netsim.simulator``), or ``None`` outside a package.
+    @property
+    def package_root(self) -> Optional[str]:
+        return self.module.split(".", 1)[0] if self.module else None
+
+
+class Rule:
+    """Base class: one registered invariant with a stable ID."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope hook — override to restrict a rule to some modules."""
+        return True
+
+
+class FileRule(Rule):
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+@dataclass
+class Registry:
+    """All registered rules, keyed by ID; insertion order is report order."""
+
+    rules: Dict[str, Rule] = field(default_factory=dict)
+
+    def register(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        rule = rule_cls()
+        if not RULE_ID_RE.match(rule.id):
+            raise ValueError(f"rule id {rule.id!r} is not of the form RPxxx")
+        if rule.id in self.rules:
+            raise ValueError(f"duplicate rule id {rule.id}")
+        self.rules[rule.id] = rule
+        return rule_cls
+
+    def select(self, ids: Optional[Sequence[str]] = None) -> List[Rule]:
+        if ids is None:
+            return list(self.rules.values())
+        unknown = [i for i in ids if i not in self.rules]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+        return [self.rules[i] for i in ids]
+
+
+#: The process-wide registry the ``@register`` decorator feeds.
+REGISTRY = Registry()
+register = REGISTRY.register

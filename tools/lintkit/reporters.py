@@ -1,0 +1,72 @@
+"""Violation reporters: human text and machine ``--json``.
+
+The JSON schema is versioned and stable — CI and editor integrations
+key off it::
+
+    {
+      "version": 1,
+      "ok": false,
+      "checked_files": 42,
+      "rules": ["RP101", ...],
+      "counts": {"RP101": 2},
+      "violations": [
+        {"rule": "RP101", "path": "src/x.py", "line": 3, "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from .base import Rule, Violation
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    checked_files: int,
+) -> str:
+    lines: List[str] = [v.render() for v in violations]
+    if violations:
+        counts = Counter(v.rule_id for v in violations)
+        summary = ", ".join(f"{rid}×{n}" for rid, n in sorted(counts.items()))
+        lines.append(
+            f"lintkit: {len(violations)} violation(s) in {checked_files} "
+            f"file(s) [{summary}]"
+        )
+    else:
+        ids = ", ".join(rule.id for rule in rules)
+        lines.append(
+            f"lintkit: OK — {checked_files} file(s) clean under {ids}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    checked_files: int,
+) -> str:
+    counts = Counter(v.rule_id for v in violations)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": not violations,
+        "checked_files": checked_files,
+        "rules": [rule.id for rule in rules],
+        "counts": dict(sorted(counts.items())),
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "path": str(v.path),
+                "line": v.line,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,14 @@
+"""Rule passes. Importing this package registers every rule.
+
+Adding a pass: create a module here, subclass ``FileRule`` or
+``ProjectRule`` with a fresh ``RPxxx`` id, decorate with ``@register``,
+and import the module below. Each invariant family owns a hundred
+block: RP1xx determinism clocks, RP2xx RNG discipline, RP3xx iteration
+order, RP4xx layering, RP5xx shared state.
+"""
+
+from . import wallclock  # noqa: F401  (RP101)
+from . import rng  # noqa: F401  (RP201-RP203)
+from . import iteration  # noqa: F401  (RP301-RP302)
+from . import layering  # noqa: F401  (RP401-RP402)
+from . import mutable_state  # noqa: F401  (RP501-RP502)

@@ -1,0 +1,230 @@
+"""RP301/RP302 — stable iteration order in result-producing modules.
+
+Python sets iterate in hash order, which for ``str`` keys varies with
+``PYTHONHASHSEED`` and across builds; a bare ``for x in some_set`` in a
+module that produces campaign results is a nondeterminism bug waiting
+for a hash-seed change. Dicts preserve insertion order, but a dict
+*comprehension built from an unordered source* inherits that source's
+order, so iterating its ``.keys()`` is equally suspect.
+
+* RP301 — iterating directly over a set literal, set comprehension,
+  ``set(...)``/``frozenset(...)`` call, or a local name bound to one,
+  without a ``sorted()`` wrapper. Membership tests (``x in s``),
+  ``len(s)``, and ``sorted(s)`` are all fine — only *ordered traversal*
+  of an unordered container is flagged.
+* RP302 — ``for k in d.keys()`` (or a comprehension over ``d.keys()``)
+  where ``d`` was bound to a dict comprehension in the same scope.
+
+The analysis is scope-local and last-assignment-wins, trading recall
+for near-zero false positives — the repo convention is that *every*
+cross-boundary iteration is explicitly ``sorted()``.
+
+Scope: ``repro.netsim``, ``repro.core``, ``repro.analysis``,
+``repro.experiments`` — the modules whose outputs feed persisted
+results and reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from ..base import FileContext, FileRule, Violation, register
+from .rng import in_scope
+
+SCOPE_PREFIXES = (
+    "repro.netsim",
+    "repro.core",
+    "repro.analysis",
+    "repro.experiments",
+)
+
+_SET_CALLS = {"set", "frozenset"}
+
+#: Consumers whose result does not depend on traversal order — feeding
+#: an unordered container (or a comprehension over one) straight into
+#: these pins or discards the order, so it is not a violation.
+ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "Counter",
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _SET_CALLS
+    )
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Walks one scope (module / function), tracking set- and
+    dict-comp-bound names, and descends into nested scopes with a fresh
+    tracker (closures over outer unordered names are rare enough that
+    the precision loss is acceptable)."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        self._set_names: Set[str] = set()
+        self._dictcomp_names: Set[str] = set()
+        # Comprehension nodes whose order is pinned/discarded by an
+        # enclosing sorted()/len()/... call (tracked by identity).
+        self._order_pinned: Set[int] = set()
+
+    # -- assignments track provenance ---------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._bind(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind([node.target], node.value)
+        self.generic_visit(node)
+
+    def _bind(self, targets: List[ast.expr], value: ast.expr) -> None:
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            self._set_names.discard(target.id)
+            self._dictcomp_names.discard(target.id)
+            if _is_set_expr(value):
+                self._set_names.add(target.id)
+            elif isinstance(value, ast.DictComp):
+                self._dictcomp_names.add(target.id)
+
+    # -- iteration sites ----------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ORDER_INSENSITIVE_CONSUMERS
+        ):
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    self._order_pinned.add(id(arg))
+        self.generic_visit(node)
+
+    def _visit_comprehension_generators(self, node) -> None:
+        if id(node) not in self._order_pinned:
+            for gen in node.generators:
+                self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node):  # noqa: N802
+        self._visit_comprehension_generators(node)
+
+    def visit_GeneratorExp(self, node):  # noqa: N802
+        self._visit_comprehension_generators(node)
+
+    def visit_DictComp(self, node):  # noqa: N802
+        self._visit_comprehension_generators(node)
+
+    def visit_SetComp(self, node):  # noqa: N802
+        # Building one unordered container from another is fine; only
+        # *ordered traversal* matters, so set comprehensions over sets
+        # are not flagged.
+        self.generic_visit(node)
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if _is_set_expr(iter_node):
+            self._record(
+                iter_node,
+                "RP301",
+                "iteration over an unordered set expression — wrap in "
+                "sorted(...) to pin the order",
+            )
+        elif (
+            isinstance(iter_node, ast.Name)
+            and iter_node.id in self._set_names
+        ):
+            self._record(
+                iter_node,
+                "RP301",
+                f"iteration over set-typed name {iter_node.id!r} — wrap in "
+                "sorted(...) to pin the order",
+            )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr == "keys"
+            and isinstance(iter_node.func.value, ast.Name)
+            and iter_node.func.value.id in self._dictcomp_names
+        ):
+            self._record(
+                iter_node,
+                "RP302",
+                f"iteration over {iter_node.func.value.id}.keys() of a "
+                "comprehension-built dict — the key order is the "
+                "comprehension source's order; wrap in sorted(...)",
+            )
+
+    # -- nested scopes get fresh trackers -----------------------------
+
+    def _enter_scope(self, node) -> None:
+        nested = _ScopeVisitor(self.ctx)
+        for child in ast.iter_child_nodes(node):
+            nested.visit(child)
+        self.violations.extend(nested.violations)
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node):  # noqa: N802
+        self._enter_scope(node)
+
+    def _record(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id=rule_id,
+                path=self.ctx.relative,
+                line=node.lineno,
+                message=message,
+            )
+        )
+
+
+class _IterationRuleBase(FileRule):
+    def applies_to(self, ctx: FileContext) -> bool:
+        return in_scope(ctx, SCOPE_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        visitor = _ScopeVisitor(ctx)
+        visitor.visit(ctx.tree)
+        return [v for v in visitor.violations if v.rule_id == self.id]
+
+
+@register
+class SetIterationRule(_IterationRuleBase):
+    id = "RP301"
+    name = "set-iteration-order"
+    description = (
+        "No direct iteration over set literals/comprehensions (or names "
+        "bound to them) in result-producing modules without sorted()."
+    )
+
+
+@register
+class DictCompKeysRule(_IterationRuleBase):
+    id = "RP302"
+    name = "dictcomp-keys-order"
+    description = (
+        "No iteration over .keys() of a comprehension-built dict without "
+        "sorted() in result-producing modules."
+    )

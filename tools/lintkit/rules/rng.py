@@ -1,0 +1,142 @@
+"""RP201/RP202/RP203 — seeded-RNG discipline in ``repro``.
+
+Every random draw in the reproduction must come from an explicitly
+seeded ``random.Random(seed)`` instance, threaded from the world spec
+(PR 1's serial/parallel bit-identity contract and PR 2's salted fault
+stream both depend on it). Three ways a stray draw sneaks in:
+
+* RP201 — module-level ``random.*`` calls (``random.random()``,
+  ``random.choice()``, ``random.SystemRandom()``...): they draw from the
+  interpreter-global Mersenne Twister whose state depends on import
+  order and on every other caller in the process.
+* RP202 — ``random.Random()`` with no seed argument: seeds from the OS
+  entropy pool, different every run.
+* RP203 — ``random.seed(...)``: mutates the *global* RNG underneath
+  every other module, so even a seeded call is cross-contamination.
+
+Aliased imports (``import random as rnd``, ``from random import
+choice``) are tracked the same way RP101 tracks ``time`` aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..base import FileContext, FileRule, Violation, register
+
+#: Rule scope: any module in these packages (dotted-prefix match).
+SCOPE_PREFIXES = ("repro",)
+
+
+def in_scope(ctx: FileContext, prefixes=SCOPE_PREFIXES) -> bool:
+    if ctx.module is None:
+        return True  # free-standing fixture files are linted as-is
+    return any(
+        ctx.module == p or ctx.module.startswith(p + ".") for p in prefixes
+    )
+
+
+class _RngVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        self._module_aliases: Set[str] = set()
+        # name -> original attr for `from random import X [as Y]`
+        self._direct: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._module_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self._direct[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._module_aliases
+        ):
+            self._check(node, func.attr, f"random.{func.attr}")
+        elif isinstance(func, ast.Name) and func.id in self._direct:
+            original = self._direct[func.id]
+            self._check(node, original, f"random.{original} (as {func.id})")
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, attr: str, shown: str) -> None:
+        if attr == "Random":
+            if not node.args and not node.keywords:
+                self._record(
+                    node,
+                    "RP202",
+                    f"unseeded {shown}() — seeds from OS entropy; pass an "
+                    "explicit seed derived from the world spec",
+                )
+            return  # random.Random(seed) is the sanctioned form
+        if attr == "seed":
+            self._record(
+                node,
+                "RP203",
+                f"{shown}() mutates the process-global RNG — construct a "
+                "local random.Random(seed) instead",
+            )
+            return
+        self._record(
+            node,
+            "RP201",
+            f"global-RNG call {shown}() — draw from an explicitly seeded "
+            "random.Random(seed) instance",
+        )
+
+    def _record(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id=rule_id,
+                path=self.ctx.relative,
+                line=node.lineno,
+                message=message,
+            )
+        )
+
+
+class _RngRuleBase(FileRule):
+    def applies_to(self, ctx: FileContext) -> bool:
+        return in_scope(ctx)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        visitor = _RngVisitor(ctx)
+        visitor.visit(ctx.tree)
+        return [v for v in visitor.violations if v.rule_id == self.id]
+
+
+@register
+class GlobalRngCallRule(_RngRuleBase):
+    id = "RP201"
+    name = "rng-global-call"
+    description = (
+        "No module-level random.* draws in repro — only explicitly seeded "
+        "random.Random(seed) instances."
+    )
+
+
+@register
+class UnseededRandomRule(_RngRuleBase):
+    id = "RP202"
+    name = "rng-unseeded"
+    description = "random.Random() must be constructed with an explicit seed."
+
+
+@register
+class GlobalSeedRule(_RngRuleBase):
+    id = "RP203"
+    name = "rng-global-seed"
+    description = (
+        "random.seed() mutates the interpreter-global RNG and is forbidden."
+    )

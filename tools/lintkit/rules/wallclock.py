@@ -1,0 +1,145 @@
+"""RP101 — no wall-clock reads outside ``repro.telemetry``.
+
+The simulator's virtual clock is the only time source measurement code
+may consult: a stray ``time.time()`` / ``perf_counter()`` in a hot path
+silently breaks the serial-vs-parallel bit-identity contract (wall
+readings differ between runs and can leak into results).
+``repro.telemetry.wall_now()`` wraps the one sanctioned read.
+
+This is the port of the original ``tools/lint_determinism.py``,
+extended to close its aliased-import blind spot: the old linter matched
+the literal names ``time`` / ``datetime``, so ::
+
+    import time as t
+    t.time()            # escaped the old lint; RP101 catches it
+
+    from datetime import datetime as dt
+    dt.now()            # likewise
+
+walked straight past it. RP101 tracks every alias the module binds.
+``strftime``-style formatting of an *existing* timestamp is fine;
+acquiring one is not (``time.sleep`` is also allowed — it does not
+*read* the clock).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..base import FileContext, FileRule, Violation, register
+
+#: Clock-acquiring attributes of the ``time`` module.
+FORBIDDEN_TIME_ATTRS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "time_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+#: Clock-acquiring constructors of ``datetime.datetime`` / ``date``.
+FORBIDDEN_DATETIME_ATTRS = {"now", "today", "utcnow"}
+
+#: The single module allowed to read the wall clock.
+SANCTIONED_MODULE = "repro.telemetry"
+
+
+class _WallClockVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        # Aliases of the `time` module: {"time", "t", ...}
+        self._time_aliases: Set[str] = set()
+        # Aliases of the `datetime` *module*.
+        self._datetime_mod_aliases: Set[str] = set()
+        # Aliases of the `datetime.datetime` / `datetime.date` classes.
+        self._datetime_cls_aliases: Set[str] = set()
+        # Directly imported clock functions: {"perf_counter", "pc", ...}
+        self._direct_reads: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_mod_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in FORBIDDEN_TIME_ATTRS:
+                    bound = alias.asname or alias.name
+                    self._direct_reads[bound] = f"time.{alias.name}"
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in {"datetime", "date"}:
+                    self._datetime_cls_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        elif isinstance(func, ast.Name) and func.id in self._direct_reads:
+            self._record(node, f"{self._direct_reads[func.id]} (as {func.id}())")
+        self.generic_visit(node)
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        value = func.value
+        if isinstance(value, ast.Name):
+            if (
+                value.id in self._time_aliases
+                and func.attr in FORBIDDEN_TIME_ATTRS
+            ):
+                self._record(node, f"time.{func.attr}() (via {value.id})")
+            elif (
+                value.id in self._datetime_cls_aliases
+                and func.attr in FORBIDDEN_DATETIME_ATTRS
+            ):
+                self._record(node, f"datetime.{func.attr}() (via {value.id})")
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._datetime_mod_aliases
+            and value.attr in {"datetime", "date"}
+            and func.attr in FORBIDDEN_DATETIME_ATTRS
+        ):
+            self._record(node, f"datetime.{value.attr}.{func.attr}()")
+
+    def _record(self, node: ast.AST, what: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id="RP101",
+                path=self.ctx.relative,
+                line=node.lineno,
+                message=(
+                    f"wall-clock read {what} — use the simulator clock, or "
+                    "repro.telemetry.wall_now() for observability"
+                ),
+            )
+        )
+
+
+@register
+class WallClockRule(FileRule):
+    id = "RP101"
+    name = "wall-clock"
+    description = (
+        "No wall-clock reads (time.time/perf_counter/datetime.now, including "
+        "aliased imports) outside repro.telemetry."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module != SANCTIONED_MODULE
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        visitor = _WallClockVisitor(ctx)
+        visitor.visit(ctx.tree)
+        return visitor.violations

@@ -1,0 +1,112 @@
+"""File discovery and the multi-pass driver.
+
+``walk_paths`` turns CLI arguments (files or directories) into parsed
+:class:`FileContext` objects — one ``ast.parse`` per file no matter how
+many passes run. ``run_rules`` then applies every selected rule:
+per-file rules stream over each context, project rules see the whole
+set at once (for DAG/cycle analysis). Pragma suppression is applied
+centrally here so individual rules never have to think about it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .base import FileContext, FileRule, ProjectRule, Rule, Violation
+
+#: Directories never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+def module_name(path: Path) -> Optional[str]:
+    """Dotted module name for ``path``, walking up while __init__.py exists.
+
+    ``src/repro/netsim/simulator.py`` -> ``repro.netsim.simulator``;
+    a free-standing script (no enclosing package) -> ``None``.
+    """
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    found_package = False
+    while (parent / "__init__.py").exists():
+        found_package = True
+        parts.append(parent.name)
+        parent = parent.parent
+    if not found_package:
+        return None
+    return ".".join(reversed(parts))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_context(path: Path, root: Optional[Path] = None) -> FileContext:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    relative = path
+    if root is not None:
+        try:
+            relative = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            relative = path
+    return FileContext(path, relative, source, tree, module_name(path))
+
+
+def walk_paths(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> Tuple[List[FileContext], List[Violation]]:
+    """Parse every file once; syntax errors become RP000 violations."""
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            contexts.append(load_context(path, root))
+        except SyntaxError as exc:
+            errors.append(
+                Violation(
+                    rule_id="RP000",
+                    path=path,
+                    line=exc.lineno or 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return contexts, errors
+
+
+def run_rules(
+    contexts: Sequence[FileContext], rules: Sequence[Rule]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            found = rule.check_project(
+                [ctx for ctx in contexts if rule.applies_to(ctx)]
+            )
+            by_path = {ctx.relative: ctx for ctx in contexts}
+            for violation in found:
+                ctx = by_path.get(violation.path)
+                if ctx is not None and ctx.is_suppressed(
+                    violation.rule_id, violation.line
+                ):
+                    continue
+                violations.append(violation)
+        elif isinstance(rule, FileRule):
+            for ctx in contexts:
+                if not rule.applies_to(ctx):
+                    continue
+                for violation in rule.check(ctx):
+                    if ctx.is_suppressed(violation.rule_id, violation.line):
+                        continue
+                    violations.append(violation)
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule_id))
+    return violations
