@@ -9,10 +9,12 @@ test:
 # Invariant lint suite (tools/lintkit): multi-pass AST analysis —
 # RP101 wall-clock reads, RP2xx seeded-RNG discipline, RP3xx stable
 # iteration order, RP4xx layer DAG + import cycles, RP5xx shared
-# mutable state. Exit 1 on any violation; suppress a line with
+# mutable state incl. RP503's NetContext-module counter guard. Covers
+# the tooling itself (tools/, benchmarks/) as well as src/. Exit 1 on
+# any violation; suppress a line with
 # `# lint: ignore[RPxxx] -- justification`.
 lint:
-	$(PYTHON) -m tools.lintkit src
+	$(PYTHON) -m tools.lintkit src tools benchmarks
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

@@ -52,10 +52,10 @@ def measure_probe_throughput(probes: int = 3000, telemetry: bool = False) -> flo
 
     for _ in range(200):  # warm caches/allocator before timing
         probe()
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: ignore[RP101] -- benchmark harness measures wall time by design
     for _ in range(probes):
         probe()
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # lint: ignore[RP101] -- benchmark harness measures wall time by design
     return probes / elapsed
 
 
@@ -71,9 +71,9 @@ def measure_campaign(scale: float, repetitions: int) -> dict:
 
     def timed(workers):
         world = build_world("RU", seed=7, scale=scale)
-        start = time.perf_counter()
+        start = time.perf_counter()  # lint: ignore[RP101] -- benchmark harness measures wall time by design
         campaign = run_campaign(world, config, workers=workers)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # lint: ignore[RP101] -- benchmark harness measures wall time by design
         with tempfile.TemporaryDirectory() as tmp:
             save_campaign(campaign, tmp)
             digest = hashlib.sha256()

@@ -122,9 +122,16 @@ class DNSFuzzer:
         self._strategies = dns_strategies()
 
     def _send(self, endpoint_ip: str, payload: bytes, ttl: int) -> List:
-        sport = next_ephemeral_port()
+        net = self.sim.net_context
+        sport = next_ephemeral_port(net)
         packet = udp_packet(
-            self.client.ip, endpoint_ip, sport, 53, payload=payload, ttl=ttl
+            self.client.ip,
+            endpoint_ip,
+            sport,
+            53,
+            payload=payload,
+            ttl=ttl,
+            net=net,
         )
         received = self.sim.send_from_client(packet)
         self.sim.advance(3.0)

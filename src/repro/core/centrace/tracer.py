@@ -297,11 +297,18 @@ class CenTrace:
         sent_bytes = b""
         retries_used = 0
         wait = cfg.retry_base_wait
+        net = self.sim.net_context
         for attempt in range(cfg.probe_retries + 1):
-            sport = next_ephemeral_port()
+            sport = next_ephemeral_port(net)
             payload = query(domain, txid=(sport * 7919) & 0xFFFF).to_bytes()
             packet = udp_packet(
-                self.client.ip, endpoint_ip, sport, 53, payload=payload, ttl=ttl
+                self.client.ip,
+                endpoint_ip,
+                sport,
+                53,
+                payload=payload,
+                ttl=ttl,
+                net=net,
             )
             sent_bytes = packet.to_bytes()
             retries_used = attempt

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 from ..netmodel import tcp as tcpmod
 from ..netmodel.ip import FLAG_DF, IPHeader
+from ..netmodel.netctx import NetContext, default_context
 from ..netmodel.packet import Packet
 from ..netmodel.tcp import TCPOption, TCPSegment
 
@@ -80,20 +81,15 @@ class DNSBlockAction:
     signature: InjectionSignature = InjectionSignature()
 
 
-# lint: ignore[RP502] -- rewound per work unit by reset_dns_fake_cursor()
-_dns_fake_cursor = [0]
-
-
 def reset_dns_fake_cursor(start: int = 0) -> None:
-    """Rewind the rotating fake-DNS-answer cursor (per-unit determinism).
+    """Deprecated shim: rewind the *default* context's fake-DNS cursor.
 
     Profiles with several ``fake_addresses`` (the GFW-style rotation)
-    advance this cursor once per forged answer. Without a per-unit
-    rewind the answer a measurement sees depends on how many DNS
-    injections ran earlier *in the same process* — serial and parallel
-    campaigns would then rotate differently and break bit-identity.
+    advance a cursor once per forged answer; it now lives on the owning
+    simulator's :class:`~repro.netmodel.netctx.NetContext` — reset that
+    instead (``sim.net_context.reset()``).
     """
-    _dns_fake_cursor[0] = start
+    default_context().reset_dns_fake_cursor(start)
 
 
 def build_dns_injections(
@@ -101,8 +97,17 @@ def build_dns_injections(
     trigger: Packet,
     remaining_ttl: int,
     device_name: str,
+    net: Optional[NetContext] = None,
 ) -> List[Packet]:
-    """Forge DNS responses for a censored query."""
+    """Forge DNS responses for a censored query.
+
+    ``net`` is the owning simulator's identifier context (carried on
+    the :class:`~repro.netsim.interfaces.InspectionContext`); the
+    rotating fake-answer cursor lives there so serial and parallel
+    campaigns rotate identically.
+    """
+    if net is None:
+        net = default_context()
     from ..netmodel.dns import DNSAnswer, DNSMessage, QTYPE_A, RCODE_NXDOMAIN
 
     if trigger.udp is None:
@@ -127,8 +132,7 @@ def build_dns_injections(
         if action.nxdomain:
             response.rcode = RCODE_NXDOMAIN
         else:
-            cursor = _dns_fake_cursor[0]
-            _dns_fake_cursor[0] = cursor + 1
+            cursor = net.next_dns_fake_index()
             address = action.fake_addresses[
                 cursor % len(action.fake_addresses)
             ]
@@ -162,18 +166,10 @@ def build_dns_injections(
     return forged
 
 
-# lint: ignore[RP502] -- rewound per work unit by reset_sequential_ip_id()
-_sequential_ip_id = [0x1000]
-
-
-def _next_sequential_id() -> int:
-    _sequential_ip_id[0] = (_sequential_ip_id[0] + 1) & 0xFFFF
-    return _sequential_ip_id[0]
-
-
 def reset_sequential_ip_id(start: int = 0x1000) -> None:
-    """Rewind the shared IPID_SEQUENTIAL counter (per-unit determinism)."""
-    _sequential_ip_id[0] = start
+    """Deprecated shim: rewind the *default* context's IPID_SEQUENTIAL
+    stream; simulated injections draw from ``sim.net_context``."""
+    default_context().reset_sequential_ip_id(start)
 
 
 def build_injections(
@@ -181,16 +177,21 @@ def build_injections(
     trigger: Packet,
     remaining_ttl: int,
     device_name: str,
+    net: Optional[NetContext] = None,
 ) -> Tuple[List[Packet], List[Packet]]:
     """Materialize the forged packets for one trigger.
 
     Returns ``(to_client, to_server)``. Forged packets to the client are
     spoofed from the endpoint's address; those to the server are spoofed
     from the client's address, matching how commercial devices tear down
-    both flow ends.
+    both flow ends. ``net`` is the owning simulator's identifier
+    context (carried on the inspection context); the IPID_SEQUENTIAL
+    stream lives there.
     """
     if not action.is_injecting() or trigger.tcp is None:
         return [], []
+    if net is None:
+        net = default_context()
     sig = action.signature
     segment = trigger.tcp
     payload_len = len(segment.payload)
@@ -202,7 +203,7 @@ def build_injections(
             return sig.ip_id_value
         if sig.ip_id_mode == IPID_ECHO:
             return trigger.ip.identification
-        return _next_sequential_id()
+        return net.next_sequential_ip_id()
 
     def injected_ttl() -> int:
         if sig.ttl_mode == TTL_COPY:

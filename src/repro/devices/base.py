@@ -175,7 +175,7 @@ class CensorshipDevice(LinkDevice):
         self.stats.triggered += 1
         verdict = Verdict(note=f"{self.name}:dns:{rule.domain}")
         verdict.inject_to_client = build_dns_injections(
-            self.action_dns, packet, ctx.remaining_ttl, self.name
+            self.action_dns, packet, ctx.remaining_ttl, self.name, net=ctx.net
         )
         if self.in_path and self.action_dns.drop_query:
             verdict.drop = True
@@ -197,7 +197,7 @@ class CensorshipDevice(LinkDevice):
         flow = packet.flow_key()
         if packet.tcp.payload and self.injections.may_inject(flow):
             to_client, to_server = build_injections(
-                action, packet, ctx.remaining_ttl, self.name
+                action, packet, ctx.remaining_ttl, self.name, net=ctx.net
             )
             verdict.inject_to_client = to_client
             verdict.inject_to_server = to_server
@@ -206,7 +206,7 @@ class CensorshipDevice(LinkDevice):
             # Residual handling of handshake packets: injecting devices
             # reset them; the client sees the connection refused.
             to_client, to_server = build_injections(
-                action, packet, ctx.remaining_ttl, self.name
+                action, packet, ctx.remaining_ttl, self.name, net=ctx.net
             )
             verdict.inject_to_client = to_client
         if self.in_path and action.drop_original:

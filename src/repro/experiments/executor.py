@@ -15,10 +15,12 @@ Two properties make that possible:
 2. Every unit starts from the same canonical state regardless of which
    process — or in what order — executes it. :func:`prepare_unit`
    resets all cross-measurement mutable state (simulator clock/RNG/
-   stacks/capture, device residual and injection tracking, the global
-   ephemeral-port, IP-ID and injected-IP-ID counters) and re-seeds the
-   simulator RNG from a digest of the unit's content. A unit's result
-   is then a function of (world spec, unit) alone.
+   stacks/capture, device residual and injection tracking, and the
+   simulator-owned :class:`~repro.netmodel.netctx.NetContext` whose
+   streams supply every IP ID, ephemeral port, injected sequential
+   IP ID and fake-DNS cursor value) and re-seeds the simulator RNG
+   from a digest of the unit's content. A unit's result is then a
+   function of (world spec, unit) alone.
 
 Results are merged back in canonical work-unit order, so callers never
 observe scheduling. Serial execution (``workers=None``) goes through
@@ -38,10 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cenfuzz import CenFuzz, EndpointFuzzReport
 from ..core.centrace import CenTrace, CenTraceConfig, CenTraceResult
-from ..devices.actions import reset_dns_fake_cursor, reset_sequential_ip_id
 from ..geo.countries import StudyWorld
-from ..netmodel.packet import reset_ip_ids
-from ..netsim.tcpstack import reset_ephemeral_ports
 from ..telemetry import NULL_TELEMETRY, Telemetry, wall_now
 
 VANTAGE_REMOTE = "remote"
@@ -107,10 +106,12 @@ def prepare_unit(world: StudyWorld, kind: str, key: Sequence[str]) -> None:
     world.sim.reset(rng_seed=unit_seed(world.sim.seed, kind, key))
     for device in world.devices:
         device.reset_state()
-    reset_ephemeral_ports()
-    reset_ip_ids()
-    reset_sequential_ip_id()
-    reset_dns_fake_cursor()
+    # Identifier allocation (IP IDs, ephemeral ports, sequential
+    # injection IDs, the fake-DNS cursor) lives on the world's
+    # NetContext; sim.reset() above already rewound it, but the reset
+    # protocol names it explicitly — it is the contract that replaced
+    # the old module-global counter ritual.
+    world.net_context.reset()
 
 
 # -- unit execution (shared by serial path and workers) ----------------------

@@ -140,6 +140,13 @@ class StudyWorld:
     # cannot be sharded across processes — see experiments/executor.py).
     spec: Optional[WorldSpec] = None
 
+    @property
+    def net_context(self):
+        """The simulator-owned identifier context (IP IDs, ephemeral
+        ports, injection IDs, DNS cursor). The per-unit reset protocol
+        rewinds it via ``world.net_context.reset()``."""
+        return self.sim.net_context
+
     def endpoint_by_ip(self, ip: str) -> Optional[Endpoint]:
         node = self.topology.node_at(ip)
         return node if isinstance(node, Endpoint) else None

@@ -9,33 +9,36 @@ is *not* allowed to read — it exists so tests can assert ground truth.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from .icmp import ICMPMessage
 from .ip import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowKey, IPHeader
+from .netctx import NetContext, default_context
 from .tcp import ACK, FIN, PSH, RST, SYN, TCPSegment
 from .udp import UDPDatagram
 
-_ip_id_counter = itertools.count(1)
 
+def next_ip_id(net: Optional[NetContext] = None) -> int:
+    """A monotonically increasing IP identification value.
 
-def next_ip_id() -> int:
-    """A monotonically increasing IP identification value."""
-    return next(_ip_id_counter) & 0xFFFF
+    Draws from ``net`` when given; otherwise from the process-wide
+    default context. Simulated traffic must always pass the owning
+    simulator's ``net_context`` so a run's identifiers replay
+    bit-identically regardless of what else allocated in this process.
+    """
+    return (net if net is not None else default_context()).next_ip_id()
 
 
 def reset_ip_ids(start: int = 1) -> None:
-    """Rewind the IP-ID counter (deterministic per-measurement replay).
+    """Deprecated shim: rewind the *default* context's IP-ID stream.
 
-    The campaign executor calls this before every work unit so a
-    measurement produces identical identification fields no matter which
-    process — or how many prior measurements — preceded it.
+    Simulated traffic now draws from the owning simulator's
+    :class:`~repro.netmodel.netctx.NetContext`; reset that instead
+    (``sim.net_context.reset()``). This shim only affects packets built
+    outside any simulator.
     """
-    # lint: ignore[RP502] -- this IS the sanctioned per-unit reset hook
-    global _ip_id_counter
-    _ip_id_counter = itertools.count(start)
+    default_context().reset_ip_ids(start)
 
 
 @dataclass
@@ -149,6 +152,7 @@ def tcp_packet(
     tos: int = 0,
     ip_id: Optional[int] = None,
     window: int = 65535,
+    net: Optional[NetContext] = None,
 ) -> Packet:
     """Convenience constructor for a TCP packet."""
     return Packet(
@@ -157,7 +161,11 @@ def tcp_packet(
             dst=dst,
             ttl=ttl,
             tos=tos,
-            identification=next_ip_id() if ip_id is None else ip_id,
+            identification=(
+                (net if net is not None else default_context()).next_ip_id()
+                if ip_id is None
+                else ip_id
+            ),
         ),
         tcp=TCPSegment(
             sport=sport,
@@ -171,10 +179,24 @@ def tcp_packet(
     )
 
 
-def icmp_packet(src: str, dst: str, message: ICMPMessage, *, ttl: int = 64) -> Packet:
+def icmp_packet(
+    src: str,
+    dst: str,
+    message: ICMPMessage,
+    *,
+    ttl: int = 64,
+    net: Optional[NetContext] = None,
+) -> Packet:
     """Convenience constructor for an ICMP packet."""
     return Packet(
-        ip=IPHeader(src=src, dst=dst, ttl=ttl, identification=next_ip_id()),
+        ip=IPHeader(
+            src=src,
+            dst=dst,
+            ttl=ttl,
+            identification=(
+                net if net is not None else default_context()
+            ).next_ip_id(),
+        ),
         icmp=message,
     )
 
@@ -189,6 +211,7 @@ def udp_packet(
     ttl: int = 64,
     tos: int = 0,
     ip_id: Optional[int] = None,
+    net: Optional[NetContext] = None,
 ) -> Packet:
     """Convenience constructor for a UDP packet."""
     return Packet(
@@ -197,7 +220,11 @@ def udp_packet(
             dst=dst,
             ttl=ttl,
             tos=tos,
-            identification=next_ip_id() if ip_id is None else ip_id,
+            identification=(
+                (net if net is not None else default_context()).next_ip_id()
+                if ip_id is None
+                else ip_id
+            ),
         ),
         udp=UDPDatagram(sport=sport, dport=dport, payload=payload),
     )

@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..netmodel.netctx import NetContext
 from ..netmodel.packet import Packet
 
 DIRECTION_FORWARD = "forward"  # client -> endpoint
@@ -27,6 +28,12 @@ class InspectionContext:
     remaining_ttl: int  # the packet's TTL on the wire at this link
     link_index: int  # 0 = link leaving the client
     direction: str = DIRECTION_FORWARD
+    # The owning simulator's identifier context: devices draw forged-
+    # packet IP IDs / DNS cursors from here so injections replay
+    # bit-identically under the per-unit reset protocol. None (a
+    # hand-built context, e.g. in unit tests) falls back to the
+    # process-wide default stream.
+    net: Optional[NetContext] = None
 
 
 @dataclass

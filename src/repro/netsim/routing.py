@@ -50,7 +50,15 @@ class Path:
             raise ValueError("a path needs at least the endpoint hop")
 
     def resolve(self, topology) -> List[object]:
-        """Bind each hop name to its topology node (cached on the path)."""
+        """Bind each hop name to its topology node (memoized on the path).
+
+        A successful resolution is cached in ``nodes`` and returned
+        as-is on every later call: one path resolves at most once, no
+        matter how many transits (forward walk, ICMP returns, injection
+        walks) traverse it.
+        """
+        if self.nodes is not None:
+            return self.nodes
         nodes = []
         for hop in self.hops:
             name = hop.node_name

@@ -20,21 +20,38 @@ Mechanics reproduced from the paper (§4.1):
   packet in later ICMP errors then differs from what was sent (§4.3:
   32.06% of quotes show a TOS delta).
 * Optional per-hop random loss exercises CenTrace's retry logic.
+
+Every packet walk — the client's forward traffic, device forgeries
+carried on to the server, and all return traffic — goes through **one**
+transit engine (:meth:`Simulator._run_transit`). A :class:`Transit`
+names the packet, the path, where on the path the packet enters, and a
+:class:`TransitPolicy` whose bits declare the only semantic differences
+between walk kinds (device inspection, ICMP on expiry, first-link loss,
+router header transforms, endpoint delivery mode). Loss rolls, TTL
+decrement, fault fates, capture and telemetry are therefore provably
+shared: a divergence between directions has to be a declared policy
+bit, not copy-paste drift.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..netmodel import tcp as tcpmod
 from ..netmodel.icmp import time_exceeded
 from ..netmodel.ip import FlowKey
-from ..netmodel.packet import Packet, icmp_packet, next_ip_id
+from ..netmodel.netctx import NetContext, default_context
+from ..netmodel.packet import Packet, icmp_packet
 from ..telemetry import NULL_TELEMETRY
 from .faults import FATE_FAIL_CLOSED, FATE_FAIL_OPEN, FaultPlan, FaultState
-from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
+from .interfaces import (
+    DIRECTION_FORWARD,
+    DIRECTION_REVERSE,
+    InspectionContext,
+    Verdict,
+)
 from .routing import Path
 from .topology import Endpoint, Router, Topology
 
@@ -49,6 +66,101 @@ class CaptureRecord:
     detail: str
 
 
+@dataclass(frozen=True, slots=True)
+class TransitPolicy:
+    """The declared semantic differences between packet-walk kinds.
+
+    The transit engine runs the same hop loop for every walk; these
+    bits are the *only* places the walks may diverge. Capture labels
+    ride along so the pcap-like log keeps naming the walk kind.
+    """
+
+    direction: str  # traversal orientation (forward / reverse)
+    inspect_devices: bool = False  # link devices see the packet (+ fault fates)
+    emit_icmp_on_expiry: bool = False  # routers answer TTL expiry with ICMP
+    loss_on_first_link: bool = True  # roll loss on the entry link too
+    apply_router_transforms: bool = False  # TOS / IP-flag rewrites en route
+    deliver_via_services: bool = False  # resolver + TCP stack vs stack only
+    loss_event: str = "loss"  # capture label for a lost packet
+    expiry_event: str = "ttl-expired"  # capture label for TTL expiry
+    expiry_counter: Optional[str] = None  # telemetry counter for silent expiry
+
+
+#: Client traffic toward the endpoint: full semantics — loss on every
+#: link, device inspection with fault fates, ICMP Time Exceeded on
+#: expiry, router header transforms, resolver/TCP-stack delivery.
+POLICY_FORWARD = TransitPolicy(
+    direction=DIRECTION_FORWARD,
+    inspect_devices=True,
+    emit_icmp_on_expiry=True,
+    loss_on_first_link=True,
+    apply_router_transforms=True,
+    deliver_via_services=True,
+    loss_event="loss",
+    expiry_event="ttl-expired",
+)
+
+#: A device forgery carried the rest of the way to the endpoint. Not
+#: re-inspected by other devices; its first link is the device's own
+#: attachment (no loss roll); expiry dies silently — the ICMP error
+#: would go to the spoofed source, not our client. The endpoint's TCP
+#: stack still reacts (e.g. RST for data on an unknown flow).
+POLICY_INJECTED_TO_SERVER = TransitPolicy(
+    direction=DIRECTION_FORWARD,
+    inspect_devices=False,
+    emit_icmp_on_expiry=False,
+    loss_on_first_link=False,
+    apply_router_transforms=True,
+    deliver_via_services=False,
+    loss_event="loss-injected",
+    expiry_event="injected-ttl-expired",
+    expiry_counter="sim.injected_ttl_expired",
+)
+
+#: Return traffic toward the client: endpoint responses, router ICMP
+#: errors and device injections to the client. Routers decrement TTL
+#: but do not transform headers or answer expiry (the resulting ICMP
+#: would chase a spoofed source); every link rolls loss, including the
+#: final link into the client.
+POLICY_REVERSE = TransitPolicy(
+    direction=DIRECTION_REVERSE,
+    inspect_devices=False,
+    emit_icmp_on_expiry=False,
+    loss_on_first_link=True,
+    apply_router_transforms=False,
+    deliver_via_services=False,
+    loss_event="loss-reverse",
+    expiry_event="reverse-ttl-expired",
+    expiry_counter="sim.reverse_ttl_expired",
+)
+
+
+#: Sentinel hop index for the link from hop 0 back into the client.
+CLIENT_LINK = -1
+
+
+@dataclass(slots=True)
+class Transit:
+    """One packet's traversal: where it enters a path and under which
+    policy it walks.
+
+    ``start_index`` is direction-dependent, matching how devices and
+    nodes are indexed on a :class:`~repro.netsim.routing.Path`:
+
+    * forward-direction policies enter on the link leading to hop
+      ``start_index`` and proceed toward the endpoint;
+    * the reverse policy treats ``start_index`` as the hop already
+      *behind* the packet — it still has to cross hops
+      ``start_index - 1 .. 0`` and the final client link.
+    """
+
+    packet: Packet
+    path: Path
+    start_index: int
+    policy: TransitPolicy
+    client_ip: str
+
+
 class Simulator:
     """Walks packets through a :class:`Topology`."""
 
@@ -61,6 +173,7 @@ class Simulator:
         capture: bool = False,
         per_packet_time: float = 0.01,
         fault_plan: Optional[FaultPlan] = None,
+        net_context: Optional[NetContext] = None,
     ) -> None:
         self.topology = topology
         self.seed = seed
@@ -73,6 +186,13 @@ class Simulator:
         self._endpoint_stacks: Dict[str, "EndpointStack"] = {}
         self.fault_plan: Optional[FaultPlan] = None
         self._faults: Optional[FaultState] = None
+        # The simulator owns the identifier context for everything that
+        # allocates on its behalf: client connections (ephemeral ports,
+        # IP IDs), endpoint stacks, router ICMP, resolver replies and
+        # device forgeries. One per-simulator stream, reset per work
+        # unit, is what makes serial and parallel campaigns allocate
+        # identifiers in the same interleaved order.
+        self.net_context = net_context if net_context is not None else NetContext()
         # Observability sink (repro.telemetry). NULL_TELEMETRY keeps the
         # hot path allocation-free; counters never influence the walk,
         # the clock or any RNG stream, so instrumented and
@@ -108,6 +228,9 @@ class Simulator:
         self._rng = random.Random(seed)
         self._endpoint_stacks.clear()
         self.capture.clear()
+        # Rewind identifier allocation in place (never rebind: stacks
+        # and connections hold references to this context).
+        self.net_context.reset()
         if self._faults is not None:
             # Fault state (token buckets, churn counters, the fault
             # RNG) is part of the replayed state: rebuilding it here is
@@ -136,7 +259,7 @@ class Simulator:
     def _stack_for(self, endpoint: Endpoint) -> "EndpointStack":
         stack = self._endpoint_stacks.get(endpoint.ip)
         if stack is None:
-            stack = EndpointStack(endpoint)
+            stack = EndpointStack(endpoint, net=self.net_context)
             self._endpoint_stacks[endpoint.ip] = stack
         return stack
 
@@ -166,7 +289,9 @@ class Simulator:
             path_seed = faults.path_seed(self.seed)
         path = route.select(flow, seed=path_seed)
         deliveries: List[Packet] = []
-        self._walk_forward(packet, path, deliveries, client_ip)
+        self._run_transit(
+            Transit(packet, path, 0, POLICY_FORWARD, client_ip), deliveries
+        )
         if faults is not None:
             deliveries = faults.shape_deliveries(deliveries, self._clone)
         tel = self.telemetry
@@ -209,103 +334,178 @@ class Simulator:
             return faults.link_lost(node)
         return self.loss_rate > 0 and self._rng.random() < self.loss_rate
 
-    @property
-    def _lossy(self) -> bool:
-        faults = self._faults
-        if faults is not None and faults.per_link_loss:
-            return True
-        return self.loss_rate > 0
+    def _run_transit(self, transit: Transit, deliveries: List[Packet]) -> None:
+        """THE hop loop: walk one :class:`Transit` to completion.
 
-    def _walk_forward(
-        self,
-        packet: Packet,
-        path: Path,
-        deliveries: List[Packet],
-        client_ip: str,
-        start_index: int = 0,
-    ) -> None:
-        """Walk ``packet`` from link ``start_index`` toward the endpoint."""
+        Every packet the simulator moves — forward client traffic,
+        injected forgeries continuing to the server, and all return
+        traffic — runs through this loop. Each hop applies the same
+        staged pipeline, with :class:`TransitPolicy` bits gating the
+        stages:
+
+        1. **link loss** — one RNG roll per link crossed (the entry
+           link only if ``loss_on_first_link``; the reverse walk also
+           rolls the final link into the client);
+        2. **fault fates + device inspection** — only if
+           ``inspect_devices``; fail-open skips the device, fail-closed
+           swallows in-path packets, verdicts may drop and inject;
+        3. **node arrival** — routers decrement TTL (expiry handled per
+           ``emit_icmp_on_expiry``) and optionally transform headers;
+           an endpoint terminates a forward-direction walk via
+           :meth:`_deliver_to_endpoint`; the client link terminates a
+           reverse walk by appending to ``deliveries``. Interior
+           non-router hops are transparent to reverse traffic.
+
+        This loop is the simulator's hottest code: policy bits and
+        instance attributes are hoisted into locals once per transit,
+        and the reverse walk's final client link (:data:`CLIENT_LINK`)
+        is handled after the loop so the per-hop body never tests for
+        it.
+        """
+        policy = transit.policy
+        packet = transit.packet
+        path = transit.path
+        start_index = transit.start_index
+        client_ip = transit.client_ip
         ttl = packet.ip.ttl
         nodes = path.nodes
         if nodes is None:
             nodes = path.resolve(self.topology)
+        hops = path.hops
         capture = self._capture_enabled
-        lossy = self._lossy
         faults = self._faults
-        flaky = faults is not None and faults.plan.flaky_devices is not None
+        lossy = (
+            faults is not None and faults.per_link_loss
+        ) or self.loss_rate > 0
+        inspect = policy.inspect_devices
+        flaky = (
+            inspect
+            and faults is not None
+            and faults.plan.flaky_devices is not None
+        )
         tel = self.telemetry
         telemetry_on = tel.enabled
-        # TTL spent before reaching start_index (for injected-to-server
-        # packets this is 0: they start fresh at the device).
-        for index in range(start_index, len(path.hops)):
-            hop = path.hops[index]
+        forward = policy.direction == DIRECTION_FORWARD
+        loss_on_entry = policy.loss_on_first_link
+        apply_transforms = policy.apply_router_transforms
+        if forward:
+            # Enter on the link leading to hop start_index, proceed
+            # toward the endpoint.
+            indices = range(start_index, len(hops))
+        else:
+            # start_index is the hop already behind the packet: cross
+            # hops start_index-1 .. 0, then the client link (below).
+            indices = range(start_index - 1, -1, -1)
+        for index in indices:
             node = nodes[index]
-            # 1. The link leading to this hop: loss, then devices.
-            if lossy and self._link_lost(node):
+            # 1. The link leading to this hop: loss roll.
+            if (
+                lossy
+                and (loss_on_entry or index != start_index)
+                and self._link_lost(node)
+            ):
                 if telemetry_on:
                     tel.count("sim.packets_lost")
                 if capture:
-                    self._record(hop.node_name, "loss", packet.brief())
-                return
-            for device in hop.link_devices:
-                if flaky:
-                    if telemetry_on:
-                        tel.count("sim.fault_device_rolls")
-                    fate = faults.device_fate(device)
-                    if fate == FATE_FAIL_OPEN:
-                        # Enforcement lapses: the packet passes without
-                        # inspection (the device also misses any state
-                        # it would have built from this packet).
-                        if capture:
-                            self._record(
-                                device.name, "fail-open", packet.brief()
-                            )
-                        continue
-                    if fate == FATE_FAIL_CLOSED and device.in_path:
-                        if capture:
-                            self._record(
-                                device.name, "fail-closed", packet.brief()
-                            )
-                        return
-                ctx = InspectionContext(
-                    clock=self.clock,
-                    remaining_ttl=ttl,
-                    link_index=index,
-                    direction=DIRECTION_FORWARD,
-                )
-                verdict = device.inspect(packet, ctx)
-                if telemetry_on:
-                    tel.count("sim.device_inspections")
-                    if verdict.acted:
-                        tel.count("sim.device_actions")
-                if capture and verdict.acted:
                     self._record(
-                        device.name, "device", f"{verdict.note} {packet.brief()}"
+                        hops[index].node_name,
+                        policy.loss_event,
+                        packet.brief(),
                     )
-                self._dispatch_injections(
-                    verdict, path, index, deliveries, client_ip
-                )
-                if verdict.drop and device.in_path:
+                return
+            # 2. Devices on the link (fault fates, then inspection).
+            if inspect:
+                for device in hops[index].link_devices:
+                    if flaky:
+                        if telemetry_on:
+                            tel.count("sim.fault_device_rolls")
+                        fate = faults.device_fate(device)
+                        if fate == FATE_FAIL_OPEN:
+                            # Enforcement lapses: the packet passes
+                            # without inspection (the device also misses
+                            # any state it would have built from it).
+                            if capture:
+                                self._record(
+                                    device.name, "fail-open", packet.brief()
+                                )
+                            continue
+                        if fate == FATE_FAIL_CLOSED and device.in_path:
+                            if capture:
+                                self._record(
+                                    device.name, "fail-closed", packet.brief()
+                                )
+                            return
+                    ctx = InspectionContext(
+                        clock=self.clock,
+                        remaining_ttl=ttl,
+                        link_index=index,
+                        direction=policy.direction,
+                        net=self.net_context,
+                    )
+                    verdict = device.inspect(packet, ctx)
                     if telemetry_on:
-                        tel.count("sim.device_drops")
-                    return
-            # 2. Arrive at the node.
+                        tel.count("sim.device_inspections")
+                        if verdict.acted:
+                            tel.count("sim.device_actions")
+                    if capture and verdict.acted:
+                        self._record(
+                            device.name,
+                            "device",
+                            f"{verdict.note} {packet.brief()}",
+                        )
+                    self._dispatch_injections(
+                        verdict, path, index, deliveries, client_ip
+                    )
+                    if verdict.drop and device.in_path:
+                        if telemetry_on:
+                            tel.count("sim.device_drops")
+                        return
+            # 3. Arrive at the node.
             if isinstance(node, Router):
                 ttl -= 1
                 if ttl <= 0:
                     self._expire_at_router(
-                        node, packet, path, index, deliveries, client_ip
+                        node,
+                        packet,
+                        path,
+                        index,
+                        deliveries,
+                        client_ip,
+                        policy,
                     )
                     return
-                self._apply_router_transforms(node, packet)
-            elif isinstance(node, Endpoint):
-                packet.ip.ttl = ttl
-                self._deliver_to_endpoint(
-                    node, packet, path, index, deliveries, client_ip
-                )
+                if apply_transforms:
+                    self._apply_router_transforms(node, packet)
+            elif forward:
+                if isinstance(node, Endpoint):
+                    packet.ip.ttl = ttl
+                    self._deliver_to_endpoint(
+                        node,
+                        packet,
+                        path,
+                        index,
+                        deliveries,
+                        client_ip,
+                        policy,
+                    )
                 return
-            else:  # pragma: no cover - defensive: unknown hop node
-                return
+            # Reverse traffic passes interior non-router hops (e.g. an
+            # endpoint mid-path) transparently: no TTL spent.
+        if forward:
+            # A forward walk normally terminates inside the loop; an
+            # empty or endpoint-less path simply times out.
+            return
+        # The reverse walk crossed hop 0: one last loss roll for the
+        # CLIENT_LINK itself (silent — the capture vantage point is the
+        # client, so a packet lost here was never seen), then arrival.
+        if lossy and self._link_lost(None):
+            if telemetry_on:
+                tel.count("sim.packets_lost")
+            return
+        packet.ip = packet.ip.copy(ttl=ttl)
+        if capture:
+            self._record(client_ip, "arrived", packet.brief())
+        deliveries.append(packet)
 
     def _hop_ip(self, path: Path, index: int) -> str:
         nodes = path.nodes
@@ -330,11 +530,18 @@ class Simulator:
         index: int,
         deliveries: List[Packet],
         client_ip: str,
+        policy: TransitPolicy,
     ) -> None:
         """TTL hit zero at ``router``: maybe emit ICMP Time Exceeded."""
         tel = self.telemetry
         if self._capture_enabled:
-            self._record(router.name, "ttl-expired", packet.brief())
+            self._record(router.name, policy.expiry_event, packet.brief())
+        if not policy.emit_icmp_on_expiry:
+            # Injected and reverse traffic dies silently: the ICMP
+            # error would chase the spoofed source, not our client.
+            if tel.enabled and policy.expiry_counter is not None:
+                tel.count(policy.expiry_counter)
+            return
         if not router.responds_icmp:
             if tel.enabled:
                 tel.count("sim.icmp_silent")
@@ -358,9 +565,14 @@ class Simulator:
         packet.ip = packet.ip.copy(ttl=1)
         quoted = packet.to_bytes()
         message = time_exceeded(quoted, policy=router.quoting)
-        response = icmp_packet(router.ip, client_ip, message, ttl=64)
+        response = icmp_packet(
+            router.ip, client_ip, message, ttl=64, net=self.net_context
+        )
         response.emitted_by = router.name
-        self._walk_reverse(response, path, index, deliveries, client_ip)
+        self._run_transit(
+            Transit(response, path, index, POLICY_REVERSE, client_ip),
+            deliveries,
+        )
 
     def _deliver_to_endpoint(
         self,
@@ -370,24 +582,34 @@ class Simulator:
         index: int,
         deliveries: List[Packet],
         client_ip: str,
+        policy: TransitPolicy,
     ) -> None:
         if self._capture_enabled:
             self._record(endpoint.name, "delivered", packet.brief())
-        if packet.is_udp:
-            if endpoint.resolver is not None:
-                for response in endpoint.resolver.handle_query(
-                    packet, endpoint.ip
-                ):
-                    self._walk_reverse(
-                        response, path, index, deliveries, client_ip
-                    )
-            return
-        if not packet.is_tcp:
-            return
+        if policy.deliver_via_services:
+            if packet.is_udp:
+                if endpoint.resolver is not None:
+                    for response in endpoint.resolver.handle_query(
+                        packet, endpoint.ip, net=self.net_context
+                    ):
+                        self._run_transit(
+                            Transit(
+                                response, path, index, POLICY_REVERSE, client_ip
+                            ),
+                            deliveries,
+                        )
+                return
+            if not packet.is_tcp:
+                return
+        # Injected forgeries bypass application services but still meet
+        # the endpoint's TCP stack — e.g. the RST a real stack sends
+        # for injected data on an unknown flow.
         stack = self._stack_for(endpoint)
-        responses = stack.receive(packet, self.clock)
-        for response in responses:
-            self._walk_reverse(response, path, index, deliveries, client_ip)
+        for response in stack.receive(packet, self.clock):
+            self._run_transit(
+                Transit(response, path, index, POLICY_REVERSE, client_ip),
+                deliveries,
+            )
 
     def _dispatch_injections(
         self,
@@ -401,135 +623,38 @@ class Simulator:
         for injected in verdict.inject_to_client:
             # The device sits on the link leading to hop ``link_index``,
             # so its injections must cross every router at indices
-            # link_index-1 .. 0 — exactly what _walk_reverse does when
-            # told the packet originates "at" hop link_index. Walk a
-            # copy: the walk rebinds headers (TTL rewrite on arrival)
+            # link_index-1 .. 0 — exactly what the reverse policy does
+            # when told the packet originates "at" hop link_index. Walk
+            # a copy: the walk rebinds headers (TTL rewrite on arrival)
             # and the device may reuse its injection template.
             if tel.enabled:
                 tel.count("sim.injected_to_client")
-            self._walk_reverse(
-                self._clone(injected), path, link_index, deliveries, client_ip
+            self._run_transit(
+                Transit(
+                    self._clone(injected),
+                    path,
+                    link_index,
+                    POLICY_REVERSE,
+                    client_ip,
+                ),
+                deliveries,
             )
         for injected in verdict.inject_to_server:
+            # Forged packets to the server next arrive at hop
+            # ``link_index`` itself (the device's own link carries no
+            # loss roll) and continue toward the endpoint.
             if tel.enabled:
                 tel.count("sim.injected_to_server")
-            self._walk_injected_to_server(
-                self._clone(injected), path, link_index, deliveries, client_ip
+            self._run_transit(
+                Transit(
+                    self._clone(injected),
+                    path,
+                    link_index,
+                    POLICY_INJECTED_TO_SERVER,
+                    client_ip,
+                ),
+                deliveries,
             )
-
-    def _walk_injected_to_server(
-        self,
-        packet: Packet,
-        path: Path,
-        start_index: int,
-        deliveries: List[Packet],
-        client_ip: str,
-    ) -> None:
-        """Carry a device-forged packet the rest of the way to the endpoint.
-
-        Device injections are not re-inspected by other devices, but
-        they do cross the remaining links (each with its own loss roll)
-        and routers (TTL decrement; expiry dies silently — the ICMP
-        error would go to the spoofed source, not our client). Whatever
-        the endpoint stack answers — e.g. the RST a real stack sends
-        for injected data on an unknown flow — walks back to the
-        client like any other endpoint response.
-        """
-        ttl = packet.ip.ttl
-        nodes = path.nodes
-        if nodes is None:
-            nodes = path.resolve(self.topology)
-        capture = self._capture_enabled
-        lossy = self._lossy
-        # The device sits on the link leading to hop ``start_index``;
-        # the packet next arrives at that hop's node, then continues
-        # across links start_index+1 .. end.
-        for index in range(start_index, len(path.hops)):
-            node = nodes[index]
-            if index > start_index and lossy and self._link_lost(node):
-                if self.telemetry.enabled:
-                    self.telemetry.count("sim.packets_lost")
-                if capture:
-                    self._record(
-                        path.hops[index].node_name,
-                        "loss-injected",
-                        packet.brief(),
-                    )
-                return
-            if isinstance(node, Router):
-                ttl -= 1
-                if ttl <= 0:
-                    if capture:
-                        self._record(
-                            node.name, "injected-ttl-expired", packet.brief()
-                        )
-                    return
-                self._apply_router_transforms(node, packet)
-            elif isinstance(node, Endpoint):
-                packet.ip.ttl = ttl
-                if capture:
-                    self._record(node.name, "delivered", packet.brief())
-                stack = self._stack_for(node)
-                for response in stack.receive(packet, self.clock):
-                    self._walk_reverse(
-                        response, path, index, deliveries, client_ip
-                    )
-                return
-            else:  # pragma: no cover - defensive: unknown hop node
-                return
-
-    def _walk_reverse(
-        self,
-        packet: Packet,
-        path: Path,
-        from_index: int,
-        deliveries: List[Packet],
-        client_ip: str,
-    ) -> None:
-        """Walk ``packet`` from hop ``from_index`` back to the client.
-
-        ``from_index`` is the index of the *last hop already behind* the
-        packet: the packet still has to traverse hops from_index-1 .. 0
-        when it originates at hop ``from_index`` itself... concretely, a
-        packet emitted by the node at ``from_index`` must cross every
-        router at indices < from_index. Routers decrement TTL; a packet
-        that runs out dies silently (the resulting ICMP would go to the
-        spoofed source, not to our client).
-        """
-        ttl = packet.ip.ttl
-        nodes = path.nodes
-        if nodes is None:
-            nodes = path.resolve(self.topology)
-        capture = self._capture_enabled
-        lossy = self._lossy
-        for index in range(from_index - 1, -1, -1):
-            node = nodes[index]
-            if lossy and self._link_lost(node):
-                if self.telemetry.enabled:
-                    self.telemetry.count("sim.packets_lost")
-                if capture:
-                    self._record(
-                        path.hops[index].node_name, "loss-reverse", packet.brief()
-                    )
-                return
-            if isinstance(node, Router):
-                ttl -= 1
-                if ttl <= 0:
-                    if capture:
-                        self._record(
-                            node.name, "reverse-ttl-expired", packet.brief()
-                        )
-                    return
-        # Final link to the client.
-        if lossy and self._link_lost(None):
-            if self.telemetry.enabled:
-                self.telemetry.count("sim.packets_lost")
-            return
-        arrived = packet
-        arrived.ip = arrived.ip.copy(ttl=ttl)
-        if capture:
-            self._record(client_ip, "arrived", arrived.brief())
-        deliveries.append(arrived)
 
 
 class EndpointStack:
@@ -543,8 +668,14 @@ class EndpointStack:
 
     ISN = 1_000_000
 
-    def __init__(self, endpoint: Endpoint) -> None:
+    def __init__(
+        self, endpoint: Endpoint, net: Optional[NetContext] = None
+    ) -> None:
         self.endpoint = endpoint
+        # Reply IP IDs come from the owning simulator's identifier
+        # context (the process-wide default only for hand-built stacks
+        # in unit tests).
+        self.net = net if net is not None else default_context()
         # Ports come from the endpoint's configured services; a web
         # server additionally listens on 80/443. A DNS-only endpoint
         # therefore refuses HTTP handshakes instead of faking them.
@@ -570,7 +701,7 @@ class EndpointStack:
                     dst=packet.ip.src,
                     ttl=64,
                     tos=0,
-                    identification=next_ip_id(),
+                    identification=self.net.next_ip_id(),
                 ),
                 tcp=tcpmod.TCPSegment(
                     sport=segment.dport,

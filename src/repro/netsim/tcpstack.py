@@ -9,35 +9,37 @@ This module provides exactly that workflow on top of the simulator.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..netmodel import tcp as tcpmod
+from ..netmodel.netctx import NetContext, default_context
 from ..netmodel.packet import Packet, tcp_packet
 from .simulator import Simulator
 from .topology import Client
 
-_EPHEMERAL_BASE = 32768
-_EPHEMERAL_PORTS = itertools.count(_EPHEMERAL_BASE)
+_EPHEMERAL_BASE = NetContext.EPHEMERAL_BASE
 
 
-def next_ephemeral_port() -> int:
-    """A fresh client source port (wraps within the ephemeral range)."""
-    port = next(_EPHEMERAL_PORTS)
-    return _EPHEMERAL_BASE + ((port - _EPHEMERAL_BASE) % 28000)
+def next_ephemeral_port(net: Optional[NetContext] = None) -> int:
+    """A fresh client source port (wraps within the ephemeral range).
+
+    Source ports feed the ECMP flow hash, so simulated connections must
+    draw from the owning simulator's ``net_context`` — the per-unit
+    reset of that context is what replays a measurement's path
+    selection bit-identically.
+    """
+    return (net if net is not None else default_context()).next_ephemeral_port()
 
 
 def reset_ephemeral_ports(base: int = _EPHEMERAL_BASE) -> None:
-    """Rewind the shared source-port counter.
+    """Deprecated shim: rewind the *default* context's port stream.
 
-    Source ports feed the ECMP flow hash, so replaying a measurement
-    bit-identically (the campaign executor's per-unit determinism
-    guarantee) requires starting every work unit from the same port.
+    Simulated connections now draw from the owning simulator's
+    :class:`~repro.netmodel.netctx.NetContext`; reset that instead
+    (``sim.net_context.reset()``).
     """
-    # lint: ignore[RP502] -- this IS the sanctioned per-unit reset hook
-    global _EPHEMERAL_PORTS
-    _EPHEMERAL_PORTS = itertools.count(base)
+    default_context().reset_ephemeral_ports(base)
 
 
 @dataclass
@@ -73,7 +75,11 @@ class Connection:
         self.client = client
         self.dst_ip = dst_ip
         self.dst_port = dst_port
-        self.sport = sport if sport is not None else next_ephemeral_port()
+        self.sport = (
+            sport
+            if sport is not None
+            else sim.net_context.next_ephemeral_port()
+        )
         self.established = False
         self.server_isn: Optional[int] = None
         self._next_seq = self.CLIENT_ISN + 1
@@ -96,6 +102,7 @@ class Connection:
                 flags=tcpmod.SYN,
                 seq=self.CLIENT_ISN,
                 ttl=64,
+                net=self.sim.net_context,
             )
             responses = self.sim.send_from_client(syn)
             for response in responses:
@@ -114,6 +121,7 @@ class Connection:
                         seq=self.CLIENT_ISN + 1,
                         ack=self.server_isn + 1,
                         ttl=64,
+                        net=self.sim.net_context,
                     )
                     self.sim.send_from_client(ack)
                     self.established = True
@@ -157,6 +165,7 @@ class Connection:
             ttl=ttl,
             tos=tos,
             payload=payload,
+            net=self.sim.net_context,
         )
         sent_bytes = probe.to_bytes()
         result = ProbeResult(sent=probe, sent_bytes=sent_bytes)
@@ -187,6 +196,7 @@ class Connection:
             seq=self._next_seq,
             ack=(self.server_isn + 1) if self.server_isn is not None else 0,
             ttl=64,
+            net=self.sim.net_context,
         )
         self.sim.send_from_client(fin)
         self.established = False

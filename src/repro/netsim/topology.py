@@ -88,7 +88,9 @@ class Endpoint(Node):
     infrastructural: bool = True
     domains: Tuple[str, ...] = ()
     # Optional DNS resolver (the DNS-censorship extension): an object
-    # with handle_query(packet, endpoint_ip) -> list[Packet].
+    # with handle_query(packet, endpoint_ip, net=None) -> list[Packet];
+    # the simulator passes its NetContext as ``net`` so reply IP IDs
+    # draw from the per-run identifier streams.
     resolver: Optional[object] = None
 
 

@@ -22,6 +22,7 @@ from ..netmodel.dns import (
     RCODE_NXDOMAIN,
     RCODE_SERVFAIL,
 )
+from ..netmodel.netctx import NetContext
 from ..netmodel.packet import Packet, udp_packet
 
 DNS_PORT = 53
@@ -53,8 +54,18 @@ class DNSResolver:
             return synthetic_address(name)
         return None
 
-    def handle_query(self, packet: Packet, endpoint_ip: str) -> List[Packet]:
-        """Answer a UDP DNS query addressed to this resolver."""
+    def handle_query(
+        self,
+        packet: Packet,
+        endpoint_ip: str,
+        net: Optional[NetContext] = None,
+    ) -> List[Packet]:
+        """Answer a UDP DNS query addressed to this resolver.
+
+        ``net`` is the owning simulator's identifier context; reply IP
+        IDs draw from it so responses replay bit-identically under the
+        per-unit reset protocol.
+        """
         if packet.udp is None or packet.udp.dport != DNS_PORT:
             return []
         self.queries_seen += 1
@@ -62,7 +73,9 @@ class DNSResolver:
             message = DNSMessage.from_bytes(packet.udp.payload)
         except (ValueError, Exception):
             return [
-                self._reply(packet, endpoint_ip, DNSMessage(rcode=RCODE_SERVFAIL))
+                self._reply(
+                    packet, endpoint_ip, DNSMessage(rcode=RCODE_SERVFAIL), net
+                )
             ]
         if message.is_response or not message.questions:
             return []
@@ -84,10 +97,15 @@ class DNSResolver:
             response.answers.append(
                 DNSAnswer(question.qname, QTYPE_A, self.answer_ttl, address)
             )
-        return [self._reply(packet, endpoint_ip, response)]
+        return [self._reply(packet, endpoint_ip, response, net)]
 
     @staticmethod
-    def _reply(packet: Packet, endpoint_ip: str, message: DNSMessage) -> Packet:
+    def _reply(
+        packet: Packet,
+        endpoint_ip: str,
+        message: DNSMessage,
+        net: Optional[NetContext] = None,
+    ) -> Packet:
         reply = udp_packet(
             endpoint_ip,
             packet.ip.src,
@@ -95,6 +113,7 @@ class DNSResolver:
             dport=packet.udp.sport,
             payload=message.to_bytes(),
             ttl=64,
+            net=net,
         )
         reply.emitted_by = endpoint_ip
         return reply

@@ -183,11 +183,11 @@ class TestDnsFakeCursorReset:
 
     def test_prepare_unit_rewinds_cursor(self):
         """The executor's per-unit reset covers the DNS cursor too."""
-        from repro.devices import actions
         from repro.experiments.executor import prepare_unit
         from repro.geo.countries import build_kz_world
 
         world = build_kz_world()
-        actions._dns_fake_cursor[0] = 17
+        for _ in range(17):
+            world.net_context.next_dns_fake_index()
         prepare_unit(world, "trace", ("endpoint", "domain"))
-        assert actions._dns_fake_cursor[0] == 0
+        assert world.net_context.next_dns_fake_index() == 0

@@ -1,0 +1,48 @@
+"""Golden campaign digests: the transit-engine refactor contract.
+
+These constants were captured from the three-loop, module-global-counter
+implementation immediately before the unified transit engine and
+NetContext landed. The engine must keep producing byte-identical
+campaign outputs — serial and parallel, with and without fault plans.
+A legitimate behavior change (new measurement semantics) must update
+these constants in the same commit that explains why.
+"""
+
+import pytest
+
+from ..helpers_golden import campaign_digest
+
+GOLDEN = {
+    "az-serial": "08ac7d2654866798149a29ac4208ffef20c0090da786048d56159e33a8e12f51",
+    "az-par2": "08ac7d2654866798149a29ac4208ffef20c0090da786048d56159e33a8e12f51",
+    "az-lossy-serial": "65879e698b82e533650b3d9100513a9436b8ff7a45f609e53897a0f6008e1570",
+    "az-lossy-par2": "65879e698b82e533650b3d9100513a9436b8ff7a45f609e53897a0f6008e1570",
+    "kz-serial": "b136d75b9a0fd408bc6c90e373bc8f4f1e00dff7e40ea9bfd12802f5439ad4e1",
+}
+
+CASES = [
+    ("AZ", 7, None, "az-serial", None),
+    ("AZ", 7, 2, "az-par2", None),
+    ("AZ", 7, None, "az-lossy-serial", "lossy"),
+    ("AZ", 7, 2, "az-lossy-par2", "lossy"),
+    ("KZ", 11, None, "kz-serial", None),
+]
+
+
+@pytest.mark.parametrize(
+    "country,seed,workers,tag,fault_plan", CASES, ids=[c[3] for c in CASES]
+)
+def test_campaign_digest_matches_pre_refactor(
+    tmp_path, country, seed, workers, tag, fault_plan
+):
+    digest, _ = campaign_digest(
+        tmp_path, country, seed, workers, tag, fault_plan=fault_plan
+    )
+    assert digest == GOLDEN[tag]
+
+
+def test_serial_and_parallel_share_a_digest():
+    """Sanity on the table itself: the executor contract (bit-identity
+    across worker counts) is encoded in the constants."""
+    assert GOLDEN["az-serial"] == GOLDEN["az-par2"]
+    assert GOLDEN["az-lossy-serial"] == GOLDEN["az-lossy-par2"]

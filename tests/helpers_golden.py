@@ -1,0 +1,50 @@
+"""Shared golden-digest helper: canonical hash of a campaign's outputs.
+
+The digest covers every byte the campaign persists (traces, fuzz
+reports, banners, meta) in a canonical file order, so any behavioral
+drift in the simulator walk, the measurement tools or the serializers
+shows up as a digest change. Telemetry reports are deliberately
+excluded (``run_report`` stays None without a sink), keeping the digest
+free of wall-clock content.
+"""
+
+import hashlib
+from pathlib import Path
+
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.geo.countries import build_world
+from repro.netsim.faults import FaultPlan
+from repro.persist import save_campaign
+
+
+def campaign_digest(
+    tmp_path: Path,
+    country: str,
+    seed: int,
+    workers,
+    tag: str,
+    *,
+    scale: float = 0.35,
+    fault_plan: str = None,
+    config: CampaignConfig = None,
+):
+    """Run one small campaign and hash its full serialized form."""
+    if config is None:
+        config = CampaignConfig(
+            repetitions=2, max_endpoints=4, fuzz_max_endpoints=2
+        )
+    if fault_plan is not None:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, fault_plan=FaultPlan.from_spec(fault_plan)
+        )
+    world = build_world(country, seed=seed, scale=scale)
+    campaign = run_campaign(world, config, workers=workers)
+    out = tmp_path / tag
+    save_campaign(campaign, str(out))
+    digest = hashlib.sha256()
+    for path in sorted(out.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest(), campaign

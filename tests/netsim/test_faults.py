@@ -54,7 +54,11 @@ from repro.netsim.faults import (
     PRESETS,
 )
 from repro.netsim.interfaces import LinkDevice, Verdict
-from repro.netsim.simulator import EndpointStack
+from repro.netsim.simulator import (
+    POLICY_INJECTED_TO_SERVER,
+    EndpointStack,
+    Transit,
+)
 from repro.netsim.topology import Endpoint, Router, Service
 
 # ---------------------------------------------------------------------------
@@ -462,7 +466,10 @@ class TestSatelliteRegressions:
             FaultPlan(loss=LossProfile(link_rates=(("r4", 1.0),)))
         )
         deliveries = []
-        sim._walk_injected_to_server(forged, path, 2, deliveries, CLIENT_IP)
+        sim._run_transit(
+            Transit(forged, path, 2, POLICY_INJECTED_TO_SERVER, CLIENT_IP),
+            deliveries,
+        )
         assert deliveries == []
         assert sim._faults.counters.packets_lost == 1
         assert not any(r.event == "delivered" for r in sim.capture)
@@ -477,8 +484,11 @@ class TestSatelliteRegressions:
         )
         sim.capture.clear()
         deliveries = []
-        sim._walk_injected_to_server(
-            self._forged(), path, 2, deliveries, CLIENT_IP
+        sim._run_transit(
+            Transit(
+                self._forged(), path, 2, POLICY_INJECTED_TO_SERVER, CLIENT_IP
+            ),
+            deliveries,
         )
         assert any(r.event == "delivered" for r in sim.capture)
 
@@ -510,11 +520,14 @@ class TestSatelliteRegressions:
         assert {80, 443} <= stack.open_ports
 
     def test_dns_retries_are_fresh_paced_queries(self):
+        from repro.netmodel.netctx import NetContext
+
         class _SilentSim:
             clock = 0.0
 
             def __init__(self):
                 self.sent = []
+                self.net_context = NetContext()
 
             def send_from_client(self, packet):
                 self.sent.append(packet)

@@ -60,8 +60,8 @@ class TestWallClock:
         assert found[0].line == 2
 
     def test_aliased_module_import_flagged(self, tmp_path):
-        # The old tools/lint_determinism.py matched the literal name
-        # `time` and let this walk straight past it.
+        # The retired standalone determinism linter matched the literal
+        # name `time` and let this walk straight past it.
         found = lint_module(
             tmp_path, "repro.mod", "import time as t\nx = t.time()\n",
             select=["RP101"],
@@ -383,6 +383,76 @@ class TestMutableState:
 
 
 # ---------------------------------------------------------------------------
+# RP503 NetContext-owned allocator modules
+
+
+class TestNetContextCounters:
+    """The guard that keeps module-global counters from creeping back
+    into the modules whose allocation state moved onto NetContext."""
+
+    def test_itertools_count_flagged(self, tmp_path):
+        found = lint_module(
+            tmp_path,
+            "repro.netmodel.packet",
+            "import itertools\n_ip_id_counter = itertools.count(1)\n",
+            select=["RP503"],
+        )
+        assert rule_ids(found) == ["RP503"]
+        assert "NetContext" in found[0].message
+
+    def test_cursor_list_flagged(self, tmp_path):
+        found = lint_module(
+            tmp_path,
+            "repro.devices.actions",
+            "_dns_fake_cursor = [0]\n",
+            select=["RP503"],
+        )
+        assert rule_ids(found) == ["RP503"]
+
+    def test_global_rebind_flagged(self, tmp_path):
+        found = lint_module(
+            tmp_path,
+            "repro.netsim.tcpstack",
+            "_port = 0\ndef nxt():\n    global _port\n    _port += 1\n",
+            select=["RP503"],
+        )
+        assert rule_ids(found) == ["RP503"]
+
+    def test_constant_cased_singleton_clean(self, tmp_path):
+        # netctx's own module-level default context is a sanctioned
+        # constant-cased singleton.
+        found = lint_module(
+            tmp_path,
+            "repro.netmodel.netctx",
+            "class NetContext:\n    pass\n_DEFAULT_CONTEXT = NetContext()\n",
+            select=["RP503"],
+        )
+        assert found == []
+
+    def test_other_modules_out_of_scope(self, tmp_path):
+        found = lint_module(
+            tmp_path,
+            "repro.netsim.simulator",
+            "import itertools\n_counter = itertools.count()\n",
+            select=["RP503"],
+        )
+        assert found == []
+
+    def test_real_allocator_modules_are_clean(self):
+        targets = [
+            REPO_ROOT / "src" / "repro" / "netmodel" / "netctx.py",
+            REPO_ROOT / "src" / "repro" / "netmodel" / "packet.py",
+            REPO_ROOT / "src" / "repro" / "netsim" / "tcpstack.py",
+            REPO_ROOT / "src" / "repro" / "devices" / "actions.py",
+        ]
+        violations, checked = lintkit.lint(
+            targets, root=REPO_ROOT, select=["RP503"]
+        )
+        assert checked == len(targets)
+        assert violations == []
+
+
+# ---------------------------------------------------------------------------
 # pragmas
 
 
@@ -517,13 +587,6 @@ class TestCli:
         assert payload["ok"] is True
         assert payload["violations"] == []
 
-    def test_deprecated_shim_still_works(self, capsys):
-        sys.path.insert(0, str(REPO_ROOT / "tools"))
-        import lint_determinism  # noqa: E402
-
-        assert lint_determinism.main([str(REPO_ROOT)]) == 0
-
-
 # ---------------------------------------------------------------------------
 # the tree itself
 
@@ -535,5 +598,14 @@ class TestTree:
             [REPO_ROOT / "src"], root=REPO_ROOT
         )
         assert checked > 50
+        rendered = "\n".join(v.render() for v in violations)
+        assert violations == [], f"lintkit violations:\n{rendered}"
+
+    def test_tooling_trees_lint_clean(self):
+        """`make lint` also covers tools/ and benchmarks/."""
+        violations, checked = lintkit.lint(
+            [REPO_ROOT / "tools", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+        )
+        assert checked > 10
         rendered = "\n".join(v.render() for v in violations)
         assert violations == [], f"lintkit violations:\n{rendered}"

@@ -192,3 +192,85 @@ class TestRunReport:
 
     def test_render_empty_report(self):
         assert RunReport().render().startswith("Run report")
+
+
+class TestTransitExpiryCounters:
+    """Telemetry parity for silent TTL expiry: reverse and injected
+    transits count their deaths just like forward expiry does."""
+
+    def _world(self):
+        from .helpers import build_linear_world
+
+        return build_linear_world(n_routers=4, seed=5)
+
+    def test_reverse_expiry_counter(self):
+        from repro.netmodel import tcp as tcpmod
+        from repro.netmodel.packet import tcp_packet
+        from repro.netsim.simulator import POLICY_REVERSE, Transit
+
+        world = self._world()
+        sim = world.sim
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        route = sim.topology.route_between(world.client.ip, world.endpoint.ip)
+        packet = tcp_packet(
+            world.endpoint.ip,
+            world.client.ip,
+            80,
+            40000,
+            flags=tcpmod.SYN | tcpmod.ACK,
+            ttl=1,
+        )
+        deliveries = []
+        sim._run_transit(
+            Transit(packet, route.paths[0], 4, POLICY_REVERSE, world.client.ip),
+            deliveries,
+        )
+        assert deliveries == []
+        assert tel.counters["sim.reverse_ttl_expired"] == 1
+
+    def test_injected_expiry_counter(self):
+        from repro.netmodel import tcp as tcpmod
+        from repro.netmodel.packet import tcp_packet
+        from repro.netsim.simulator import POLICY_INJECTED_TO_SERVER, Transit
+
+        world = self._world()
+        sim = world.sim
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        route = sim.topology.route_between(world.client.ip, world.endpoint.ip)
+        forged = tcp_packet(
+            world.client.ip,
+            world.endpoint.ip,
+            47001,
+            80,
+            flags=tcpmod.PSH | tcpmod.ACK,
+            ttl=1,
+            payload=b"forged",
+        )
+        forged.injected = True
+        deliveries = []
+        sim._run_transit(
+            Transit(
+                forged,
+                route.paths[0],
+                0,
+                POLICY_INJECTED_TO_SERVER,
+                world.client.ip,
+            ),
+            deliveries,
+        )
+        assert deliveries == []
+        assert tel.counters["sim.injected_ttl_expired"] == 1
+
+    def test_counters_absent_without_expiry(self):
+        from repro.netmodel.packet import tcp_packet
+
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        world.sim.send_from_client(
+            tcp_packet(world.client.ip, world.endpoint.ip, 40000, 80, ttl=64)
+        )
+        assert "sim.reverse_ttl_expired" not in tel.counters
+        assert "sim.injected_ttl_expired" not in tel.counters

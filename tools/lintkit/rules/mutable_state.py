@@ -17,15 +17,23 @@ rotating-fake-address cursor that was never rewound per unit).
   rebound via a ``global`` statement. Constants (``UPPER_CASE`` names,
   frozensets, tuples) are exempt — the rule targets state, not tables.
 
-Counters that *are* part of the sanctioned per-unit reset protocol
-(``reset_ip_ids``, ``reset_ephemeral_ports``, ...) carry
-``# lint: ignore[RP502]`` pragmas naming their reset hook, which is the
-point: every piece of process-global state in a hot path is now either
-flagged or explicitly accounted for.
+Identifier allocation (IP IDs, ephemeral ports, sequential injection
+IDs, the fake-DNS cursor) lives on
+:class:`repro.netmodel.netctx.NetContext`, owned by the simulator and
+rewound per work unit — there are no sanctioned module-global counters
+left, and therefore no RP502 pragmas in the allocator modules.
 
-Scope: ``repro.netmodel``, ``repro.netsim``, ``repro.devices``,
-``repro.services``, ``repro.core`` — everything a measurement walks
-per probe.
+* RP503 — module-global counters in the NetContext-owned modules:
+  in ``repro.netmodel.packet``, ``repro.netsim.tcpstack``,
+  ``repro.devices.actions`` (and ``netctx`` itself), *any* module-level
+  binding of a non-constant-cased name to a call or mutable value —
+  ``itertools.count(...)``, a cursor list, a stateful object — or any
+  ``global`` rebind, is flagged. This is the guard that keeps the old
+  counter ritual from creeping back in.
+
+Scope (RP501/RP502): ``repro.netmodel``, ``repro.netsim``,
+``repro.devices``, ``repro.services``, ``repro.core`` — everything a
+measurement walks per probe.
 """
 
 from __future__ import annotations
@@ -211,3 +219,99 @@ class MutableModuleGlobalRule(_StateRuleBase):
         "No module-level mutable globals or 'global' rebinding in hot-path "
         "modules without a per-unit reset hook and justified pragma."
     )
+
+
+# -- RP503: the NetContext modules must stay counter-free -------------------
+
+NETCTX_MODULES = (
+    "repro.netmodel.netctx",
+    "repro.netmodel.packet",
+    "repro.netsim.tcpstack",
+    "repro.devices.actions",
+)
+
+
+class _CounterVisitor(ast.NodeVisitor):
+    """Module-level state-like bindings: calls, mutable values, globals.
+
+    Stricter than RP502 on purpose: in the allocator modules even an
+    ``itertools.count(...)`` or a stateful helper object bound to a
+    non-constant name is a reintroduced module-global counter.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        self._depth = 0
+
+    def _flag(self, node, name: str, what: str) -> None:
+        self.violations.append(
+            Violation(
+                rule_id="RP503",
+                path=self.ctx.relative,
+                line=node.lineno,
+                message=(
+                    f"{what} {name!r} in a NetContext-owned module — "
+                    "identifier allocation belongs on NetContext "
+                    "(owned by the simulator, reset per unit), not in "
+                    "module globals"
+                ),
+            )
+        )
+
+    def _check_binding(self, node, targets, value) -> None:
+        if self._depth or value is None:
+            return
+        if not (_is_mutable_literal(value) or isinstance(value, ast.Call)):
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "__all__" or _is_constant_name(target.id):
+                continue
+            self._flag(node, target.id, "module-level stateful binding")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_binding(node, node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_binding(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._flag(node, name, "'global' rebind of")
+
+    def _descend(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        self._descend(node)
+
+    def visit_AsyncFunctionDef(self, node):  # noqa: N802
+        self._descend(node)
+
+    def visit_ClassDef(self, node):  # noqa: N802
+        self._descend(node)
+
+
+@register
+class NetContextCounterRule(FileRule):
+    id = "RP503"
+    name = "netctx-module-counter"
+    description = (
+        "No module-global counters (or any stateful module-level binding) "
+        "in the NetContext-owned allocator modules; allocation state lives "
+        "on NetContext."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return in_scope(ctx, NETCTX_MODULES)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        visitor = _CounterVisitor(ctx)
+        visitor.visit(ctx.tree)
+        return visitor.violations

@@ -6,9 +6,10 @@ silently breaks the serial-vs-parallel bit-identity contract (wall
 readings differ between runs and can leak into results).
 ``repro.telemetry.wall_now()`` wraps the one sanctioned read.
 
-This is the port of the original ``tools/lint_determinism.py``,
-extended to close its aliased-import blind spot: the old linter matched
-the literal names ``time`` / ``datetime``, so ::
+This pass superseded the repo's first standalone determinism linter
+(removed after a deprecation period) and closes its aliased-import
+blind spot: that script matched the literal names ``time`` /
+``datetime``, so ::
 
     import time as t
     t.time()            # escaped the old lint; RP101 catches it
