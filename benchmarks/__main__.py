@@ -26,12 +26,17 @@ OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_campaign.json"
 REGRESSION_TOLERANCE = 0.20  # fail when >20% slower than baseline
 
 
-def measure_probe_throughput(probes: int = 3000, telemetry: bool = False) -> float:
+def measure_probe_throughput(
+    probes: int = 3000, telemetry: bool = False, batched: bool = True
+) -> float:
     """Probes per second on the canonical 8-hop perf topology.
 
-    ``telemetry=True`` installs an active telemetry sink on the
-    simulator, measuring the overhead of the instrumented path relative
-    to the default NullTelemetry hot path.
+    ``batched=True`` (the headline) routes each connection's sends
+    through the batched packet plane (``sim.batch_engine()``) exactly
+    as CenTrace and CenFuzz do; ``batched=False`` measures the scalar
+    ``_run_transit`` walk as a reference. ``telemetry=True`` installs
+    an active telemetry sink on the simulator, measuring the overhead
+    of the instrumented path relative to the NullTelemetry hot path.
     """
     from repro.netmodel.http import HTTPRequest
     from repro.netsim.tcpstack import open_connection
@@ -43,10 +48,11 @@ def measure_probe_throughput(probes: int = 3000, telemetry: bool = False) -> flo
         from repro.telemetry import Telemetry
 
         sim.set_telemetry(Telemetry())
+    engine = sim.batch_engine() if batched else None
     payload = HTTPRequest.normal("ok.example").build()
 
     def probe() -> None:
-        conn = open_connection(sim, client, endpoint.ip, 80)
+        conn = open_connection(sim, client, endpoint.ip, 80, engine=engine)
         conn.send_payload(payload, ttl=4)
         conn.close()
 
@@ -57,6 +63,35 @@ def measure_probe_throughput(probes: int = 3000, telemetry: bool = False) -> flo
         probe()
     elapsed = time.perf_counter() - start  # lint: ignore[RP101] -- benchmark harness measures wall time by design
     return probes / elapsed
+
+
+def measure_ladder_throughput(probes: int = 6000) -> float:
+    """Probes per second for a batched UDP TTL ladder (array fast path).
+
+    This is the pure array path: whole ladders submitted through
+    ``BatchEngine.run_udp_ladder`` against a resolver endpoint, where
+    packets are only materialized for probes whose terminal event needs
+    one.
+    """
+    from benchmarks.test_perf import _dns_world
+
+    sim, client, endpoint = _dns_world()
+    engine = sim.batch_engine()
+    ttls = list(range(1, 13))
+
+    def ladder() -> None:
+        engine.run_udp_ladder(
+            client.ip, endpoint.ip, 53, ttls, lambda sport: b"\x12\x34q"
+        )
+
+    for _ in range(20):
+        ladder()
+    rounds = max(1, probes // len(ttls))
+    start = time.perf_counter()  # lint: ignore[RP101] -- benchmark harness measures wall time by design
+    for _ in range(rounds):
+        ladder()
+    elapsed = time.perf_counter() - start  # lint: ignore[RP101] -- benchmark harness measures wall time by design
+    return rounds * len(ttls) / elapsed
 
 
 def measure_campaign(scale: float, repetitions: int) -> dict:
@@ -88,7 +123,8 @@ def measure_campaign(scale: float, repetitions: int) -> dict:
         raise SystemExit(
             "FATAL: parallel campaign output differs from serial output"
         )
-    return {
+    cpus = os.cpu_count() or 1
+    result = {
         "country": "RU",
         "scale": scale,
         "repetitions": repetitions,
@@ -96,8 +132,21 @@ def measure_campaign(scale: float, repetitions: int) -> dict:
         "fuzz_reports": len(campaign.fuzz_reports),
         "serial_s": round(serial_s, 3),
         "workers_4_s": round(parallel_s, 3),
-        "speedup_x4": round(serial_s / parallel_s, 3),
+        # The machine the numbers were taken on: a 4-worker "speedup"
+        # is only meaningful with >= 4 cores to spread over.
+        "cpus": cpus,
     }
+    if cpus >= 4:
+        result["speedup_x4"] = round(serial_s / parallel_s, 3)
+    else:
+        # On a 1-core box 4 workers only add IPC overhead; recording a
+        # sub-1.0 "speedup" as if it measured scaling is misleading.
+        result["speedup_x4"] = None
+        result["speedup_note"] = (
+            f"not comparable: only {cpus} cpu(s); "
+            "4-worker run kept for the bit-identity check only"
+        )
+    return result
 
 
 def main(argv=None) -> int:
@@ -120,25 +169,42 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     probes_per_s = measure_probe_throughput()
-    print(f"probe throughput: {probes_per_s:,.0f} probes/s")
+    print(f"probe throughput (batched): {probes_per_s:,.0f} probes/s")
+    scalar_per_s = measure_probe_throughput(batched=False)
+    print(
+        f"probe throughput (scalar reference): {scalar_per_s:,.0f} probes/s "
+        f"({probes_per_s / scalar_per_s:.2f}x batched speedup)"
+    )
     metered_per_s = measure_probe_throughput(telemetry=True)
     print(
         f"probe throughput (telemetry on): {metered_per_s:,.0f} probes/s "
         f"({probes_per_s / metered_per_s:.2f}x overhead factor)"
     )
+    ladder_per_s = measure_ladder_throughput()
+    print(f"udp ladder throughput (array path): {ladder_per_s:,.0f} probes/s")
     campaign = measure_campaign(args.scale, args.repetitions)
+    if campaign["speedup_x4"] is not None:
+        parallel_note = f"({campaign['speedup_x4']}x)"
+    else:
+        parallel_note = "(speedup n/a on this machine)"
     print(
         f"campaign (RU, scale={campaign['scale']}): "
         f"serial {campaign['serial_s']}s, 4 workers "
-        f"{campaign['workers_4_s']}s ({campaign['speedup_x4']}x), "
+        f"{campaign['workers_4_s']}s {parallel_note}, "
         "outputs bit-identical"
     )
 
     current = {
+        # The gated headline: the workload CenTrace/CenFuzz actually
+        # run (fresh connection + TTL-limited payload + close) through
+        # the batched packet plane.
         "probe_throughput_per_s": round(probes_per_s, 1),
-        # Informational (not gated): the same workload with an active
-        # telemetry sink, recorded so overhead drift is visible.
+        # Informational (not gated): the same workload on the scalar
+        # engine, the instrumented (telemetry-on) batched path, and the
+        # pure array ladder.
+        "probe_throughput_scalar_per_s": round(scalar_per_s, 1),
         "probe_throughput_telemetry_per_s": round(metered_per_s, 1),
+        "udp_ladder_throughput_per_s": round(ladder_per_s, 1),
         "campaign": campaign,
         "machine": {
             "cpus": os.cpu_count(),
@@ -160,18 +226,21 @@ def main(argv=None) -> int:
         print(f"no baseline at {BASELINE_PATH}; run with --update to create")
         return 0
     baseline = json.loads(BASELINE_PATH.read_text())
-    floor = baseline["probe_throughput_per_s"] * (1 - REGRESSION_TOLERANCE)
+    base_rate = baseline["probe_throughput_per_s"]
+    delta = (probes_per_s - base_rate) / base_rate
+    print(
+        f"delta vs committed baseline: {delta:+.1%} "
+        f"({probes_per_s:,.0f}/s vs {base_rate:,.0f}/s)"
+    )
+    floor = base_rate * (1 - REGRESSION_TOLERANCE)
     if probes_per_s < floor:
         print(
             f"FAIL: probe throughput {probes_per_s:,.0f}/s is >"
             f"{REGRESSION_TOLERANCE:.0%} below baseline "
-            f"{baseline['probe_throughput_per_s']:,.0f}/s"
+            f"{base_rate:,.0f}/s"
         )
         return 1
-    print(
-        f"OK: within {REGRESSION_TOLERANCE:.0%} of baseline "
-        f"{baseline['probe_throughput_per_s']:,.0f}/s"
-    )
+    print(f"OK: within {REGRESSION_TOLERANCE:.0%} of baseline {base_rate:,.0f}/s")
     return 0
 
 

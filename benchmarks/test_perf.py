@@ -41,9 +41,49 @@ def _world(with_device=True):
     return Simulator(topo, seed=1), client, endpoint
 
 
+def _dns_world():
+    """A resolver endpoint behind 8 routers (the UDP ladder target)."""
+    from repro.services.dnsresolver import DNSResolver
+
+    topo = Topology("perf-dns")
+    client = topo.add_client(Client("c", "100.64.0.1", asn=1))
+    routers = [
+        topo.add_router(Router(f"r{i}", f"100.71.{i}.1", asn=2))
+        for i in range(8)
+    ]
+    endpoint = topo.add_endpoint(
+        Endpoint(
+            "e",
+            "100.96.0.1",
+            asn=9,
+            resolver=DNSResolver(zone={"ok.example": "93.184.216.34"}),
+            services={53: "dns"},
+        )
+    )
+    hops = [Hop(r.name) for r in routers]
+    hops.append(Hop(endpoint.name))
+    topo.add_route(client.ip, endpoint.ip, Route([Path(hops)]))
+    return Simulator(topo, seed=1), client, endpoint
+
+
 def test_perf_probe_roundtrip(benchmark):
     """One TTL-limited probe over a fresh connection (the unit CenTrace
-    spends thousands of)."""
+    spends thousands of), through the batched packet plane."""
+    sim, client, endpoint = _world(with_device=False)
+    engine = sim.batch_engine()
+    payload = HTTPRequest.normal("ok.example").build()
+
+    def probe():
+        conn = open_connection(sim, client, endpoint.ip, 80, engine=engine)
+        conn.send_payload(payload, ttl=4)
+        conn.close()
+
+    benchmark(probe)
+
+
+def test_perf_probe_roundtrip_scalar(benchmark):
+    """The same probe on the scalar engine (the batched path's
+    reference point)."""
     sim, client, endpoint = _world(with_device=False)
     payload = HTTPRequest.normal("ok.example").build()
 
@@ -53,6 +93,21 @@ def test_perf_probe_roundtrip(benchmark):
         conn.close()
 
     benchmark(probe)
+
+
+def test_perf_udp_ladder_batched(benchmark):
+    """One batched TTL ladder (12 UDP probes) through run_udp_ladder —
+    the array fast path where packets are materialized lazily."""
+    sim, client, endpoint = _dns_world()
+    engine = sim.batch_engine()
+    ttls = list(range(1, 13))
+
+    def ladder():
+        engine.run_udp_ladder(
+            client.ip, endpoint.ip, 53, ttls, lambda sport: b"\x12\x34q"
+        )
+
+    benchmark(ladder)
 
 
 def test_perf_centrace_measurement(benchmark):

@@ -139,6 +139,10 @@ class CenTrace:
         self.asdb = asdb
         self.config = config or CenTraceConfig()
         self.matcher = blockpage_matcher or DEFAULT_MATCHER
+        # All probe traffic goes through the batched packet plane; the
+        # engine transparently falls back to the scalar walk for worlds
+        # it cannot fast-path (fault plans, capture, devices mid-path).
+        self.engine = sim.batch_engine()
 
     # -- public API -------------------------------------------------------
 
@@ -201,7 +205,8 @@ class CenTrace:
         timeout_streak = 0
         streak_start_ttl = 0
         past_terminating = 0
-        with self.sim.telemetry.span("centrace.sweep", sim=self.sim):
+        with self.sim.telemetry.span("centrace.sweep", sim=self.sim), \
+                self.engine.batch("centrace.sweep"):
             for ttl in range(1, cfg.max_ttl + 1):
                 if protocol == PROTO_DNS:
                     probe = self._probe_dns(endpoint_ip, domain, ttl)
@@ -253,12 +258,16 @@ class CenTrace:
         self, endpoint_ip: str, port: int, payload: bytes, ttl: int
     ) -> ProbeObservation:
         """One TTL-limited probe over a fresh TCP connection."""
-        conn = open_connection(self.sim, self.client, endpoint_ip, port)
+        conn = open_connection(
+            self.sim, self.client, endpoint_ip, port, engine=self.engine
+        )
         if conn is None:
             # Likely residual censorship from the previous probe: wait
             # it out once and retry before recording a failure.
             self.sim.advance(self.config.wait_after_block)
-            conn = open_connection(self.sim, self.client, endpoint_ip, port)
+            conn = open_connection(
+                self.sim, self.client, endpoint_ip, port, engine=self.engine
+            )
             if conn is None:
                 return ProbeObservation(ttl=ttl, handshake_failed=True)
         result = conn.send_payload(
@@ -312,7 +321,7 @@ class CenTrace:
             )
             sent_bytes = packet.to_bytes()
             retries_used = attempt
-            received = self.sim.send_from_client(packet)
+            received = self.engine.send(packet, wire_bytes=sent_bytes)
             if received:
                 break
             if attempt < cfg.probe_retries and wait > 0:

@@ -54,17 +54,23 @@ class Packet:
     injected: bool = False  # True when a censorship device forged it
 
     def __post_init__(self) -> None:
-        payloads = sum(
-            1 for p in (self.tcp, self.icmp, self.udp) if p is not None
-        )
-        if payloads != 1:
-            raise ValueError("packet must carry exactly one of tcp/icmp/udp")
-        if self.tcp is not None:
+        tcp, icmp, udp = self.tcp, self.icmp, self.udp
+        if tcp is not None:
+            if icmp is not None or udp is not None:
+                raise ValueError(
+                    "packet must carry exactly one of tcp/icmp/udp"
+                )
             self.ip.protocol = PROTO_TCP
-        elif self.udp is not None:
+        elif udp is not None:
+            if icmp is not None:
+                raise ValueError(
+                    "packet must carry exactly one of tcp/icmp/udp"
+                )
             self.ip.protocol = PROTO_UDP
-        else:
+        elif icmp is not None:
             self.ip.protocol = PROTO_ICMP
+        else:
+            raise ValueError("packet must carry exactly one of tcp/icmp/udp")
 
     @property
     def is_tcp(self) -> bool:

@@ -132,9 +132,11 @@ class TCPSegment:
 
     def to_bytes(self, src_ip: str = "0.0.0.0", dst_ip: str = "0.0.0.0") -> bytes:
         """Serialize with checksum over the IPv4 pseudo-header."""
-        opts = b"".join(o.to_bytes() for o in self.options)
-        pad = (-len(opts)) % 4
-        opts += b"\x00" * pad
+        if self.options:
+            opts = b"".join(o.to_bytes() for o in self.options)
+            opts += b"\x00" * ((-len(opts)) % 4)
+        else:
+            opts = b""
         data_offset = (self.BASE_HEADER_LEN + len(opts)) // 4
         header = _TCP_STRUCT.pack(
             self.sport & 0xFFFF,
@@ -157,7 +159,7 @@ class TCPSegment:
             len(segment),
         )
         csum = checksum16(pseudo + segment)
-        return segment[:16] + struct.pack("!H", csum) + segment[18:]
+        return segment[:16] + csum.to_bytes(2, "big") + segment[18:]
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "TCPSegment":

@@ -1,0 +1,768 @@
+"""Batched packet-plane fast path: compiled path plans + array ladders.
+
+The unified transit engine (:meth:`Simulator._run_transit`) walks one
+packet at a time, paying the full staged hop loop — loss roll, device
+stage, node arrival — at every hop even though the vast majority of
+hops are pure routers whose only observable effects are a TTL decrement
+and (possibly) one loss draw. This module removes that per-hop
+interpretation for the common case while reproducing the scalar walk's
+observable behaviour *exactly*:
+
+* :class:`PathPlan` compiles a :class:`~repro.netsim.routing.Path` once
+  into flat per-hop arrays — router flags, cumulative router counts,
+  device attachment points, header-rewrite sites, the terminal hop —
+  so a walk only has to visit its *event* hops (devices, TTL expiry,
+  the endpoint) and can resolve everything between them arithmetically.
+* :class:`BatchEngine.send` is a drop-in replacement for
+  :meth:`Simulator.send_from_client` that walks the plan instead of the
+  hop list. Uniform loss draws are taken from the simulator's RNG in
+  tight in-order loops (one draw per link crossed, exactly the scalar
+  draw order), so the RNG stream stays bit-identical. Full
+  :class:`~repro.netmodel.packet.Packet` clones are materialized
+  lazily — only when a device inspects the packet or a header rewrite
+  / TTL field actually has to differ from the caller's packet.
+* :meth:`BatchEngine.run_udp_ladder` batches a whole TTL ladder of
+  independent single-packet probes as parallel arrays (TTLs, source
+  ports, IP IDs, loss fates), materializing a packet only for probes
+  whose terminal event needs one (a responding router's ICMP quote, an
+  endpoint delivery). Lost probes and silent-router expiries consume
+  their identifier allocations — keeping the NetContext streams
+  bit-identical with the scalar loop — without ever building a packet.
+
+Anything the fast path does not cover falls back *transparently* to the
+scalar engine (``sim.send_from_client`` / ``_run_transit``): fault
+plans (per-link loss profiles, ICMP rate limiting, path churn, flaky
+devices, delivery shaping), capture mode, and injected-to-server
+continuations mid-walk. Correctness therefore never depends on batch
+coverage; the batch hit rate is visible via the
+``sim.batch_fast_path`` / ``sim.batch_scalar_fallback`` counters and
+the per-batch ``sim.batch`` size events.
+
+Like every allocator-adjacent module, this file must hold **no**
+module-level state (lintkit RP503 enforces it): plans are cached on the
+engine, the engine is owned by a simulator, and everything mutable is
+rewound by the per-unit reset protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..netmodel.ip import FlowKey, IPHeader, checksum16
+from ..netmodel.icmp import time_exceeded
+from ..netmodel.packet import Packet, icmp_packet
+from ..netmodel.udp import UDPDatagram
+from .interfaces import DIRECTION_FORWARD, InspectionContext, Verdict
+from .routing import Path
+from .simulator import (
+    POLICY_INJECTED_TO_SERVER,
+    Simulator,
+    Transit,
+)
+from .topology import Endpoint, Router
+
+# Terminal kinds a forward walk can reach (plan-resolved, not searched).
+_EXPIRE = "expire"  # TTL hits zero at a router
+_DELIVER = "deliver"  # first non-router hop is an Endpoint
+_SINK = "sink"  # first non-router hop is neither (walk ends silently)
+_TIMEOUT = "timeout"  # path is all routers and the TTL outlives them
+
+
+def patched_quote(wire_bytes: bytes, ttl: int) -> bytes:
+    """``wire_bytes`` re-serialized as if ``ip.ttl`` were ``ttl``.
+
+    The transport bytes (and their checksum) do not cover the TTL, so
+    only the IP header changes: patch the TTL byte and recompute the
+    header checksum over the 20 header bytes. This is byte-identical to
+    rebuilding the packet with ``ip.copy(ttl=ttl)`` and serializing —
+    the expiry fast path uses it to avoid re-serializing the transport
+    payload for every ICMP quote.
+    """
+    header = bytearray(wire_bytes[: IPHeader.HEADER_LEN])
+    header[8] = ttl & 0xFF
+    header[10:12] = b"\x00\x00"
+    header[10:12] = checksum16(bytes(header)).to_bytes(2, "big")
+    return bytes(header) + wire_bytes[IPHeader.HEADER_LEN :]
+
+
+class PathPlan:
+    """A :class:`Path` compiled to flat arrays for array-speed walks.
+
+    Plans are pure functions of the path and topology (no per-unit
+    state), so they survive ``Simulator.reset`` and are cached on the
+    engine keyed by path identity.
+    """
+
+    __slots__ = (
+        "path",
+        "n_hops",
+        "is_router",
+        "routers_before",
+        "router_hops",
+        "terminal_index",
+        "endpoint",
+        "routers_reachable",
+        "device_hops",
+        "rewrites",
+    )
+
+    def __init__(self, path: Path, topology) -> None:
+        nodes = path.nodes if path.nodes is not None else path.resolve(topology)
+        hops = path.hops
+        self.path = path
+        self.n_hops = len(hops)
+        is_router = []
+        routers_before = [0]
+        terminal_index: Optional[int] = None
+        endpoint: Optional[Endpoint] = None
+        router_hops: List[Tuple[int, Router]] = []
+        rewrites: List[Tuple[int, Optional[int], Optional[int]]] = []
+        count = 0
+        for index, node in enumerate(nodes):
+            router = isinstance(node, Router)
+            is_router.append(router)
+            if router and terminal_index is None:
+                router_hops.append((index, node))
+                if (
+                    node.rewrite_tos is not None
+                    or node.rewrite_ip_flags is not None
+                ):
+                    rewrites.append(
+                        (index, node.rewrite_tos, node.rewrite_ip_flags)
+                    )
+                count += 1
+            elif terminal_index is None:
+                terminal_index = index
+                if isinstance(node, Endpoint):
+                    endpoint = node
+            routers_before.append(count)
+        self.is_router = tuple(is_router)
+        self.routers_before = tuple(routers_before)
+        self.router_hops = tuple(router_hops)
+        self.terminal_index = terminal_index
+        self.endpoint = endpoint
+        self.routers_reachable = (
+            routers_before[terminal_index]
+            if terminal_index is not None
+            else count
+        )
+        last_reachable = (
+            terminal_index if terminal_index is not None else self.n_hops - 1
+        )
+        self.device_hops = tuple(
+            (index, tuple(hop.link_devices))
+            for index, hop in enumerate(hops[: last_reachable + 1])
+            if hop.link_devices
+        )
+        self.rewrites = tuple(rewrites)
+
+
+class BatchEngine:
+    """The batched fast path for one simulator's packet plane.
+
+    One engine per simulator (``sim.batch_engine()``); the measurement
+    tools route their sends through it and frame logical batches (a
+    CenTrace sweep, a CenFuzz endpoint run) so the batch hit rate and
+    size distribution are observable in telemetry.
+    """
+
+    __slots__ = ("sim", "_plans", "_routes", "_batches")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        # id(path) -> (path, plan): the path reference keeps the id stable.
+        self._plans = {}
+        self._routes = {}
+        self._batches = []  # stack of [label, fast, fallback]
+
+    # -- batch framing -------------------------------------------------
+
+    def begin_batch(self, label: str = "") -> None:
+        """Open a logical batch (a sweep, an endpoint run, a ladder)."""
+        self._batches.append([label, 0, 0])
+
+    def end_batch(self) -> None:
+        """Close the innermost batch, emitting its size histogram event."""
+        label, fast, fallback = self._batches.pop()
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count("sim.batches")
+            tel.event(
+                "sim.batch",
+                label=label,
+                size=fast + fallback,
+                fast=fast,
+                fallback=fallback,
+            )
+
+    def reset_batches(self) -> None:
+        """Drop in-flight batch framing (part of ``Simulator.reset``)."""
+        self._batches.clear()
+
+    class _BatchFrame:
+        __slots__ = ("engine",)
+
+        def __init__(self, engine: "BatchEngine") -> None:
+            self.engine = engine
+
+        def __enter__(self) -> "BatchEngine":
+            return self.engine
+
+        def __exit__(self, *exc) -> None:
+            self.engine.end_batch()
+
+    def batch(self, label: str = "") -> "BatchEngine._BatchFrame":
+        """Context manager variant of ``begin_batch``/``end_batch``."""
+        self.begin_batch(label)
+        return BatchEngine._BatchFrame(self)
+
+    def _note(self, fast: bool) -> None:
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.count(
+                "sim.batch_fast_path" if fast else "sim.batch_scalar_fallback"
+            )
+        if self._batches:
+            self._batches[-1][1 if fast else 2] += 1
+
+    # -- plan / route caches -------------------------------------------
+
+    def plan_for(self, path: Path) -> PathPlan:
+        entry = self._plans.get(id(path))
+        if entry is None or entry[0] is not path:
+            entry = (path, PathPlan(path, self.sim.topology))
+            self._plans[id(path)] = entry
+        return entry[1]
+
+    def _route_for(self, src: str, dst: str):
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            route = self.sim.topology.route_between(src, dst)
+            self._routes[key] = route
+        return route
+
+    # -- the per-send fast path ----------------------------------------
+
+    def send(
+        self, packet: Packet, wire_bytes: Optional[bytes] = None
+    ) -> List[Packet]:
+        """Semantically identical to ``sim.send_from_client(packet)``.
+
+        ``wire_bytes``, when the caller already serialized the packet
+        (CenTrace records ``sent_bytes`` for every probe), lets the
+        expiry path derive the ICMP quote by patching the TTL byte
+        instead of re-serializing the transport payload.
+
+        Falls back to the scalar engine whenever a fault plan or
+        capture is active — every fault behaviour (per-link loss
+        profiles, token-bucket ICMP suppression, path churn, flaky
+        device fates, delivery shaping) stays implemented in exactly
+        one place.
+        """
+        sim = self.sim
+        if sim._faults is not None or sim._capture_enabled:
+            self._note(False)
+            return sim.send_from_client(packet)
+        self._note(True)
+        sim.clock += sim.per_packet_time
+        src = packet.ip.src
+        route = self._route_for(src, packet.ip.dst)
+        if len(route.paths) == 1:
+            path = route.paths[0]
+        else:
+            # Same flow hashing as the scalar engine: TCP uses the real
+            # 5-tuple, everything else a degenerate per-pair key.
+            flow = (
+                packet.flow_key()
+                if packet.is_tcp
+                else FlowKey(src, packet.ip.dst, 0, 0, 1)
+            )
+            path = route.select(flow, seed=sim.seed)
+        plan = self.plan_for(path)
+        deliveries: List[Packet] = []
+        self._walk_forward(plan, packet, deliveries, wire_bytes)
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.count("sim.client_packets")
+            if deliveries:
+                tel.count("sim.deliveries", len(deliveries))
+        return deliveries
+
+    def _walk_forward(
+        self,
+        plan: PathPlan,
+        packet: Packet,
+        deliveries: List[Packet],
+        wire_bytes: Optional[bytes],
+    ) -> None:
+        sim = self.sim
+        tel = sim.telemetry
+        tel_on = tel.enabled
+        rate = sim.loss_rate
+        start_ttl = packet.ip.ttl
+        client_ip = packet.ip.src
+        # Resolve the terminal hop arithmetically: the k-th router (if
+        # the TTL runs out), else the first non-router hop, else the
+        # path just ends (timeout).
+        terminal_router: Optional[Router] = None
+        if plan.routers_reachable and start_ttl <= plan.routers_reachable:
+            # A TTL of k expires at the k-th router; anything <= 0 dies
+            # at the first router it meets (the decrement goes negative).
+            ordinal = start_ttl - 1 if start_ttl > 0 else 0
+            last_hop, terminal_router = plan.router_hops[ordinal]
+            terminal = _EXPIRE
+        elif plan.terminal_index is not None:
+            last_hop = plan.terminal_index
+            terminal = _DELIVER if plan.endpoint is not None else _SINK
+        else:
+            last_hop = plan.n_hops - 1
+            terminal = _TIMEOUT
+        walk_pkt: Optional[Packet] = None
+        rewrite_pos = 0
+        cursor = 0  # next link index still owing a loss draw
+        if plan.device_hops:
+            for dev_hop, devices in plan.device_hops:
+                if dev_hop > last_hop:
+                    break
+                if rate > 0:
+                    rnd = sim._rng.random
+                    for _ in range(dev_hop + 1 - cursor):
+                        if rnd() < rate:
+                            if tel_on:
+                                tel.count("sim.packets_lost")
+                            return
+                    cursor = dev_hop + 1
+                if walk_pkt is None:
+                    walk_pkt = sim._clone(packet)
+                rewrite_pos = self._apply_rewrites(
+                    plan, walk_pkt, rewrite_pos, dev_hop
+                )
+                remaining = start_ttl - plan.routers_before[dev_hop]
+                for device in devices:
+                    ctx = InspectionContext(
+                        clock=sim.clock,
+                        remaining_ttl=remaining,
+                        link_index=dev_hop,
+                        direction=DIRECTION_FORWARD,
+                        net=sim.net_context,
+                    )
+                    verdict = device.inspect(walk_pkt, ctx)
+                    if tel_on:
+                        tel.count("sim.device_inspections")
+                        if verdict.acted:
+                            tel.count("sim.device_actions")
+                    if verdict.inject_to_client or verdict.inject_to_server:
+                        self._dispatch_injections(
+                            verdict, plan, dev_hop, deliveries, client_ip
+                        )
+                    if verdict.drop and device.in_path:
+                        if tel_on:
+                            tel.count("sim.device_drops")
+                        return
+        if rate > 0:
+            rnd = sim._rng.random
+            for _ in range(last_hop + 1 - cursor):
+                if rnd() < rate:
+                    if tel_on:
+                        tel.count("sim.packets_lost")
+                    return
+        if terminal is _EXPIRE:
+            self._expire(
+                plan,
+                packet,
+                walk_pkt,
+                wire_bytes,
+                rewrite_pos,
+                last_hop,
+                terminal_router,
+                deliveries,
+                client_ip,
+            )
+        elif terminal is _DELIVER:
+            self._deliver(
+                plan, packet, walk_pkt, rewrite_pos, start_ttl, last_hop,
+                deliveries,
+            )
+        # _SINK / _TIMEOUT: the walk ends without an observable event.
+
+    @staticmethod
+    def _apply_rewrites(
+        plan: PathPlan, pkt: Packet, pos: int, upto_hop: int
+    ) -> int:
+        """Apply header rewrites of routers at hop indices < ``upto_hop``.
+
+        Incremental (``pos`` is the resume point) so rewrites interleave
+        correctly with device inspections, exactly as in the scalar walk.
+        """
+        rewrites = plan.rewrites
+        while pos < len(rewrites) and rewrites[pos][0] < upto_hop:
+            _, rtos, rflags = rewrites[pos]
+            ip = pkt.ip
+            if rtos is not None and ip.tos != rtos:
+                pkt.ip = ip = ip.copy(tos=rtos)
+            if rflags is not None and ip.flags != rflags:
+                pkt.ip = ip.copy(flags=rflags)
+            pos += 1
+        return pos
+
+    def _expire(
+        self,
+        plan: PathPlan,
+        packet: Packet,
+        walk_pkt: Optional[Packet],
+        wire_bytes: Optional[bytes],
+        rewrite_pos: int,
+        hop: int,
+        router: Router,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        """TTL hit zero at ``router`` — the plan-resolved expiry event."""
+        sim = self.sim
+        tel = sim.telemetry
+        if not router.responds_icmp:
+            if tel.enabled:
+                tel.count("sim.icmp_silent")
+            return
+        if tel.enabled:
+            tel.count("sim.icmp_generated")
+        if walk_pkt is not None:
+            # A device saw (and may have annotated) the in-flight copy:
+            # finish its rewrites and serialize it, like the scalar walk.
+            self._apply_rewrites(plan, walk_pkt, rewrite_pos, hop)
+            walk_pkt.ip = walk_pkt.ip.copy(ttl=1)
+            quoted = walk_pkt.to_bytes()
+        elif wire_bytes is not None and not (
+            plan.rewrites and plan.rewrites[0][0] < hop
+        ):
+            # Nothing rewrote the packet before the expiring router: the
+            # quote is the sent bytes with only the TTL (and therefore
+            # the IP checksum) changed.
+            quoted = patched_quote(wire_bytes, 1)
+        else:
+            clone = sim._clone(packet)
+            self._apply_rewrites(plan, clone, rewrite_pos, hop)
+            clone.ip = clone.ip.copy(ttl=1)
+            quoted = clone.to_bytes()
+        message = time_exceeded(quoted, policy=router.quoting)
+        response = icmp_packet(
+            router.ip, client_ip, message, ttl=64, net=sim.net_context
+        )
+        response.emitted_by = router.name
+        self._lean_reverse(plan, response, hop, deliveries)
+
+    def _deliver(
+        self,
+        plan: PathPlan,
+        packet: Packet,
+        walk_pkt: Optional[Packet],
+        rewrite_pos: int,
+        start_ttl: int,
+        last_hop: int,
+        deliveries: List[Packet],
+    ) -> None:
+        """Arrival at the endpoint hop (services + TCP stack delivery)."""
+        sim = self.sim
+        endpoint = plan.endpoint
+        remaining = start_ttl - plan.routers_before[last_hop]
+        restore = False
+        if walk_pkt is not None:
+            self._apply_rewrites(plan, walk_pkt, rewrite_pos, last_hop)
+            walk_pkt.ip.ttl = remaining
+            arrived = walk_pkt
+        elif plan.rewrites and plan.rewrites[0][0] < last_hop:
+            arrived = sim._clone(packet)
+            self._apply_rewrites(plan, arrived, 0, last_hop)
+            arrived.ip.ttl = remaining
+        else:
+            # Zero-copy delivery: no rewrite touched the header, so the
+            # stack/resolver may read the caller's packet directly; only
+            # the on-wire TTL differs, set for the call and restored.
+            arrived = packet
+            restore = True
+            saved_ttl = packet.ip.ttl
+            packet.ip.ttl = remaining
+        try:
+            if arrived.udp is not None:
+                if endpoint.resolver is not None:
+                    for response in endpoint.resolver.handle_query(
+                        arrived, endpoint.ip, net=sim.net_context
+                    ):
+                        self._lean_reverse(plan, response, last_hop, deliveries)
+                return
+            if arrived.tcp is None:
+                return
+            stack = sim._stack_for(endpoint)
+            for response in stack.receive(arrived, sim.clock):
+                self._lean_reverse(plan, response, last_hop, deliveries)
+        finally:
+            if restore:
+                packet.ip.ttl = saved_ttl
+
+    def _lean_reverse(
+        self,
+        plan: PathPlan,
+        pkt: Packet,
+        start_index: int,
+        deliveries: List[Packet],
+    ) -> None:
+        """Walk ``pkt`` from hop ``start_index`` back into the client.
+
+        Replicates the scalar reverse policy: one loss draw per link
+        (hops ``start_index-1 .. 0`` plus the client link, in order),
+        TTL decrement at routers with silent expiry, arrival TTL on the
+        delivered packet. With no uniform loss the whole walk reduces
+        to one subtraction against the plan's router counts.
+        """
+        sim = self.sim
+        tel = sim.telemetry
+        tel_on = tel.enabled
+        rate = sim.loss_rate
+        ttl = pkt.ip.ttl
+        if rate > 0:
+            rnd = sim._rng.random
+            is_router = plan.is_router
+            for j in range(start_index - 1, -1, -1):
+                if rnd() < rate:
+                    if tel_on:
+                        tel.count("sim.packets_lost")
+                    return
+                if is_router[j]:
+                    ttl -= 1
+                    if ttl <= 0:
+                        if tel_on:
+                            tel.count("sim.reverse_ttl_expired")
+                        return
+            if rnd() < rate:
+                if tel_on:
+                    tel.count("sim.packets_lost")
+                return
+        else:
+            crossed = plan.routers_before[start_index]
+            if ttl <= crossed:
+                if tel_on:
+                    tel.count("sim.reverse_ttl_expired")
+                return
+            ttl -= crossed
+        pkt.ip.ttl = ttl
+        deliveries.append(pkt)
+
+    def _dispatch_injections(
+        self,
+        verdict: Verdict,
+        plan: PathPlan,
+        link_index: int,
+        deliveries: List[Packet],
+        client_ip: str,
+    ) -> None:
+        sim = self.sim
+        tel = sim.telemetry
+        tel_on = tel.enabled
+        for injected in verdict.inject_to_client:
+            if tel_on:
+                tel.count("sim.injected_to_client")
+            self._lean_reverse(
+                plan, sim._clone(injected), link_index, deliveries
+            )
+        for injected in verdict.inject_to_server:
+            # Injected-to-server continuations keep their scalar
+            # implementation: they are rare, stateful (they meet the
+            # endpoint stack) and policy-distinct.
+            if tel_on:
+                tel.count("sim.injected_to_server")
+            sim._run_transit(
+                Transit(
+                    sim._clone(injected),
+                    plan.path,
+                    link_index,
+                    POLICY_INJECTED_TO_SERVER,
+                    client_ip,
+                ),
+                deliveries,
+            )
+
+    # -- the array ladder ----------------------------------------------
+
+    def run_udp_ladder(
+        self,
+        client_ip: str,
+        dst_ip: str,
+        dport: int,
+        ttls: Sequence[int],
+        payload_for: Callable[[int], bytes],
+        *,
+        tos: int = 0,
+        label: str = "udp-ladder",
+    ) -> List[List[Packet]]:
+        """Send one UDP probe per TTL in ``ttls`` as a single batch.
+
+        Semantically identical to the scalar loop::
+
+            for ttl in ttls:
+                sport = net.next_ephemeral_port()
+                pkt = udp_packet(client_ip, dst_ip, sport, dport,
+                                 payload=payload_for(sport), ttl=ttl,
+                                 tos=tos, net=net)
+                results.append(sim.send_from_client(pkt))
+
+        but resolved on the compiled plan: probe fates (loss, expiry
+        router, delivery) are computed on flat arrays, the uniform-loss
+        stream is drawn in per-packet order, and a ``Packet`` is only
+        materialized for probes whose terminal event needs its bytes (a
+        responding router's quote, an endpoint delivery). Lost probes
+        and silent-router expiries still consume their source-port and
+        IP-ID allocations so the NetContext streams stay bit-identical.
+
+        ``payload_for`` must be a pure function of the source port (the
+        DNS case: the transaction ID is derived from the port); it is
+        invoked only for materialized probes.
+
+        Falls back to the scalar loop per probe (through :meth:`send`)
+        whenever a fault plan, capture, ECMP multi-path routing, an
+        on-path device or a header-rewriting router makes per-probe
+        state observable mid-walk.
+        """
+        sim = self.sim
+        route = self._route_for(client_ip, dst_ip)
+        eligible = (
+            sim._faults is None
+            and not sim._capture_enabled
+            and len(route.paths) == 1
+        )
+        plan = self.plan_for(route.paths[0]) if eligible else None
+        if plan is not None and (plan.device_hops or plan.rewrites):
+            # Devices need the in-flight packet; header rewrites change
+            # quote/arrival bytes mid-walk. Both stay scalar (per probe,
+            # via send(), which itself fast-paths rewrites correctly).
+            eligible = False
+        with self.batch(label):
+            if not eligible:
+                return self._scalar_ladder(
+                    client_ip, dst_ip, dport, ttls, payload_for, tos
+                )
+            return self._fast_ladder(
+                plan, client_ip, dst_ip, dport, ttls, payload_for, tos
+            )
+
+    def _scalar_ladder(
+        self, client_ip, dst_ip, dport, ttls, payload_for, tos
+    ) -> List[List[Packet]]:
+        from ..netmodel.packet import udp_packet
+
+        net = self.sim.net_context
+        results = []
+        for ttl in ttls:
+            sport = net.next_ephemeral_port()
+            probe = udp_packet(
+                client_ip,
+                dst_ip,
+                sport,
+                dport,
+                payload=payload_for(sport),
+                ttl=ttl,
+                tos=tos,
+                net=net,
+            )
+            results.append(self.send(probe))
+        return results
+
+    def _fast_ladder(
+        self, plan, client_ip, dst_ip, dport, ttls, payload_for, tos
+    ) -> List[List[Packet]]:
+        sim = self.sim
+        tel = sim.telemetry
+        tel_on = tel.enabled
+        net = sim.net_context
+        rate = sim.loss_rate
+        n = len(ttls)
+        # Bulk-allocate the per-probe source ports up front: the
+        # ephemeral stream carries only probe sports here, so the block
+        # equals n sequential next_ephemeral_port() calls.
+        sports = net.take_ephemeral_ports(n)
+        reachable = plan.routers_reachable
+        per_packet_time = sim.per_packet_time
+        results: List[List[Packet]] = []
+        for i in range(n):
+            ttl = ttls[i]
+            sim.clock += per_packet_time
+            ip_id = net.next_ip_id()
+            deliveries: List[Packet] = []
+            results.append(deliveries)
+            if tel_on:
+                tel.count("sim.batch_fast_path")
+                tel.count("sim.client_packets")
+            if self._batches:
+                self._batches[-1][1] += 1
+            if reachable and ttl <= reachable:
+                last_hop, router = plan.router_hops[ttl - 1 if ttl > 0 else 0]
+                terminal = _EXPIRE
+            elif plan.terminal_index is not None:
+                last_hop = plan.terminal_index
+                terminal = _DELIVER if plan.endpoint is not None else _SINK
+            else:
+                last_hop = plan.n_hops - 1
+                terminal = _TIMEOUT
+            if rate > 0:
+                rnd = sim._rng.random
+                lost = False
+                for _ in range(last_hop + 1):
+                    if rnd() < rate:
+                        lost = True
+                        break
+                if lost:
+                    if tel_on:
+                        tel.count("sim.packets_lost")
+                    continue
+            if terminal is _EXPIRE:
+                if not router.responds_icmp:
+                    if tel_on:
+                        tel.count("sim.icmp_silent")
+                    continue
+                if tel_on:
+                    tel.count("sim.icmp_generated")
+                quote_pkt = Packet(
+                    ip=IPHeader(
+                        src=client_ip,
+                        dst=dst_ip,
+                        ttl=1,
+                        tos=tos,
+                        identification=ip_id,
+                    ),
+                    udp=UDPDatagram(
+                        sport=sports[i], dport=dport,
+                        payload=payload_for(sports[i]),
+                    ),
+                )
+                message = time_exceeded(
+                    quote_pkt.to_bytes(), policy=router.quoting
+                )
+                response = icmp_packet(
+                    router.ip, client_ip, message, ttl=64, net=net
+                )
+                response.emitted_by = router.name
+                self._lean_reverse(plan, response, last_hop, deliveries)
+            elif terminal is _DELIVER:
+                endpoint = plan.endpoint
+                if endpoint.resolver is not None:
+                    arrived = Packet(
+                        ip=IPHeader(
+                            src=client_ip,
+                            dst=dst_ip,
+                            ttl=ttl - plan.routers_before[last_hop],
+                            tos=tos,
+                            identification=ip_id,
+                        ),
+                        udp=UDPDatagram(
+                            sport=sports[i], dport=dport,
+                            payload=payload_for(sports[i]),
+                        ),
+                    )
+                    for response in endpoint.resolver.handle_query(
+                        arrived, endpoint.ip, net=net
+                    ):
+                        self._lean_reverse(plan, response, last_hop, deliveries)
+            # _SINK / _TIMEOUT: allocations consumed, nothing delivered.
+            if tel_on and deliveries:
+                tel.count("sim.deliveries", len(deliveries))
+        return results

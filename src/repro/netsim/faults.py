@@ -61,6 +61,16 @@ class LossProfile:
     (``link_rates``, most specific) or by its AS number (``as_rates``).
     ``default_rate`` covers everything else, including the final
     delivery link back to the client.
+
+    **Precedence over the simulator's uniform loss:** installing a
+    profile *replaces* ``Simulator.loss_rate`` wholesale — the uniform
+    rate is NOT added to or mixed with the profile's rates, and a link
+    the profile maps to rate 0.0 is lossless even when ``loss_rate``
+    is 1.0. This is deliberate: a fault plan describes the complete
+    loss behaviour of the path, and its rolls draw from the dedicated
+    fault RNG so installing one never perturbs the base RNG stream
+    (which golden digests depend on). Callers who want uniform loss on
+    top of a profile must fold it into ``default_rate`` themselves.
     """
 
     default_rate: float = 0.0

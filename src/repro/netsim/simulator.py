@@ -198,7 +198,24 @@ class Simulator:
         # the clock or any RNG stream, so instrumented and
         # uninstrumented runs produce identical measurements.
         self.telemetry = NULL_TELEMETRY
+        # Lazily-built batched fast path (repro.netsim.batch); compiled
+        # path plans survive reset, batch framing does not.
+        self._batch_engine = None
         self.set_fault_plan(fault_plan)
+
+    def batch_engine(self):
+        """The simulator's :class:`~repro.netsim.batch.BatchEngine`.
+
+        One engine per simulator: measurement tools share its compiled
+        path plans and batch framing. The engine's ``send`` is
+        semantically identical to :meth:`send_from_client`, falling back
+        to it whenever a fault plan or capture is active.
+        """
+        if self._batch_engine is None:
+            from .batch import BatchEngine  # local import: avoids a cycle
+
+            self._batch_engine = BatchEngine(self)
+        return self._batch_engine
 
     def set_telemetry(self, telemetry) -> None:
         """Install an observability sink (``NULL_TELEMETRY`` disables)."""
@@ -231,6 +248,8 @@ class Simulator:
         # Rewind identifier allocation in place (never rebind: stacks
         # and connections hold references to this context).
         self.net_context.reset()
+        if self._batch_engine is not None:
+            self._batch_engine.reset_batches()
         if self._faults is not None:
             # Fault state (token buckets, churn counters, the fault
             # RNG) is part of the replayed state: rebuilding it here is

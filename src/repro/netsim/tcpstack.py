@@ -70,6 +70,7 @@ class Connection:
         dst_ip: str,
         dst_port: int,
         sport: Optional[int] = None,
+        engine=None,
     ) -> None:
         self.sim = sim
         self.client = client
@@ -80,6 +81,11 @@ class Connection:
             if sport is not None
             else sim.net_context.next_ephemeral_port()
         )
+        # Optional batched fast path (repro.netsim.batch.BatchEngine):
+        # semantically identical to sim.send_from_client, so callers opt
+        # in per connection without changing observable behaviour.
+        self._engine = engine
+        self._send = engine.send if engine is not None else sim.send_from_client
         self.established = False
         self.server_isn: Optional[int] = None
         self._next_seq = self.CLIENT_ISN + 1
@@ -104,7 +110,7 @@ class Connection:
                 ttl=64,
                 net=self.sim.net_context,
             )
-            responses = self.sim.send_from_client(syn)
+            responses = self._send(syn)
             for response in responses:
                 if (
                     response.is_tcp
@@ -123,7 +129,7 @@ class Connection:
                         ttl=64,
                         net=self.sim.net_context,
                     )
-                    self.sim.send_from_client(ack)
+                    self._send(ack)
                     self.established = True
                     return True
                 if response.is_tcp and response.tcp.flags & tcpmod.RST:
@@ -171,8 +177,15 @@ class Connection:
         result = ProbeResult(sent=probe, sent_bytes=sent_bytes)
         attempt = 0
         wait = retry_wait
+        engine = self._engine
         while True:
-            received = self.sim.send_from_client(probe)
+            # The already-serialized probe lets the batch engine derive
+            # ICMP quotes by patching the TTL byte instead of
+            # re-serializing the transport payload.
+            if engine is not None:
+                received = engine.send(probe, wire_bytes=sent_bytes)
+            else:
+                received = self.sim.send_from_client(probe)
             result.received.extend(received)
             if received or attempt >= retries:
                 break
@@ -198,7 +211,7 @@ class Connection:
             ttl=64,
             net=self.sim.net_context,
         )
-        self.sim.send_from_client(fin)
+        self._send(fin)
         self.established = False
 
 
@@ -210,9 +223,14 @@ def open_connection(
     *,
     sport: Optional[int] = None,
     retries: int = 2,
+    engine=None,
 ) -> Optional[Connection]:
-    """Open a connection; returns None when the handshake fails."""
-    conn = Connection(sim, client, dst_ip, dst_port, sport=sport)
+    """Open a connection; returns None when the handshake fails.
+
+    ``engine`` routes the connection's sends through the batched fast
+    path (:class:`repro.netsim.batch.BatchEngine`) when given.
+    """
+    conn = Connection(sim, client, dst_ip, dst_port, sport=sport, engine=engine)
     if not conn.connect(retries=retries):
         return None
     return conn

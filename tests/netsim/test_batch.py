@@ -1,0 +1,451 @@
+"""Batch-vs-scalar parity for the batched packet plane (PR 6 tentpole).
+
+The :class:`~repro.netsim.batch.BatchEngine` promises to reproduce the
+scalar engine's observable behaviour *exactly*: delivered bytes, the
+base RNG draw stream, NetContext identifier streams, the virtual clock
+and every telemetry counter. These tests drive both engines over the
+same workloads on fresh worlds and compare all five surfaces.
+
+The fast subset (plain / device / rewrite worlds at two loss rates)
+runs in tier 1; the exhaustive world x loss grid and the fault-plan
+fallback presets ride behind ``--runslow``.
+"""
+
+import sys
+from pathlib import Path as _Path
+
+import pytest
+
+sys.path.insert(0, str(_Path(__file__).parent.parent))
+from helpers import (
+    BLOCKED_DOMAIN,
+    CLIENT_IP,
+    ENDPOINT_IP,
+    OK_DOMAIN,
+    build_linear_world,
+    make_profile_device,
+)
+
+from repro.devices.vendors import KZ_STATE
+from repro.netmodel import tcp as tcpmod
+from repro.netmodel.packet import tcp_packet, udp_packet
+from repro.netsim.batch import BatchEngine, patched_quote
+from repro.netsim.faults import PRESETS
+from repro.netsim.routing import Hop, Path, Route
+from repro.netsim.simulator import Simulator
+from repro.netsim.tcpstack import open_connection
+from repro.netsim.topology import Client, Endpoint, Router, Topology
+from repro.services.dnsresolver import DNSResolver
+from repro.telemetry import Telemetry
+
+PAYLOAD = b"GET / HTTP/1.1\r\nHost: " + OK_DOMAIN.encode() + b"\r\n\r\n"
+BLOCKED_PAYLOAD = (
+    b"GET / HTTP/1.1\r\nHost: " + BLOCKED_DOMAIN.encode() + b"\r\n\r\n"
+)
+
+
+# ---------------------------------------------------------------------------
+# World builders
+# ---------------------------------------------------------------------------
+
+
+def world_plain(loss_rate=0.0, seed=7):
+    return build_linear_world(n_routers=6, loss_rate=loss_rate, seed=seed)
+
+
+def world_device(loss_rate=0.0, seed=7):
+    return build_linear_world(
+        n_routers=6,
+        device=make_profile_device(KZ_STATE),
+        device_link=3,
+        loss_rate=loss_rate,
+        seed=seed,
+    )
+
+
+def world_rewrite(loss_rate=0.0, seed=7):
+    world = build_linear_world(n_routers=6, loss_rate=loss_rate, seed=seed)
+    world.routers[1].rewrite_tos = 0x28
+    return world
+
+
+def world_silent(loss_rate=0.0, seed=7):
+    return build_linear_world(
+        n_routers=6, silent_routers=(1, 3), loss_rate=loss_rate, seed=seed
+    )
+
+
+WORLDS = {
+    "plain": world_plain,
+    "device": world_device,
+    "rewrite": world_rewrite,
+    "silent": world_silent,
+}
+
+
+def build_multipath_world(loss_rate=0.0, seed=7):
+    """Two parallel 4-router paths so ECMP flow hashing matters."""
+    topology = Topology("test-multipath")
+    client = topology.add_client(
+        Client("client", CLIENT_IP, asn=64500, country="XX", in_country=True)
+    )
+    paths = []
+    for p in range(2):
+        hops = []
+        for i in range(4):
+            router = topology.add_router(
+                Router(f"p{p}r{i}", f"100.8{p}.{i}.1", asn=64501 + i)
+            )
+            hops.append(Hop(router.name))
+        paths.append(hops)
+    from repro.services.webserver import WebServer
+
+    endpoint = topology.add_endpoint(
+        Endpoint(
+            "endpoint",
+            ENDPOINT_IP,
+            asn=64999,
+            server=WebServer([OK_DOMAIN]),
+            country="XX",
+        )
+    )
+    route_paths = [Path(h + [Hop(endpoint.name)]) for h in paths]
+    topology.add_route(client.ip, endpoint.ip, Route(route_paths))
+    sim = Simulator(topology, seed=seed, loss_rate=loss_rate)
+    return sim, client, endpoint
+
+
+def build_dns_world(loss_rate=0.0, seed=7, n_routers=6, silent=()):
+    """A linear path to a resolver endpoint (no web server needed)."""
+    topology = Topology("test-dns")
+    client = topology.add_client(
+        Client("client", CLIENT_IP, asn=64500, country="XX", in_country=True)
+    )
+    hops = []
+    for i in range(n_routers):
+        router = topology.add_router(
+            Router(
+                f"r{i}",
+                f"100.81.{i}.1",
+                asn=64501 + i,
+                responds_icmp=i not in silent,
+            )
+        )
+        hops.append(Hop(router.name))
+    endpoint = topology.add_endpoint(
+        Endpoint(
+            "resolver",
+            ENDPOINT_IP,
+            asn=64999,
+            country="XX",
+            resolver=DNSResolver(zone={OK_DOMAIN: "93.184.216.34"}),
+            services={53: "dns"},
+        )
+    )
+    hops.append(Hop(endpoint.name))
+    topology.add_route(client.ip, endpoint.ip, Route([Path(hops)]))
+    sim = Simulator(topology, seed=seed, loss_rate=loss_rate)
+    return sim, client, endpoint
+
+
+# ---------------------------------------------------------------------------
+# Workloads + observable snapshots
+# ---------------------------------------------------------------------------
+
+
+def tcp_workflow(sim, client, engine=None, n=24):
+    """Fresh-connection probes over a TTL ladder, with retries."""
+    out = []
+    for i in range(n):
+        payload = BLOCKED_PAYLOAD if i % 3 == 0 else PAYLOAD
+        conn = open_connection(sim, client, ENDPOINT_IP, 80, engine=engine)
+        if conn is None:
+            out.append(("handshake-failed",))
+            sim.advance(1.0)
+            continue
+        result = conn.send_payload(
+            payload, ttl=1 + (i % 9), retries=2, retry_wait=1.0
+        )
+        conn.close()
+        out.append(tuple(p.to_bytes() for p in result.received))
+    return out
+
+
+def observe(sim, tel):
+    """Everything the two engines must agree on, beyond deliveries."""
+    counters = dict(tel.counters)
+    counters.pop("sim.batch_fast_path", None)
+    counters.pop("sim.batch_scalar_fallback", None)
+    counters.pop("sim.batches", None)
+    return (
+        repr(sim.net_context),
+        [sim._rng.random() for _ in range(4)],
+        sim.clock,
+        counters,
+    )
+
+
+def run_pair(builder, loss_rate, workload=tcp_workflow, plan=None):
+    """Run ``workload`` scalar then batched on fresh worlds; compare."""
+    results = []
+    for use_engine in (False, True):
+        world = builder(loss_rate=loss_rate)
+        sim, client = world.sim, world.client
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        if plan is not None:
+            sim.set_fault_plan(plan)
+        engine = sim.batch_engine() if use_engine else None
+        out = workload(sim, client, engine=engine)
+        results.append((out, observe(sim, tel)))
+    (scalar_out, scalar_obs), (batch_out, batch_obs) = results
+    assert scalar_out == batch_out
+    assert scalar_obs == batch_obs
+
+
+# ---------------------------------------------------------------------------
+# patched_quote
+# ---------------------------------------------------------------------------
+
+
+class TestPatchedQuote:
+    @pytest.mark.parametrize("ttl", [1, 4, 64, 255])
+    def test_equals_full_reserialization_tcp(self, ttl):
+        packet = tcp_packet(
+            CLIENT_IP,
+            ENDPOINT_IP,
+            40000,
+            80,
+            flags=tcpmod.PSH | tcpmod.ACK,
+            seq=1234,
+            ack=5678,
+            ttl=9,
+            payload=b"hello quote",
+            ip_id=77,
+        )
+        rebuilt = packet.to_bytes()
+        expected_pkt_ip = packet.ip.copy(ttl=ttl)
+        expected = type(packet)(
+            ip=expected_pkt_ip, tcp=packet.tcp
+        ).to_bytes()
+        assert patched_quote(rebuilt, ttl) == expected
+
+    def test_equals_full_reserialization_udp(self):
+        packet = udp_packet(
+            CLIENT_IP, ENDPOINT_IP, 41000, 53, payload=b"q" * 30, ttl=7,
+            ip_id=99,
+        )
+        wire = packet.to_bytes()
+        expected = type(packet)(
+            ip=packet.ip.copy(ttl=1), udp=packet.udp
+        ).to_bytes()
+        assert patched_quote(wire, 1) == expected
+
+
+# ---------------------------------------------------------------------------
+# send() parity — fast tier-1 subset
+# ---------------------------------------------------------------------------
+
+
+class TestSendParity:
+    @pytest.mark.parametrize("name", ["plain", "device", "rewrite"])
+    @pytest.mark.parametrize("loss", [0.0, 0.2])
+    def test_tcp_workflow_parity(self, name, loss):
+        run_pair(WORLDS[name], loss)
+
+    def test_silent_router_parity(self):
+        run_pair(WORLDS["silent"], 0.0)
+
+    def test_multipath_parity(self):
+        results = []
+        for use_engine in (False, True):
+            sim, client, _ep = build_multipath_world(loss_rate=0.002)
+            tel = Telemetry()
+            sim.set_telemetry(tel)
+            engine = sim.batch_engine() if use_engine else None
+            out = tcp_workflow(sim, client, engine=engine)
+            results.append((out, observe(sim, tel)))
+        assert results[0] == results[1]
+
+    def test_rng_stream_identical_after_lossy_walks(self):
+        # Beyond matching deliveries: the *entire* base draw stream must
+        # stay aligned (each link crossed consumes exactly one draw).
+        draws = []
+        for use_engine in (False, True):
+            world = world_plain(loss_rate=0.3, seed=13)
+            sim = world.sim
+            engine = sim.batch_engine() if use_engine else None
+            tcp_workflow(sim, world.client, engine=engine, n=12)
+            draws.append([sim._rng.random() for _ in range(16)])
+        assert draws[0] == draws[1]
+
+
+# ---------------------------------------------------------------------------
+# run_udp_ladder parity
+# ---------------------------------------------------------------------------
+
+
+def scalar_ladder_reference(sim, client, ttls):
+    """The documented scalar equivalent of run_udp_ladder."""
+    from repro.netmodel.dns import query
+
+    net = sim.net_context
+    results = []
+    for ttl in ttls:
+        sport = net.next_ephemeral_port()
+        probe = udp_packet(
+            client.ip,
+            ENDPOINT_IP,
+            sport,
+            53,
+            payload=query(OK_DOMAIN, txid=(sport * 7919) & 0xFFFF).to_bytes(),
+            ttl=ttl,
+            net=net,
+        )
+        results.append(sim.send_from_client(probe))
+    return results
+
+
+def ladder_pair(builder, loss_rate, ttls=None, **world_kw):
+    from repro.netmodel.dns import query
+
+    if ttls is None:
+        ttls = list(range(1, 12)) + [0, 64]
+    results = []
+    for use_engine in (False, True):
+        sim, client, _ep = builder(loss_rate=loss_rate, **world_kw)
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        if use_engine:
+            engine = sim.batch_engine()
+            out = engine.run_udp_ladder(
+                client.ip,
+                ENDPOINT_IP,
+                53,
+                ttls,
+                lambda sport: query(
+                    OK_DOMAIN, txid=(sport * 7919) & 0xFFFF
+                ).to_bytes(),
+            )
+        else:
+            out = scalar_ladder_reference(sim, client, ttls)
+        flat = [[p.to_bytes() for p in probe] for probe in out]
+        results.append((flat, observe(sim, tel)))
+    assert results[0] == results[1]
+
+
+class TestLadderParity:
+    def test_lossless(self):
+        ladder_pair(build_dns_world, 0.0)
+
+    def test_lossy(self):
+        ladder_pair(build_dns_world, 0.25)
+
+    def test_silent_routers(self):
+        ladder_pair(build_dns_world, 0.0, silent=(0, 2))
+
+    def test_ladder_uses_fast_path_on_clean_world(self):
+        sim, client, _ep = build_dns_world()
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        engine = sim.batch_engine()
+        engine.run_udp_ladder(
+            client.ip, ENDPOINT_IP, 53, range(1, 9), lambda sport: b"x"
+        )
+        assert tel.counters.get("sim.batch_fast_path") == 8
+        assert "sim.batch_scalar_fallback" not in tel.counters
+
+    def test_ladder_falls_back_under_fault_plan(self):
+        sim, client, _ep = build_dns_world()
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        sim.set_fault_plan(PRESETS["lossy"])
+        engine = sim.batch_engine()
+        engine.run_udp_ladder(
+            client.ip, ENDPOINT_IP, 53, range(1, 9), lambda sport: b"x"
+        )
+        assert tel.counters.get("sim.batch_scalar_fallback") == 8
+        assert "sim.batch_fast_path" not in tel.counters
+
+
+# ---------------------------------------------------------------------------
+# Scalar fallback under fault plans (parity by construction, but the
+# dispatch itself and the counters must behave)
+# ---------------------------------------------------------------------------
+
+
+class TestFallback:
+    @pytest.mark.parametrize("preset", ["lossy", "ratelimit", "flaky"])
+    def test_fault_plans_take_the_scalar_path(self, preset):
+        world = world_device()
+        sim = world.sim
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        sim.set_fault_plan(PRESETS[preset])
+        engine = sim.batch_engine()
+        tcp_workflow(sim, world.client, engine=engine, n=4)
+        assert tel.counters.get("sim.batch_scalar_fallback", 0) > 0
+        assert "sim.batch_fast_path" not in tel.counters
+
+    @pytest.mark.parametrize("preset", ["lossy", "ratelimit", "flaky"])
+    def test_fault_plan_outcomes_match_direct_scalar(self, preset):
+        # The fallback must not change behaviour: engine.send under a
+        # plan == sim.send_from_client under the same plan.
+        results = []
+        for use_engine in (False, True):
+            world = world_device()
+            sim = world.sim
+            tel = Telemetry()
+            sim.set_telemetry(tel)
+            sim.set_fault_plan(PRESETS[preset])
+            engine = sim.batch_engine() if use_engine else None
+            out = tcp_workflow(sim, world.client, engine=engine, n=8)
+            results.append((out, observe(sim, tel)))
+        assert results[0] == results[1]
+
+    def test_capture_mode_falls_back(self):
+        world = world_plain()
+        sim = Simulator(world.topology, seed=7, capture=True)
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        engine = sim.batch_engine()
+        tcp_workflow(sim, world.client, engine=engine, n=2)
+        assert tel.counters.get("sim.batch_scalar_fallback", 0) > 0
+        assert "sim.batch_fast_path" not in tel.counters
+        assert sim.capture  # the scalar path recorded the walk
+
+
+# ---------------------------------------------------------------------------
+# The exhaustive grid (--runslow)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestFullParityGrid:
+    @pytest.mark.parametrize("name", sorted(WORLDS))
+    @pytest.mark.parametrize("loss", [0.0, 0.002, 0.2])
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_send_grid(self, name, loss, seed):
+        def builder(loss_rate):
+            return WORLDS[name](loss_rate=loss_rate, seed=seed)
+
+        run_pair(builder, loss)
+
+    @pytest.mark.parametrize("loss", [0.0, 0.002, 0.2])
+    @pytest.mark.parametrize("silent", [(), (0,), (2, 4)])
+    def test_ladder_grid(self, loss, silent):
+        ladder_pair(build_dns_world, loss, silent=silent)
+
+    @pytest.mark.parametrize("preset", ["light", "lossy", "ratelimit", "flaky", "chaos"])
+    def test_fallback_grid(self, preset):
+        results = []
+        for use_engine in (False, True):
+            world = world_device()
+            sim = world.sim
+            tel = Telemetry()
+            sim.set_telemetry(tel)
+            sim.set_fault_plan(PRESETS[preset])
+            engine = sim.batch_engine() if use_engine else None
+            out = tcp_workflow(sim, world.client, engine=engine, n=16)
+            results.append((out, observe(sim, tel)))
+        assert results[0] == results[1]

@@ -17,6 +17,7 @@ the bugs the chaos harness flushed out):
 
 import hashlib
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -244,6 +245,40 @@ class TestSimulatorFaults:
             CLIENT_IP, ENDPOINT_IP, 41000, 80, flags=tcpmod.SYN, seq=1, ttl=2
         )
         assert world.sim.send_from_client(short)  # ICMP from r1
+
+    def test_loss_profile_replaces_uniform_loss_rate(self):
+        # Satellite audit (PR 6): installing a loss profile REPLACES
+        # Simulator.loss_rate wholesale — it is never composed with the
+        # uniform rate. A zero-rate profile on a loss_rate=1.0 world
+        # must deliver everything; the inverse must lose everything.
+        world = build_linear_world(loss_rate=1.0, seed=7)
+        world.sim.set_fault_plan(
+            FaultPlan(loss=LossProfile(default_rate=0.0))
+        )
+        assert world.sim.send_from_client(self._syn(0)), (
+            "a 0.0-rate profile must override uniform loss_rate=1.0"
+        )
+
+        world = build_linear_world(loss_rate=0.0, seed=7)
+        world.sim.set_fault_plan(
+            FaultPlan(loss=LossProfile(default_rate=1.0))
+        )
+        assert world.sim.send_from_client(self._syn(1)) == [], (
+            "a 1.0-rate profile must lose packets despite loss_rate=0.0"
+        )
+
+    def test_loss_profile_rolls_never_touch_base_rng(self):
+        # Profile rolls draw from the dedicated fault RNG: walking
+        # packets under a lossy profile must not advance the base
+        # stream by a single draw.
+        world = build_linear_world(loss_rate=0.0, seed=11)
+        world.sim.set_fault_plan(
+            FaultPlan(loss=LossProfile(default_rate=0.5))
+        )
+        before = world.sim._rng.getstate()
+        for i in range(10):
+            world.sim.send_from_client(self._syn(i))
+        assert world.sim._rng.getstate() == before
 
     def test_icmp_rate_limited_router_goes_silent(self):
         world = build_linear_world(seed=5)
@@ -535,6 +570,21 @@ class TestSatelliteRegressions:
 
             def advance(self, seconds):
                 self.clock += seconds
+
+            def batch_engine(self):
+                # The engine surface CenTrace relies on, delegating to
+                # send_from_client so the stub still sees every packet.
+                sim = self
+
+                class _EngineStub:
+                    def send(self, packet, wire_bytes=None):
+                        return sim.send_from_client(packet)
+
+                    @contextmanager
+                    def batch(self, label):
+                        yield
+
+                return _EngineStub()
 
         sim = _SilentSim()
         world = build_linear_world()

@@ -418,6 +418,20 @@ class TestNetContextCounters:
         )
         assert rule_ids(found) == ["RP503"]
 
+    def test_batch_engine_module_in_scope(self, tmp_path):
+        # The batched packet plane caches PathPlans per engine instance;
+        # a module-level plan cache would be shared across simulators
+        # (and across worker replicas), so batch.py joined the guarded
+        # set.
+        found = lint_module(
+            tmp_path,
+            "repro.netsim.batch",
+            "_plan_cache = {}\n",
+            select=["RP503"],
+        )
+        assert rule_ids(found) == ["RP503"]
+        assert "NetContext" in found[0].message
+
     def test_constant_cased_singleton_clean(self, tmp_path):
         # netctx's own module-level default context is a sanctioned
         # constant-cased singleton.
@@ -442,6 +456,7 @@ class TestNetContextCounters:
         targets = [
             REPO_ROOT / "src" / "repro" / "netmodel" / "netctx.py",
             REPO_ROOT / "src" / "repro" / "netmodel" / "packet.py",
+            REPO_ROOT / "src" / "repro" / "netsim" / "batch.py",
             REPO_ROOT / "src" / "repro" / "netsim" / "tcpstack.py",
             REPO_ROOT / "src" / "repro" / "devices" / "actions.py",
         ]

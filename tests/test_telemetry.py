@@ -274,3 +274,118 @@ class TestTransitExpiryCounters:
         )
         assert "sim.reverse_ttl_expired" not in tel.counters
         assert "sim.injected_ttl_expired" not in tel.counters
+
+
+class TestBatchCounters:
+    """The batched packet plane's observability (PR 6 satellite):
+    fast-path/fallback counters and the per-batch size event, all
+    rendered by ``repro report`` like any other counter."""
+
+    def _world(self):
+        from .helpers import build_linear_world
+
+        return build_linear_world(n_routers=4, seed=5)
+
+    def _syn(self, world, sport):
+        from repro.netmodel import tcp as tcpmod
+        from repro.netmodel.packet import tcp_packet
+
+        return tcp_packet(
+            world.client.ip,
+            world.endpoint.ip,
+            sport,
+            80,
+            flags=tcpmod.SYN,
+            net=world.sim.net_context,
+        )
+
+    def test_fast_path_counter(self):
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        engine = world.sim.batch_engine()
+        for i in range(3):
+            engine.send(self._syn(world, 40000 + i))
+        assert tel.counters["sim.batch_fast_path"] == 3
+        assert "sim.batch_scalar_fallback" not in tel.counters
+
+    def test_fallback_counter_under_fault_plan(self):
+        from repro.netsim.faults import PRESETS
+
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        world.sim.set_fault_plan(PRESETS["lossy"])
+        engine = world.sim.batch_engine()
+        for i in range(2):
+            engine.send(self._syn(world, 41000 + i))
+        assert tel.counters["sim.batch_scalar_fallback"] == 2
+        assert "sim.batch_fast_path" not in tel.counters
+
+    def test_batch_event_size_histogram(self):
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        engine = world.sim.batch_engine()
+        with engine.batch("test-sweep"):
+            for i in range(4):
+                engine.send(self._syn(world, 42000 + i))
+        assert tel.counters["sim.batches"] == 1
+        events = [e for e in tel.events if e["kind"] == "sim.batch"]
+        assert events == [
+            {
+                "kind": "sim.batch",
+                "label": "test-sweep",
+                "size": 4,
+                "fast": 4,
+                "fallback": 0,
+            }
+        ]
+
+    def test_batch_event_mixes_fast_and_fallback(self):
+        from repro.netsim.faults import PRESETS
+
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        engine = world.sim.batch_engine()
+        with engine.batch("mixed"):
+            engine.send(self._syn(world, 43000))
+            world.sim.set_fault_plan(PRESETS["lossy"])
+            engine.send(self._syn(world, 43001))
+        event = [e for e in tel.events if e["kind"] == "sim.batch"][0]
+        assert event["size"] == 2
+        assert event["fast"] == 1
+        assert event["fallback"] == 1
+
+    def test_counters_surface_in_run_report(self):
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        engine = world.sim.batch_engine()
+        with engine.batch("sweep"):
+            engine.send(self._syn(world, 44000))
+        report = tel.build_report()
+        assert report.counters["sim.batch_fast_path"] == 1
+        assert report.counters["sim.batches"] == 1
+        rendered = report.render()
+        assert "sim.batch_fast_path" in rendered
+        assert "sim.batches" in rendered
+
+    def test_measurement_tools_frame_batches(self):
+        # CenTrace sweeps and CenFuzz endpoint runs are the batch
+        # boundaries campaigns observe.
+        from repro.core.centrace import CenTrace, CenTraceConfig
+
+        world = self._world()
+        tel = Telemetry()
+        world.sim.set_telemetry(tel)
+        tracer = CenTrace(
+            world.sim, world.client, config=CenTraceConfig(repetitions=1)
+        )
+        tracer.sweep(world.endpoint.ip, "www.ok.example", "http")
+        events = [e for e in tel.events if e["kind"] == "sim.batch"]
+        assert len(events) == 1
+        assert events[0]["label"] == "centrace.sweep"
+        assert events[0]["size"] == events[0]["fast"] + events[0]["fallback"]
+        assert events[0]["size"] > 0

@@ -24,12 +24,14 @@ rewound per work unit — there are no sanctioned module-global counters
 left, and therefore no RP502 pragmas in the allocator modules.
 
 * RP503 — module-global counters in the NetContext-owned modules:
-  in ``repro.netmodel.packet``, ``repro.netsim.tcpstack``,
-  ``repro.devices.actions`` (and ``netctx`` itself), *any* module-level
-  binding of a non-constant-cased name to a call or mutable value —
-  ``itertools.count(...)``, a cursor list, a stateful object — or any
-  ``global`` rebind, is flagged. This is the guard that keeps the old
-  counter ritual from creeping back in.
+  in ``repro.netmodel.packet``, ``repro.netsim.batch``,
+  ``repro.netsim.tcpstack``, ``repro.devices.actions`` (and ``netctx``
+  itself), *any* module-level binding of a non-constant-cased name to a
+  call or mutable value — ``itertools.count(...)``, a cursor list, a
+  stateful object — or any ``global`` rebind, is flagged. This is the
+  guard that keeps the old counter ritual from creeping back in (and
+  keeps the batch engine's plan/route caches on the engine instance,
+  where ``Simulator.reset`` governs them).
 
 Scope (RP501/RP502): ``repro.netmodel``, ``repro.netsim``,
 ``repro.devices``, ``repro.services``, ``repro.core`` — everything a
@@ -226,6 +228,7 @@ class MutableModuleGlobalRule(_StateRuleBase):
 NETCTX_MODULES = (
     "repro.netmodel.netctx",
     "repro.netmodel.packet",
+    "repro.netsim.batch",
     "repro.netsim.tcpstack",
     "repro.devices.actions",
 )
