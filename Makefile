@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-update chaos lint
+.PHONY: test bench bench-update chaos lint serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,14 @@ test:
 # `# lint: ignore[RPxxx] -- justification`.
 lint:
 	$(PYTHON) -m tools.lintkit src tools benchmarks
+
+# Campaign-service smoke (the CI service-smoke job): a 1k-request
+# synthetic client swarm; fails unless coalescing hit rate >= 50% and
+# every delivered result is byte-identical to a direct serial run.
+serve-smoke:
+	$(PYTHON) -m repro.cli serve --country AZ --seed 7 --scale 0.35 \
+	  --requests 1000 --tenants 8 --interleave-seed 1 \
+	  --min-hit-rate 0.5 --verify
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

@@ -250,6 +250,74 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .persist import save_service_run
+    from .service import ServiceConfig, SwarmConfig, run_swarm
+
+    plan = FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
+    swarm = SwarmConfig(
+        country=args.country,
+        seed=args.seed,
+        scale=args.scale,
+        fault_plan=plan,
+        requests=args.requests,
+        tenants=args.tenants,
+        interleave_seed=args.interleave_seed,
+        repetitions=args.repetitions,
+        max_endpoints=args.max_endpoints,
+        verify=args.verify,
+    )
+    service_config = ServiceConfig(
+        max_pending=args.max_pending,
+        rate=args.rate,
+        burst=args.burst,
+        workers=args.workers,
+    )
+    report = asyncio.run(run_swarm(swarm, service_config))
+    counts = None
+    if args.out:
+        counts = save_service_run(report.run_report, report.payloads, args.out)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": report.stats,
+                    "distinct_units": report.distinct_units,
+                    "delivered": report.delivered,
+                    "verified": report.verified,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(report.render())
+        if counts is not None:
+            print(f"saved to {args.out}: {counts}")
+    failures = []
+    if args.verify and not report.verified:
+        failures.append(
+            "delivered results were NOT byte-identical to a direct serial run"
+        )
+    if (
+        args.min_hit_rate is not None
+        and report.stats["coalescing_hit_rate"] < args.min_hit_rate
+    ):
+        failures.append(
+            f"coalescing hit rate {report.stats['coalescing_hit_rate']:.1%} "
+            f"below --min-hit-rate {args.min_hit_rate:.1%}"
+        )
+    if report.stats["unit_failures"]:
+        failures.append(
+            f"{int(report.stats['unit_failures'])} work unit(s) failed"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ALL_EXPERIMENTS
 
@@ -272,20 +340,57 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     if args.run:
         # Render the telemetry run report persisted with a saved
-        # campaign (``repro campaign --metrics --out DIR``).
+        # campaign (``repro campaign --metrics --out DIR``) or service
+        # run (``repro serve --out DIR``). Degrades to a clear message
+        # + exit 2 on anything short of a well-formed report: a missing
+        # directory, a FORMAT_VERSION 1 directory (predates run
+        # reports), a run without --metrics, or a partially-written
+        # report.json. Never a traceback.
         from pathlib import Path
 
         from .telemetry import RunReport
 
-        report_path = Path(args.run) / "report.json"
-        if not report_path.exists():
+        run_dir = Path(args.run)
+        if not run_dir.is_dir():
             print(
-                f"no report.json under {args.run!r} — re-run the campaign "
-                "with --metrics to collect one",
+                f"run directory {args.run!r} does not exist",
                 file=sys.stderr,
             )
             return 2
-        report = RunReport.from_dict(json.loads(report_path.read_text()))
+        report_path = run_dir / "report.json"
+        if not report_path.exists():
+            detail = ""
+            meta_path = run_dir / "meta.json"
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, ValueError):
+                    meta = {}
+                if meta.get("version", 0) < 2:
+                    detail = (
+                        " (a format-version 1 directory, saved before "
+                        "run reports existed)"
+                    )
+                elif meta.get("has_report") is False:
+                    detail = " (the campaign ran without telemetry)"
+            print(
+                f"no report recorded under {args.run!r}{detail} — re-run "
+                "the campaign with --metrics to collect one",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            report = RunReport.from_dict(
+                json.loads(report_path.read_text())
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(
+                f"unreadable run report under {args.run!r} "
+                f"({type(exc).__name__}: {exc}) — the directory looks "
+                "partially written; re-run the campaign with --metrics",
+                file=sys.stderr,
+            )
+            return 2
         if args.json:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         else:
@@ -376,6 +481,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect telemetry and print/persist a run report",
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="campaign-as-a-service: drive the job queue with a "
+        "synthetic client swarm",
+    )
+    _add_world_args(serve)
+    serve.add_argument(
+        "--requests", type=int, default=1000, help="swarm request count"
+    )
+    serve.add_argument("--tenants", type=int, default=8)
+    serve.add_argument(
+        "--interleave-seed",
+        type=int,
+        default=0,
+        help="request shuffle seed (must not affect delivered bytes)",
+    )
+    serve.add_argument("--repetitions", type=int, default=2)
+    serve.add_argument("--max-endpoints", type=int, default=4)
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        help="per-tenant admission tokens per service tick",
+    )
+    serve.add_argument("--burst", type=int, default=4)
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        help="backpressure bound on queued-not-started units",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="byte-compare every delivered result against a direct "
+        "serial run",
+    )
+    serve.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="fail unless the coalescing hit rate reaches this fraction",
+    )
+    serve.add_argument(
+        "--out", help="directory for delivered results + report.json"
+    )
+    serve.set_defaults(func=cmd_serve)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"

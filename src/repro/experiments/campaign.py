@@ -279,7 +279,7 @@ def run_campaign(
         # CenFuzz against blocked endpoints (§6.2) — one endpoint per
         # distinct blocking hop unless fuzz_all_blocked is set.
         if config.run_fuzz:
-            targets = _fuzz_targets(campaign, config)
+            targets = fuzz_targets_for(campaign, config)
             fuzz_units = [FuzzUnit(*target) for target in targets]
             campaign.fuzz_reports = executor.run_fuzz(fuzz_units)
 
@@ -302,7 +302,7 @@ def run_campaign(
     return campaign
 
 
-def _fuzz_targets(
+def fuzz_targets_for(
     campaign: CountryCampaign, config: CampaignConfig
 ) -> List[Tuple[str, str, str]]:
     """(endpoint, domain, protocol) triples to fuzz.
@@ -338,9 +338,34 @@ def _fuzz_targets(
     return targets
 
 
+#: Backwards-compatible private alias (pre-service-layer name).
+_fuzz_targets = fuzz_targets_for
+
+
 # -- campaign cache ----------------------------------------------------------
 
 _CACHE: Dict[Tuple, CountryCampaign] = {}
+
+
+def campaign_cache_key(
+    country: str,
+    scale: Optional[float],
+    seed: Optional[int],
+    config: CampaignConfig,
+) -> Tuple:
+    """The :func:`get_campaign` cache key for one configuration.
+
+    Derived automatically from ``dataclasses.fields(CampaignConfig)``
+    so that *every* config knob — present and future — participates in
+    the key. The previous hand-maintained tuple silently aliased
+    campaigns whenever a new field was added but not keyed (the bug PR 1
+    fixed once already); deriving from the dataclass makes that whole
+    failure mode unrepresentable. Every ``CampaignConfig`` field must
+    therefore stay hashable (``FaultPlan`` is frozen for this reason).
+    """
+    return (country, scale, seed) + tuple(
+        getattr(config, f.name) for f in dataclasses.fields(CampaignConfig)
+    )
 
 
 def get_campaign(
@@ -378,19 +403,7 @@ def get_campaign(
         run_probe=run_probe,
         fault_plan=plan,
     )
-    key = (
-        country,
-        scale,
-        seed,
-        config.repetitions,
-        config.protocols,
-        config.max_endpoints,
-        config.fuzz_all_blocked,
-        config.fuzz_max_endpoints,
-        config.run_fuzz,
-        config.run_probe,
-        plan,
-    )
+    key = campaign_cache_key(country, scale, seed, config)
     if key not in _CACHE:
         world = build_world(country, seed=seed, scale=scale)
         _CACHE[key] = run_campaign(world, config, workers=workers)

@@ -50,6 +50,11 @@ VANTAGE_IN_COUNTRY = "in_country"
 # exception) so tests can exercise crash surfacing without a real fault.
 CRASH_ENV = "REPRO_EXECUTOR_TEST_CRASH"
 
+# Test hook: when set to a substring of a work-unit key, the worker
+# process executing that unit hard-exits *mid-campaign* — the
+# crashed-mid-unit case, distinct from CRASH_ENV's crash-at-init.
+CRASH_UNIT_ENV = "REPRO_EXECUTOR_TEST_CRASH_UNIT"
+
 
 class ExecutorError(RuntimeError):
     """A worker pool failed in a way that loses results."""
@@ -85,6 +90,22 @@ class FuzzUnit:
 # -- per-unit determinism ----------------------------------------------------
 
 
+def unit_work_key(
+    kind: str, unit, repetitions: int
+) -> Tuple[str, int, Tuple[str, ...]]:
+    """Canonical content key for one work unit.
+
+    Two work units with equal keys produce byte-identical results on
+    worlds built from the same :class:`~repro.geo.countries.WorldSpec`
+    (:func:`prepare_unit` makes every unit a pure function of the world
+    spec and the unit's content). The campaign service coalesces
+    duplicate requests on exactly this key — prefixed with the world's
+    identity — so "identical work" is a content question, never an
+    object-identity or submission-order question.
+    """
+    return (kind, repetitions, tuple(unit.key))
+
+
 def unit_seed(world_seed: int, kind: str, key: Sequence[str]) -> int:
     """Deterministic RNG seed for one work unit.
 
@@ -118,8 +139,12 @@ def prepare_unit(world: StudyWorld, kind: str, key: Sequence[str]) -> None:
 
 
 @dataclass
-class _Toolset:
-    """Tracers/fuzzer bound to one world instance."""
+class Toolset:
+    """Tracers/fuzzer bound to one world instance.
+
+    The single-unit execution surface shared by the serial path, the
+    worker processes and the campaign service (``repro.service``).
+    """
 
     world: StudyWorld
     remote_tracer: CenTrace
@@ -127,7 +152,7 @@ class _Toolset:
     fuzzer: CenFuzz
 
     @classmethod
-    def build(cls, world: StudyWorld, repetitions: int) -> "_Toolset":
+    def build(cls, world: StudyWorld, repetitions: int) -> "Toolset":
         trace_config = CenTraceConfig(repetitions=repetitions)
         remote = CenTrace(
             world.sim, world.remote_client, asdb=world.asdb, config=trace_config
@@ -171,11 +196,15 @@ class _Toolset:
         )
 
 
+#: Backwards-compatible private alias (pre-service-layer name).
+_Toolset = Toolset
+
+
 # -- per-unit telemetry ------------------------------------------------------
 
 
 def run_unit_instrumented(
-    toolset: _Toolset, method: str, unit, collect: bool
+    toolset: Toolset, method: str, unit, collect: bool
 ) -> Tuple[object, Optional[Dict]]:
     """Execute one unit, optionally under a fresh per-unit telemetry sink.
 
@@ -221,7 +250,7 @@ def run_unit_instrumented(
 
 # One toolset per worker process, built once by the pool initializer
 # around a private world replica.
-_WORKER_TOOLSET: Optional[_Toolset] = None
+_WORKER_TOOLSET: Optional[Toolset] = None
 _WORKER_COLLECT = False
 
 
@@ -232,12 +261,26 @@ def _worker_init(spec, repetitions: int, collect_telemetry: bool = False) -> Non
         # sees BrokenProcessPool, which must surface as ExecutorError.
         os._exit(17)
     world = spec.build()
-    _WORKER_TOOLSET = _Toolset.build(world, repetitions)
+    _WORKER_TOOLSET = Toolset.build(world, repetitions)
     _WORKER_COLLECT = collect_telemetry
+
+
+def _maybe_crash_mid_unit(unit) -> None:
+    """Die mid-campaign when CRASH_UNIT_ENV names this unit (tests only).
+
+    Runs in the worker process, after the pool initialized successfully
+    — the crash therefore loses an in-flight unit, which is the case
+    the executor must surface as a BrokenProcessPool-wrapped
+    ExecutorError instead of hanging the campaign.
+    """
+    needle = os.environ.get(CRASH_UNIT_ENV)
+    if needle and needle in "|".join(str(part) for part in unit.key):
+        os._exit(23)
 
 
 def _worker_trace(unit: TraceUnit):
     assert _WORKER_TOOLSET is not None, "worker initializer did not run"
+    _maybe_crash_mid_unit(unit)
     return run_unit_instrumented(
         _WORKER_TOOLSET, "run_trace", unit, _WORKER_COLLECT
     )
@@ -245,6 +288,7 @@ def _worker_trace(unit: TraceUnit):
 
 def _worker_fuzz(unit: FuzzUnit):
     assert _WORKER_TOOLSET is not None, "worker initializer did not run"
+    _maybe_crash_mid_unit(unit)
     return run_unit_instrumented(
         _WORKER_TOOLSET, "run_fuzz", unit, _WORKER_COLLECT
     )
@@ -275,7 +319,7 @@ class CampaignExecutor:
         self.workers = workers
         self.telemetry = telemetry
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._toolset: Optional[_Toolset] = None
+        self._toolset: Optional[Toolset] = None
         if workers is not None and workers >= 1:
             if world.spec is None:
                 raise ExecutorError(
@@ -314,6 +358,41 @@ class CampaignExecutor:
 
     def run_fuzz(self, units: Sequence[FuzzUnit]) -> List[EndpointFuzzReport]:
         return self._run(units, _worker_fuzz, "run_fuzz", "fuzz")
+
+    def run_unit(
+        self, kind: str, unit, collect: bool = False
+    ) -> Tuple[object, Optional[Dict]]:
+        """Execute ONE work unit — the campaign service's entry point.
+
+        Returns ``(result, snapshot)`` exactly as
+        :func:`run_unit_instrumented` does (``snapshot`` is ``None``
+        unless telemetry is collected; in pool mode collection follows
+        the executor's own telemetry flag, set at pool init). A worker
+        process that dies mid-unit surfaces as an
+        :class:`ExecutorError` whose ``__cause__`` is the pool's
+        ``BrokenProcessPool`` — callers retry on a fresh executor or
+        report the unit as failed; they never hang on a dead worker.
+        """
+        if kind == "trace":
+            method, worker_fn = "run_trace", _worker_trace
+        elif kind == "fuzz":
+            method, worker_fn = "run_fuzz", _worker_fuzz
+        else:
+            raise ExecutorError(f"unknown work-unit kind {kind!r}")
+        if self._pool is None:
+            return run_unit_instrumented(
+                self._local_toolset(), method, unit, collect
+            )
+        try:
+            return self._pool.submit(worker_fn, unit).result()
+        except BrokenProcessPool as exc:
+            raise ExecutorError(
+                f"a campaign worker process died while executing {kind} "
+                f"unit {getattr(unit, 'key', unit)!r} "
+                f"(workers={self.workers}); the in-flight result was "
+                "lost — retry on a fresh executor or report the unit "
+                "as failed"
+            ) from exc
 
     def _run(
         self, units: Sequence[object], worker_fn, method: str, stage: str
@@ -362,7 +441,7 @@ class CampaignExecutor:
             tel.add_wall(f"campaign.{stage}", wall_now() - wall0)
         return results
 
-    def _local_toolset(self) -> _Toolset:
+    def _local_toolset(self) -> Toolset:
         if self._toolset is None:
-            self._toolset = _Toolset.build(self.world, self.repetitions)
+            self._toolset = Toolset.build(self.world, self.repetitions)
         return self._toolset

@@ -235,6 +235,26 @@ def fuzz_report_from_dict(data: Dict) -> EndpointFuzzReport:
 
 
 # ---------------------------------------------------------------------------
+# Work-unit results (service streaming delivery)
+# ---------------------------------------------------------------------------
+
+
+def unit_result_to_dict(kind: str, result) -> Dict:
+    """Serialize one executor work-unit result by kind.
+
+    The campaign service delivers results per work unit rather than per
+    campaign; this dispatches to the same serializers ``save_campaign``
+    uses, so a streamed payload is byte-identical to the corresponding
+    record in a directly-saved campaign.
+    """
+    if kind == "trace":
+        return trace_result_to_dict(result)
+    if kind == "fuzz":
+        return fuzz_report_to_dict(result)
+    raise ValueError(f"unknown work-unit kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
 # CenProbe reports
 # ---------------------------------------------------------------------------
 
@@ -356,6 +376,28 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
         "counts": counts,
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return counts
+
+
+def save_service_run(
+    run_report: RunReport,
+    payloads: Iterable[Dict],
+    directory: Union[str, Path],
+) -> Dict[str, int]:
+    """Write one service run: delivered unit payloads + its run report.
+
+    Produces ``results.jsonl`` (one record per *delivered* unit, in
+    delivery order — coalesced duplicates appear once per subscriber,
+    as each client received them) and ``report.json`` in the same
+    format ``save_campaign`` uses, so ``repro report --run`` reads it.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts = {"results": _write_jsonl(directory / "results.jsonl", payloads)}
+    (directory / "report.json").write_text(
+        json.dumps(run_report.to_dict(), indent=2, sort_keys=True)
+    )
+    counts["report"] = 1
     return counts
 
 

@@ -1,0 +1,141 @@
+"""Request/result data model for the campaign service.
+
+A **request** is what a tenant submits: a batch of work units against
+one shared world. A **work unit** is the unit of coalescing; its key is
+pure content — world identity plus the executor's canonical unit key —
+so two requests naming the same measurement share one execution
+regardless of tenant, submission order, or interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..experiments.executor import FuzzUnit, TraceUnit, unit_work_key
+from ..geo.countries import StudyWorld, build_world
+from ..netsim.faults import FaultPlan
+
+
+class ServiceError(RuntimeError):
+    """The service could not accept or complete a request."""
+
+
+@dataclass(frozen=True)
+class WorldKey:
+    """Identity of a shared study world.
+
+    Worlds are pure functions of (country, seed, scale, fault plan), so
+    this frozen tuple both names the world for coalescing *and* suffices
+    to build it. A fault plan carried here is installed at construction
+    time — equivalent to ``run_campaign`` installing ``config.fault_plan``
+    on an already-built world.
+    """
+
+    country: str
+    seed: Optional[int] = None
+    scale: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def build(self) -> StudyWorld:
+        return build_world(
+            self.country,
+            seed=self.seed,
+            scale=self.scale,
+            fault_plan=self.fault_plan,
+        )
+
+
+Unit = Union[TraceUnit, FuzzUnit]
+
+
+def kind_of(unit: Unit) -> str:
+    """The executor work-unit kind ("trace" | "fuzz") for ``unit``."""
+    return "trace" if isinstance(unit, TraceUnit) else "fuzz"
+
+
+def work_key(world: WorldKey, unit: Unit, repetitions: int) -> Tuple:
+    """Global coalescing key: world identity + canonical unit content.
+
+    Two submissions with equal work keys are *the same measurement* —
+    the determinism contract (``executor.prepare_unit``) guarantees
+    byte-identical results, so the service computes one and delivers it
+    to every subscriber.
+    """
+    return (world,) + unit_work_key(kind_of(unit), unit, repetitions)
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """One tenant submission: a batch of probe work units.
+
+    ``priority`` orders the shared queue (lower runs first); ties run in
+    admission order. Rate limits and backpressure apply per *unit* at
+    admission, so a large batch from one tenant cannot starve others.
+    """
+
+    tenant: str
+    world: WorldKey
+    units: Tuple[Unit, ...]
+    repetitions: int = 3
+    priority: int = 1
+
+    def keys(self) -> List[Tuple]:
+        return [work_key(self.world, u, self.repetitions) for u in self.units]
+
+
+@dataclass
+class UnitResult:
+    """One delivered work-unit result (or failure report).
+
+    ``payload`` is the persist-layer serialization of ``result`` —
+    shared (read-only) between all subscribers of a coalesced unit.
+    """
+
+    key: Tuple
+    kind: str
+    unit: Unit
+    result: object = None  # CenTraceResult | EndpointFuzzReport
+    payload: Optional[Dict] = None
+    error: Optional[str] = None
+    # True when this delivery shared an execution requested elsewhere
+    # (the unit was already queued, running, or done when admitted).
+    coalesced: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ResultStream:
+    """Per-request incremental result delivery.
+
+    Results arrive in unit *completion* order — a coalesced unit whose
+    execution was already in flight may complete before an earlier
+    distinct unit from the same request. Iterate with ``async for``, or
+    drain everything with :meth:`collect`; the stream terminates after
+    exactly one result per submitted unit.
+    """
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._yielded = 0
+
+    def _deliver(self, result: UnitResult) -> None:
+        self._queue.put_nowait(result)
+
+    def __aiter__(self) -> "ResultStream":
+        return self
+
+    async def __anext__(self) -> UnitResult:
+        if self._yielded >= self.expected:
+            raise StopAsyncIteration
+        result = await self._queue.get()
+        self._yielded += 1
+        return result
+
+    async def collect(self) -> List[UnitResult]:
+        return [result async for result in self]

@@ -1,0 +1,444 @@
+"""The job queue: coalescing, priorities, rate limits, backpressure.
+
+Single-threaded by design: the service runs inside one asyncio event
+loop and executes work units synchronously on it, one at a time,
+through :meth:`~repro.experiments.executor.CampaignExecutor.run_unit`.
+That gives per-unit atomicity for free — no unit ever observes another
+unit's partial state — and combined with the executor's ``prepare_unit``
+reset protocol it yields the service's hard invariant:
+
+    **Scheduling decides when a unit runs, never what it computes.**
+    Per-work-unit results are byte-identical to a direct serial
+    ``run_campaign`` of the same configuration, regardless of request
+    interleaving, tenant mix, priorities, or coalescing.
+
+Flow control, all surfaced as ``service.*`` telemetry counters:
+
+* **Coalescing** — the unit's content key (:func:`~repro.service.jobs.
+  work_key`) indexes a unit-state table; duplicate submissions attach
+  to the pending/running entry (or are answered straight from the
+  done-cache) instead of enqueueing a second execution.
+* **Rate limiting** — per-tenant token buckets; one token admits one
+  unit (coalesced or not: tokens price tenant *demand*, not backend
+  work). Buckets refill on every service tick — a tick follows each
+  dispatched unit, and an idle dispatcher ticks whenever submitters are
+  parked on empty buckets, so throttling can never deadlock.
+* **Backpressure** — admission of *new* (non-coalesced) units awaits a
+  bounded count of queued-not-yet-started units. Duplicates are never
+  back-pressured; they add no backend work.
+* **Priorities** — a binary heap on ``(priority, admission_seq)``:
+  lower priority value first, FIFO within a priority level.
+* **Retry-or-report** — a unit whose worker process died
+  (:class:`~repro.experiments.executor.ExecutorError`) gets a fresh
+  executor and up to ``max_retries`` retries; if it keeps failing the
+  error is *delivered* to every subscriber as a failed
+  :class:`~repro.service.jobs.UnitResult` and the service keeps
+  serving. The queue never hangs on a dead worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.executor import CampaignExecutor, ExecutorError
+from ..geo.countries import StudyWorld
+from ..persist import unit_result_to_dict
+from ..telemetry import RunReport, Telemetry, wall_now
+from .jobs import (
+    ProbeRequest,
+    ResultStream,
+    ServiceError,
+    UnitResult,
+    WorldKey,
+    kind_of,
+    work_key,
+)
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs for one :class:`CampaignService`."""
+
+    #: Backpressure bound: max distinct work units queued-but-not-started.
+    #: Admission of new units awaits below this depth.
+    max_pending: int = 64
+    #: Per-tenant token-bucket refill, in tokens per service tick
+    #: (``None`` disables rate limiting). One token admits one unit.
+    rate: Optional[float] = None
+    #: Token-bucket capacity: how many units a tenant may burst-admit.
+    burst: int = 8
+    #: Retries (on a rebuilt executor) for units whose worker died.
+    max_retries: int = 1
+    #: Worker processes per world executor (``None`` = in-process).
+    workers: Optional[int] = None
+
+
+class _TokenBucket:
+    __slots__ = ("rate", "burst", "tokens")
+
+    def __init__(self, rate: Optional[float], burst: int) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+
+    def try_take(self) -> bool:
+        if self.rate is None:
+            return True
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def refill(self) -> None:
+        if self.rate is not None:
+            self.tokens = min(self.burst, self.tokens + self.rate)
+
+
+@dataclass
+class _UnitState:
+    """One distinct work unit's lifecycle inside the service."""
+
+    key: Tuple
+    world: WorldKey
+    kind: str
+    unit: object
+    repetitions: int
+    priority: int
+    seq: int
+    status: str = _PENDING
+    # (stream, coalesced) pairs awaiting this unit's completion.
+    subscribers: List[Tuple[ResultStream, bool]] = field(default_factory=list)
+    result: object = None
+    payload: Optional[Dict] = None
+    error: Optional[str] = None
+    attempts: int = 0
+
+
+class CampaignService:
+    """An asyncio front end serving the measurement engine to many clients.
+
+    Lifecycle::
+
+        async with CampaignService(ServiceConfig(...)) as service:
+            stream = await service.submit(request)
+            async for unit_result in stream:
+                ...
+
+    See the module docstring for the flow-control model and the
+    determinism-under-interleaving contract.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        # The service always carries an active sink: its counters ARE
+        # the ops surface (hit rate, queue depth, retries) that stats()
+        # and build_report() expose.
+        if telemetry is None or not telemetry.enabled:
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self._worlds: Dict[WorldKey, StudyWorld] = {}
+        self._executors: Dict[Tuple[WorldKey, int], CampaignExecutor] = {}
+        self._states: Dict[Tuple, _UnitState] = {}
+        self._heap: List[Tuple[int, int, Tuple]] = []
+        self._seq = 0
+        self._pending = 0  # distinct units queued-but-not-started
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._progress = asyncio.Condition()
+        self._wake = asyncio.Event()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._running = False
+        self._token_waiters = 0
+        self.max_depth = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> "CampaignService":
+        if not self._running:
+            self._running = True
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        self._running = False
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    async def __aenter__(self) -> "CampaignService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- worlds and executors -----------------------------------------
+
+    def world_for(self, key: WorldKey) -> StudyWorld:
+        """The shared world instance for ``key`` (built on first use)."""
+        world = self._worlds.get(key)
+        if world is None:
+            world = key.build()
+            self._worlds[key] = world
+        return world
+
+    def _executor_for(
+        self, world_key: WorldKey, repetitions: int
+    ) -> CampaignExecutor:
+        ekey = (world_key, repetitions)
+        executor = self._executors.get(ekey)
+        if executor is None:
+            executor = CampaignExecutor(
+                self.world_for(world_key),
+                repetitions=repetitions,
+                workers=self.config.workers,
+                telemetry=self.telemetry,
+            )
+            self._executors[ekey] = executor
+        return executor
+
+    def _discard_executor(self, world_key: WorldKey, repetitions: int) -> None:
+        executor = self._executors.pop((world_key, repetitions), None)
+        if executor is not None:
+            executor.close()
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(self, request: ProbeRequest) -> ResultStream:
+        """Admit one request; returns its :class:`ResultStream`.
+
+        Awaits per-tenant rate-limit tokens and (for new units)
+        backpressure capacity — callers therefore experience admission
+        control, not an unbounded fire-and-forget queue.
+        """
+        if not self._running:
+            raise ServiceError(
+                "service is not running — enter 'async with "
+                "CampaignService(...)' or await start() first"
+            )
+        tel = self.telemetry
+        tel.count("service.requests")
+        stream = ResultStream(len(request.units))
+        bucket = self._buckets.get(request.tenant)
+        if bucket is None:
+            bucket = _TokenBucket(self.config.rate, self.config.burst)
+            self._buckets[request.tenant] = bucket
+        for unit in request.units:
+            tel.count("service.units_requested")
+            await self._admit_tokens(bucket)
+            key = work_key(request.world, unit, request.repetitions)
+            state = self._states.get(key)
+            if state is None:
+                await self._admit_backpressure()
+                # Re-check: while this task awaited capacity, another
+                # submitter may have admitted the same unit. Missing
+                # this re-check double-enqueues the key and orphans the
+                # first state's subscribers.
+                state = self._states.get(key)
+            if state is not None:
+                tel.count("service.coalesced")
+                if state.status in (_DONE, _FAILED):
+                    tel.count("service.coalesced_cached")
+                    stream._deliver(self._result_for(state, coalesced=True))
+                else:
+                    tel.count("service.coalesced_inflight")
+                    state.subscribers.append((stream, True))
+                continue
+            self._seq += 1
+            state = _UnitState(
+                key=key,
+                world=request.world,
+                kind=kind_of(unit),
+                unit=unit,
+                repetitions=request.repetitions,
+                priority=request.priority,
+                seq=self._seq,
+            )
+            state.subscribers.append((stream, False))
+            self._states[key] = state
+            heapq.heappush(self._heap, (request.priority, self._seq, key))
+            self._pending += 1
+            if self._pending > self.max_depth:
+                self.max_depth = self._pending
+            tel.count("service.units_enqueued")
+            self._wake.set()
+            # Yield so the dispatcher can interleave with bulk
+            # submissions instead of the whole batch landing first.
+            await asyncio.sleep(0)
+        return stream
+
+    async def _admit_tokens(self, bucket: _TokenBucket) -> None:
+        if bucket.try_take():
+            return
+        # Counted once per blocked admission (not per recheck): the
+        # number of unit admissions the rate limiter actually delayed.
+        self.telemetry.count("service.rate_limited_waits")
+        async with self._progress:
+            while not bucket.try_take():
+                self._token_waiters += 1
+                self._wake.set()
+                try:
+                    await self._progress.wait()
+                finally:
+                    self._token_waiters -= 1
+
+    async def _admit_backpressure(self) -> None:
+        if self._pending < self.config.max_pending:
+            return
+        self.telemetry.count("service.backpressure_waits")
+        async with self._progress:
+            while self._pending >= self.config.max_pending:
+                self._wake.set()
+                await self._progress.wait()
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while self._running:
+            if self._heap:
+                _, _, key = heapq.heappop(self._heap)
+                state = self._states[key]
+                self._pending -= 1
+                state.status = _RUNNING
+                self._execute(state)
+                await self._tick()
+            elif self._token_waiters:
+                # Submitters are parked on empty buckets with nothing
+                # in flight to drive refills: tick so rate limiting
+                # throttles contention without deadlocking an idle
+                # queue.
+                await self._tick()
+            else:
+                self._wake.clear()
+                if self._heap or self._token_waiters or not self._running:
+                    continue
+                await self._wake.wait()
+
+    async def _tick(self) -> None:
+        """One service tick: refill every bucket, wake every waiter."""
+        for tenant in sorted(self._buckets):
+            self._buckets[tenant].refill()
+        async with self._progress:
+            self._progress.notify_all()
+        # Hand the loop to woken submitters before the next dispatch.
+        await asyncio.sleep(0)
+
+    def _execute(self, state: _UnitState) -> None:
+        """Run one unit to completion (or final failure) and fan out.
+
+        Synchronous on the event loop: per-unit atomicity is structural,
+        not locked-for.
+        """
+        tel = self.telemetry
+        last_error: Optional[BaseException] = None
+        attempts = 1 + max(0, self.config.max_retries)
+        for attempt in range(attempts):
+            state.attempts = attempt + 1
+            executor = self._executor_for(state.world, state.repetitions)
+            wall0 = wall_now()
+            try:
+                result, snapshot = executor.run_unit(
+                    state.kind, state.unit, collect=True
+                )
+            except ExecutorError as exc:
+                last_error = exc
+                # The executor's pool is broken; rebuild it for the
+                # retry (and for every later unit on this world).
+                self._discard_executor(state.world, state.repetitions)
+                if attempt + 1 < attempts:
+                    tel.count("service.unit_retries")
+                    continue
+                tel.count("service.unit_failures")
+                break
+            except Exception as exc:  # defensive: report, never hang
+                last_error = exc
+                tel.count("service.unit_failures")
+                break
+            state.status = _DONE
+            state.result = result
+            state.payload = unit_result_to_dict(state.kind, result)
+            if snapshot is not None:
+                tel.merge_snapshot(snapshot)
+                tel.add_virtual("service.unit", snapshot["virtual_seconds"])
+                tel.record_unit_wall(
+                    "service", snapshot["wall_seconds"], snapshot["pid"]
+                )
+            else:
+                # Pool mode with collection disabled at pool init still
+                # contributes to the latency surface.
+                tel.record_unit_wall("service", wall_now() - wall0, 0)
+            tel.count("service.units_executed")
+            self._fanout(state)
+            return
+        state.status = _FAILED
+        state.error = f"{type(last_error).__name__}: {last_error}"
+        self._fanout(state)
+
+    def _fanout(self, state: _UnitState) -> None:
+        for stream, coalesced in state.subscribers:
+            stream._deliver(self._result_for(state, coalesced=coalesced))
+        state.subscribers = []
+
+    def _result_for(self, state: _UnitState, coalesced: bool) -> UnitResult:
+        return UnitResult(
+            key=state.key,
+            kind=state.kind,
+            unit=state.unit,
+            result=state.result,
+            payload=state.payload,
+            error=state.error,
+            coalesced=coalesced,
+            attempts=state.attempts,
+        )
+
+    # -- observability ------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Live operational stats, derived from the service counters."""
+        counters = self.telemetry.counters
+        requested = counters.get("service.units_requested", 0)
+        coalesced = counters.get("service.coalesced", 0)
+        return {
+            "requests": counters.get("service.requests", 0),
+            "units_requested": requested,
+            "units_executed": counters.get("service.units_executed", 0),
+            "coalesced": coalesced,
+            "coalescing_hit_rate": (coalesced / requested) if requested else 0.0,
+            "rate_limited_waits": counters.get("service.rate_limited_waits", 0),
+            "backpressure_waits": counters.get("service.backpressure_waits", 0),
+            "unit_retries": counters.get("service.unit_retries", 0),
+            "unit_failures": counters.get("service.unit_failures", 0),
+            "max_queue_depth": self.max_depth,
+        }
+
+    def build_report(self, meta: Optional[Dict] = None) -> RunReport:
+        """Freeze the service sink into a RunReport.
+
+        Queue depth and the coalescing hit rate are wall-layer facts
+        (they depend on request interleaving, which must never enter
+        the identity sections).
+        """
+        stats = self.stats()
+        return self.telemetry.build_report(
+            meta=dict(meta or {}),
+            wall_extra={
+                "queue_depth_max": self.max_depth,
+                "coalescing_hit_rate": round(
+                    stats["coalescing_hit_rate"], 4
+                ),
+            },
+        )

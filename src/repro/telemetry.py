@@ -271,6 +271,7 @@ class Telemetry:
             stages: Dict[str, Dict] = {}
             for stage, samples in sorted(self.unit_wall.items()):
                 seconds = [s for s, _ in samples]
+                ordered = sorted(seconds)
                 by_pid: Dict[str, int] = {}
                 for _, pid in samples:
                     key = str(pid)
@@ -282,6 +283,16 @@ class Telemetry:
                         "min": round(min(seconds), 6),
                         "max": round(max(seconds), 6),
                         "mean": round(sum(seconds) / len(seconds), 6),
+                        # Nearest-rank percentiles over per-unit wall
+                        # latency (the service's p50/p99 ops surface):
+                        # rank = ceil(p/100 * n), so p99 of a small
+                        # sample is its max, never below p50.
+                        "p50": round(
+                            ordered[(50 * len(ordered) + 99) // 100 - 1], 6
+                        ),
+                        "p99": round(
+                            ordered[(99 * len(ordered) + 99) // 100 - 1], 6
+                        ),
                         "total": round(sum(seconds), 6),
                     },
                     # Shard balance: units executed per worker process.
@@ -414,6 +425,7 @@ class RunReport:
             lines.append(
                 f"  {stage}: {info.get('units', 0)} units, "
                 f"unit wall mean={unit.get('mean', 0):.4f}s "
+                f"p99={unit.get('p99', unit.get('max', 0)):.4f}s "
                 f"max={unit.get('max', 0):.4f}s; "
                 f"workers={{"
                 + ", ".join(f"{pid}: {n}" for pid, n in workers.items())

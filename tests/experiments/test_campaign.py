@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.campaign import (
     CampaignConfig,
+    campaign_cache_key,
     clear_campaign_cache,
     get_campaign,
     run_campaign,
@@ -81,3 +82,43 @@ class TestConfig:
         different = get_campaign("AZ", scale=0.25, repetitions=2)
         assert different is not first
         clear_campaign_cache()
+
+    def test_cache_key_covers_every_config_field(self):
+        """Regression guard for the silent-aliasing bug: adding a field
+        to CampaignConfig without keying it made get_campaign return
+        stale campaigns. The key is now derived from
+        dataclasses.fields(), so flipping ANY field — including ones
+        added after this test was written — must change the key."""
+        import dataclasses
+
+        from repro.netsim.faults import FaultPlan
+
+        config = CampaignConfig()
+        base = campaign_cache_key("AZ", 0.35, 7, config)
+        assert len(base) == 3 + len(dataclasses.fields(CampaignConfig))
+        for field in dataclasses.fields(CampaignConfig):
+            value = getattr(config, field.name)
+            if isinstance(value, bool):
+                other = not value
+            elif isinstance(value, int):
+                other = value + 1
+            elif isinstance(value, tuple):
+                other = value[:-1]
+            elif value is None and field.name == "fault_plan":
+                other = FaultPlan.from_spec("lossy")
+            elif value is None:
+                other = 7
+            else:
+                raise AssertionError(
+                    f"CampaignConfig.{field.name} has a type this test "
+                    "cannot vary — extend the test AND make sure the "
+                    "field stays hashable so it can live in the cache key"
+                )
+            varied = dataclasses.replace(config, **{field.name: other})
+            assert campaign_cache_key("AZ", 0.35, 7, varied) != base, (
+                f"cache key ignores CampaignConfig.{field.name}"
+            )
+        # World coordinates are keyed too.
+        assert campaign_cache_key("KZ", 0.35, 7, config) != base
+        assert campaign_cache_key("AZ", 0.5, 7, config) != base
+        assert campaign_cache_key("AZ", 0.35, 8, config) != base

@@ -11,8 +11,11 @@ from repro.experiments.executor import (
     CampaignExecutor,
     ExecutorError,
     CRASH_ENV,
+    CRASH_UNIT_ENV,
+    FuzzUnit,
     TraceUnit,
     unit_seed,
+    unit_work_key,
 )
 from repro.geo.countries import WorldSpec, build_world
 from repro.persist import save_campaign
@@ -119,6 +122,62 @@ def test_worker_crash_surfaces_clearly(monkeypatch):
     with CampaignExecutor(world, repetitions=2, workers=2) as executor:
         with pytest.raises(ExecutorError, match="worker process died"):
             executor.run_traces(units)
+
+
+def test_worker_crash_mid_unit_fails_fast_with_cause(monkeypatch):
+    """A worker that hard-exits while EXECUTING a unit (after a healthy
+    pool init) must fail that unit with a BrokenProcessPool-wrapped
+    ExecutorError — never hang the campaign awaiting a dead process."""
+    world = build_world("AZ", seed=7, scale=0.35)
+    unit = TraceUnit("remote", world.endpoints[0].ip, "example.com", "http")
+    monkeypatch.setenv(
+        CRASH_UNIT_ENV, "|".join(str(part) for part in unit.key)
+    )
+    with CampaignExecutor(world, repetitions=2, workers=2) as executor:
+        with pytest.raises(ExecutorError, match="worker process died") as info:
+            executor.run_unit("trace", unit)
+    from concurrent.futures.process import BrokenProcessPool
+
+    assert isinstance(info.value.__cause__, BrokenProcessPool)
+    # A fresh executor (rebuilt pool) runs unaffected units fine — the
+    # retry-or-report path the service takes.
+    healthy = TraceUnit(
+        "remote", world.endpoints[1].ip, "example.com", "http"
+    )
+    with CampaignExecutor(world, repetitions=2, workers=2) as executor:
+        result, _ = executor.run_unit("trace", healthy)
+    assert result.endpoint_ip == healthy.endpoint_ip
+
+
+def test_run_unit_matches_batch_path(tmp_path):
+    """run_unit (the service's entry point) returns the same results as
+    the batch run_traces/run_fuzz path, serial and parallel."""
+    world = build_world("AZ", seed=7, scale=0.35)
+    units = [
+        TraceUnit("remote", endpoint.ip, world.test_domains[0], "http")
+        for endpoint in world.endpoints[:2]
+    ]
+    with CampaignExecutor(world, repetitions=2) as executor:
+        batch = executor.run_traces(units)
+        singles = [executor.run_unit("trace", unit)[0] for unit in units]
+    for via_batch, via_unit in zip(batch, singles):
+        assert via_batch.__dict__.keys() == via_unit.__dict__.keys()
+        assert via_batch.blocked == via_unit.blocked
+        assert via_batch.blocking_type == via_unit.blocking_type
+        assert via_batch.control_hops == via_unit.control_hops
+    with pytest.raises(ExecutorError, match="unknown work-unit kind"):
+        with CampaignExecutor(world, repetitions=2) as executor:
+            executor.run_unit("banner", units[0])
+
+
+def test_unit_work_key_is_pure_content():
+    trace = TraceUnit("remote", "1.2.3.4", "x.example", "http")
+    same = TraceUnit("remote", "1.2.3.4", "x.example", "http")
+    fuzz = FuzzUnit("1.2.3.4", "x.example", "http")
+    assert unit_work_key("trace", trace, 2) == unit_work_key("trace", same, 2)
+    # Kind and repetitions are part of the content.
+    assert unit_work_key("trace", trace, 2) != unit_work_key("trace", trace, 3)
+    assert unit_work_key("fuzz", fuzz, 2) != unit_work_key("trace", trace, 2)
 
 
 def test_handbuilt_world_rejects_parallel():

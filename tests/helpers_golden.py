@@ -17,6 +17,15 @@ from repro.netsim.faults import FaultPlan
 from repro.persist import save_campaign
 
 
+def digest_dir(out: Path) -> str:
+    """Canonical sha256 over a saved campaign directory (name + bytes)."""
+    digest = hashlib.sha256()
+    for path in sorted(out.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
 def campaign_digest(
     tmp_path: Path,
     country: str,
@@ -43,8 +52,4 @@ def campaign_digest(
     campaign = run_campaign(world, config, workers=workers)
     out = tmp_path / tag
     save_campaign(campaign, str(out))
-    digest = hashlib.sha256()
-    for path in sorted(out.iterdir()):
-        digest.update(path.name.encode())
-        digest.update(path.read_bytes())
-    return digest.hexdigest(), campaign
+    return digest_dir(out), campaign

@@ -177,6 +177,127 @@ class TestCampaign:
         assert main(["report", "--run", str(tmp_path)]) == 2
         assert "--metrics" in capsys.readouterr().err
 
+    def test_report_run_missing_directory_errors(self, capsys, tmp_path):
+        assert main(["report", "--run", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_run_format_version_1_dir(self, capsys, tmp_path):
+        # A directory saved before FORMAT_VERSION 2 has a meta.json but
+        # no report.json; the CLI must say so, not traceback.
+        (tmp_path / "meta.json").write_text(
+            json.dumps({"version": 1, "country": "AZ"})
+        )
+        assert main(["report", "--run", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "format-version 1" in err
+        assert "Traceback" not in err
+
+    def test_report_run_no_telemetry_dir(self, capsys, tmp_path):
+        (tmp_path / "meta.json").write_text(
+            json.dumps({"version": 2, "has_report": False})
+        )
+        assert main(["report", "--run", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "without telemetry" in err
+
+    def test_report_run_partially_written_report(self, capsys, tmp_path):
+        # Simulate a crash mid-write: truncated JSON must degrade to a
+        # clear message + exit 2, never a traceback.
+        (tmp_path / "report.json").write_text('{"counters": {"a"')
+        assert main(["report", "--run", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "partially written" in err
+        assert "Traceback" not in err
+        # Valid JSON with wrong-typed sections is equally truncated.
+        (tmp_path / "report.json").write_text('{"counters": 5}')
+        assert main(["report", "--run", str(tmp_path)]) == 2
+        assert "partially written" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_swarm_and_report_round_trip(self, capsys, tmp_path):
+        out_dir = tmp_path / "svc"
+        code = main(
+            [
+                "serve",
+                "--country",
+                "AZ",
+                "--seed",
+                "7",
+                "--scale",
+                "0.35",
+                "--requests",
+                "60",
+                "--tenants",
+                "4",
+                "--interleave-seed",
+                "1",
+                "--verify",
+                "--min-hit-rate",
+                "0.3",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "VERIFIED vs direct run" in out
+        # The saved run round-trips through `repro report --run`.
+        assert main(["report", "--run", str(out_dir)]) == 0
+        rendered = capsys.readouterr().out
+        assert "service.units_executed" in rendered
+        results = (out_dir / "results.jsonl").read_text().splitlines()
+        assert results
+        for line in results:
+            json.loads(line)
+
+    def test_serve_json_output(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--country",
+                "AZ",
+                "--seed",
+                "7",
+                "--scale",
+                "0.35",
+                "--requests",
+                "40",
+                "--tenants",
+                "4",
+                "--interleave-seed",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["units_requested"] > 0
+        assert data["stats"]["unit_failures"] == 0
+        assert data["stats"]["coalescing_hit_rate"] > 0
+
+    def test_serve_min_hit_rate_failure(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--country",
+                "AZ",
+                "--seed",
+                "7",
+                "--scale",
+                "0.35",
+                "--requests",
+                "20",
+                "--tenants",
+                "2",
+                "--min-hit-rate",
+                "1.1",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_table2(self, capsys):

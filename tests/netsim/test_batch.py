@@ -416,6 +416,85 @@ class TestFallback:
 
 
 # ---------------------------------------------------------------------------
+# Fallback accounting: the counter is the audit trail for "which engine
+# actually walked this probe", so it must tally exactly the probes the
+# scalar engine ran — not approximately.
+# ---------------------------------------------------------------------------
+
+
+def count_forward_transits(sim):
+    """Wrap ``sim._run_transit`` to tally client-probe walks.
+
+    Only :func:`~repro.netsim.simulator.Simulator.send_from_client`
+    creates POLICY_FORWARD transits, so counting them counts exactly
+    the probes the *scalar* engine walked end to end (responses,
+    expiries and injections use other policies).
+    """
+    from repro.netsim.simulator import POLICY_FORWARD
+
+    counts = {"forward": 0}
+    inner = sim._run_transit
+
+    def counting(transit, deliveries):
+        if transit.policy is POLICY_FORWARD:
+            counts["forward"] += 1
+        return inner(transit, deliveries)
+
+    sim._run_transit = counting
+    return counts
+
+
+class TestFallbackAccounting:
+    def drive(self, sim, n=6):
+        tel = Telemetry()
+        sim.set_telemetry(tel)
+        counts = count_forward_transits(sim)
+        engine = BatchEngine(sim)
+        for i in range(n):
+            packet = tcp_packet(
+                CLIENT_IP,
+                ENDPOINT_IP,
+                40000 + i,
+                80,
+                flags=tcpmod.SYN,
+                seq=100 + i,
+                ttl=64,
+                net=sim.net_context,
+            )
+            engine.send(packet)
+        return tel.counters, counts["forward"]
+
+    def test_fallback_counter_equals_scalar_walks_under_faults(self):
+        world = world_plain()
+        sim = world.sim
+        sim.set_fault_plan(PRESETS["lossy"])
+        counters, forwards = self.drive(sim, n=6)
+        # Every probe fell back, and every fallback really went through
+        # the scalar engine's transit walk — one POLICY_FORWARD transit
+        # per probe, no fast-path leakage.
+        assert counters.get("sim.batch_scalar_fallback") == 6
+        assert forwards == 6
+        assert "sim.batch_fast_path" not in counters
+
+    def test_fallback_counter_equals_scalar_walks_under_capture(self):
+        world = world_plain()
+        sim = Simulator(world.topology, seed=7, capture=True)
+        counters, forwards = self.drive(sim, n=4)
+        assert counters.get("sim.batch_scalar_fallback") == 4
+        assert forwards == 4
+        assert "sim.batch_fast_path" not in counters
+
+    def test_fast_path_never_enters_the_scalar_walk(self):
+        world = world_plain()
+        counters, forwards = self.drive(world.sim, n=5)
+        # Clean world: the batched walk handles everything; the scalar
+        # transit engine must see zero client probes.
+        assert counters.get("sim.batch_fast_path") == 5
+        assert "sim.batch_scalar_fallback" not in counters
+        assert forwards == 0
+
+
+# ---------------------------------------------------------------------------
 # The exhaustive grid (--runslow)
 # ---------------------------------------------------------------------------
 

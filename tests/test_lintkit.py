@@ -301,6 +301,55 @@ class TestLayering:
         )
         assert found == []
 
+    def test_service_only_importable_from_cli(self, tmp_path):
+        # The job-queue front end sits above the engine: experiments
+        # (or anything else engine-side) importing it inverts the DAG.
+        write_module(tmp_path, "repro.service.queue", "X = 1\n")
+        found = lint_module(
+            tmp_path,
+            "repro.experiments.mod",
+            "from repro.service.queue import X\n",
+            select=["RP401"],
+        )
+        assert rule_ids(found) == ["RP401"]
+        assert "may only be imported by" in found[0].message
+
+    def test_restricted_importers_bind_wildcard_layers(self, tmp_path):
+        # The package root holds a "*" allowance, but RESTRICTED_IMPORTERS
+        # is checked regardless of wildcards: only cli may touch service,
+        # so the root must not re-export it.
+        write_module(tmp_path, "repro.service.queue", "X = 1\n")
+        (tmp_path / "repro" / "__init__.py").write_text(
+            "from repro.service.queue import X\n"
+        )
+        violations, _ = lintkit.lint(
+            [tmp_path], root=tmp_path, select=["RP401"]
+        )
+        assert rule_ids(violations) == ["RP401"]
+
+    def test_cli_importing_service_clean(self, tmp_path):
+        write_module(tmp_path, "repro.service.queue", "X = 1\n")
+        found = lint_module(
+            tmp_path,
+            "repro.cli",
+            "from repro.service.queue import X\n",
+            select=["RP401"],
+        )
+        assert found == []
+
+    def test_service_imports_engine_clean(self, tmp_path):
+        # The allowed downward edges: service -> experiments/telemetry.
+        write_module(tmp_path, "repro.experiments.executor", "X = 1\n")
+        write_module(tmp_path, "repro.telemetry", "T = 1\n")
+        found = lint_module(
+            tmp_path,
+            "repro.service.queue",
+            "from repro.experiments.executor import X\n"
+            "from repro.telemetry import T\n",
+            select=["RP401"],
+        )
+        assert found == []
+
     def test_resolve_relative(self):
         assert (
             resolve_relative("repro.core.cenfuzz.dns_fuzz", False, 3, "netmodel.dns")

@@ -174,6 +174,23 @@ class TestRunReport:
         assert stages["traces"]["units_by_worker"] == {"100": 1, "101": 1}
         assert self._report().wall["workers_requested"] == 4
 
+    def test_wall_stage_percentiles(self):
+        # Nearest-rank p50/p99 over the per-unit wall latencies; with
+        # two samples p50 is the lower one and p99 the upper one.
+        unit_seconds = self._report().wall["stages"]["traces"]["unit_seconds"]
+        assert unit_seconds["p50"] == pytest.approx(0.25)
+        assert unit_seconds["p99"] == pytest.approx(0.75)
+        tel = Telemetry()
+        for i in range(100):
+            tel.record_unit_wall("svc", i / 100.0, 0)
+        report = tel.build_report(meta={})
+        stats = report.wall["stages"]["svc"]["unit_seconds"]
+        assert stats["p50"] == pytest.approx(0.49)
+        assert stats["p99"] == pytest.approx(0.98)
+        assert stats["min"] <= stats["p50"] <= stats["p99"] <= stats["max"]
+        # The rendered report surfaces the tail latency.
+        assert "p99" in report.render()
+
     def test_round_trips_through_dict(self):
         report = self._report()
         restored = RunReport.from_dict(

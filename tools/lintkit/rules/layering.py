@@ -56,6 +56,18 @@ LAYER_DEPS: Dict[str, Set[str]] = {
         "telemetry",
         "viz",
     },
+    # The campaign service (job queue) sits ABOVE the engine: it may
+    # drive the executor and report telemetry, but the engine must
+    # never grow a dependency on its own front end.
+    "service": {
+        "core",
+        "experiments",
+        "geo",
+        "netmodel",
+        "netsim",
+        "persist",
+        "telemetry",
+    },
     "cli": {"*"},
     # The package root re-exports the public API.
     "<root>": {"*"},
@@ -63,6 +75,13 @@ LAYER_DEPS: Dict[str, Set[str]] = {
 
 #: No layer may import these, ever (entry points only).
 NEVER_IMPORTED = {"cli"}
+
+#: package -> the only layers allowed to import it. Checked before the
+#: per-importer allowance and regardless of a ``*`` wildcard, so even
+#: ``cli``-like layers and the package root are bound by it.
+RESTRICTED_IMPORTERS: Dict[str, Set[str]] = {
+    "service": {"cli"},
+}
 
 PACKAGE = "repro"
 
@@ -164,6 +183,7 @@ class LayerMapRule(ProjectRule):
     #: Overridable in tests.
     layer_deps = LAYER_DEPS
     never_imported = NEVER_IMPORTED
+    restricted_importers = RESTRICTED_IMPORTERS
 
     def check_project(
         self, contexts: Sequence[FileContext]
@@ -191,6 +211,20 @@ class LayerMapRule(ProjectRule):
                                 f"{ctx.module} imports {resolved} — "
                                 f"{dst_layer!r} is an entry point no layer "
                                 "may import",
+                            )
+                        )
+                    elif (
+                        dst_layer in self.restricted_importers
+                        and src_layer
+                        not in self.restricted_importers[dst_layer]
+                    ):
+                        violations.append(
+                            self._violation(
+                                ctx,
+                                lineno,
+                                f"{ctx.module} imports {resolved} — "
+                                f"{dst_layer!r} may only be imported by "
+                                f"{sorted(self.restricted_importers[dst_layer])}",
                             )
                         )
                     elif (
