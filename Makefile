@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-update chaos lint serve-smoke
+.PHONY: test bench bench-update chaos lint serve-smoke epochs-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,28 @@ serve-smoke:
 	$(PYTHON) -m repro.cli serve --country AZ --seed 7 --scale 0.35 \
 	  --requests 1000 --tenants 8 --interleave-seed 1 \
 	  --min-hit-rate 0.5 --verify
+
+# Longitudinal observatory smoke (the CI epochs-smoke job): a 3-epoch
+# drifted KZ campaign into a temp dir, then 2 continuation epochs that
+# must answer >= 80% of units from the persisted cache, then one
+# transition query against the fact store. The plan flips the KZ
+# ingress device (dev16, AS 9198) drop -> rst -> blockpage, so the
+# transitions output shows TIMEOUT -> RST -> HTTP.
+EPOCHS_PLAN := {"name":"smoke","ops":[ \
+  {"epoch":1,"kind":"firmware","target":"dev16","action_kind":"rst"}, \
+  {"epoch":2,"kind":"firmware","target":"dev16","action_kind":"blockpage"}]}
+epochs-smoke:
+	rm -rf /tmp/repro-epochs-smoke
+	$(PYTHON) -m repro.cli epochs --country KZ --seed 11 --scale 0.35 \
+	  --epochs 3 --drift-plan '$(EPOCHS_PLAN)' --repetitions 2 \
+	  --max-endpoints 4 --fuzz-max-endpoints 2 --metrics \
+	  --out /tmp/repro-epochs-smoke
+	$(PYTHON) -m repro.cli epochs --country KZ --seed 11 --scale 0.35 \
+	  --epochs 2 --drift-plan '$(EPOCHS_PLAN)' --repetitions 2 \
+	  --max-endpoints 4 --fuzz-max-endpoints 2 --metrics \
+	  --out /tmp/repro-epochs-smoke --min-reuse 0.8
+	$(PYTHON) -m repro.cli facts query \
+	  --store /tmp/repro-epochs-smoke/facts --transitions
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

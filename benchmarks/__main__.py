@@ -113,8 +113,16 @@ def measure_campaign(scale: float, repetitions: int) -> dict:
             save_campaign(campaign, tmp)
             digest = hashlib.sha256()
             for path in sorted(Path(tmp).iterdir()):
+                data = path.read_bytes()
+                if path.name == "meta.json":
+                    # meta v3's environment section records execution
+                    # shape (worker count), not measurement content —
+                    # excluded from the identity check.
+                    meta = json.loads(data)
+                    meta.pop("environment", None)
+                    data = json.dumps(meta, sort_keys=True).encode()
                 digest.update(path.name.encode())
-                digest.update(path.read_bytes())
+                digest.update(data)
         return elapsed, digest.hexdigest(), campaign
 
     serial_s, serial_digest, campaign = timed(None)

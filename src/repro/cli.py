@@ -8,6 +8,9 @@ CenTrace/CenFuzz/CenProbe binaries are driven.
     repro cenfuzz  --country KZ --strategy "Get Word Alt."
     repro cenprobe --country KZ                   # scan device IPs
     repro campaign --country AZ --out data/az    # run + save raw data
+    repro epochs --country KZ --drift-plan auto --out data/kz-obs
+    repro facts query --store data/kz-obs/facts --subject as:9198 \
+        --predicate blocks_with --transitions
     repro experiment table1                       # regenerate a table/figure
     repro report --out EXPERIMENTS.md             # the full document
 """
@@ -25,6 +28,7 @@ from .core.centrace import CenTrace, CenTraceConfig
 from .geo.countries import COUNTRIES, build_world
 from .netsim.faults import FaultPlan
 from .persist import (
+    PersistError,
     fuzz_report_to_dict,
     probe_report_to_dict,
     save_campaign,
@@ -318,6 +322,131 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_epochs(args: argparse.Namespace) -> int:
+    from .experiments.campaign import CampaignConfig
+    from .geo.drift import DriftPlan, auto_drift_plan
+    from .store import run_observatory
+    from .telemetry import NULL_TELEMETRY, Telemetry
+
+    config = CampaignConfig(
+        repetitions=args.repetitions,
+        max_endpoints=args.max_endpoints,
+        fuzz_max_endpoints=args.fuzz_max_endpoints,
+        fault_plan=(
+            FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
+        ),
+    )
+    plan = None
+    if args.drift_plan:
+        if args.drift_plan == "auto":
+            world = build_world(args.country, seed=args.seed, scale=args.scale)
+            plan = auto_drift_plan(
+                world, epochs=args.epochs, seed=args.drift_seed
+            )
+        else:
+            plan = DriftPlan.from_spec(args.drift_plan)
+    telemetry = Telemetry() if args.metrics else None
+    summary = run_observatory(
+        args.country,
+        args.out,
+        epochs=args.epochs,
+        seed=args.seed,
+        scale=args.scale,
+        config=config,
+        drift_plan=plan,
+        workers=args.workers,
+        telemetry=telemetry if telemetry is not None else NULL_TELEMETRY,
+    )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        for r in summary.epoch_results:
+            print(
+                f"epoch {r.epoch}: {r.total_units} units, "
+                f"{r.reused_units} reused ({r.reuse_rate:.0%}), "
+                f"{r.drift_ops_applied} drift op(s) live"
+            )
+        print(
+            f"-- {summary.epochs} epochs into {summary.out_dir}: "
+            f"{summary.reused_units}/{summary.total_units} units reused "
+            f"({summary.reuse_rate:.0%})"
+        )
+        if telemetry is not None:
+            store_counters = {
+                k: v
+                for k, v in sorted(telemetry.counters.items())
+                if k.startswith("store.")
+            }
+            print(f"-- counters: {json.dumps(store_counters)}")
+    if args.min_reuse is not None and summary.reuse_rate < args.min_reuse:
+        print(
+            f"FAIL: unit reuse rate {summary.reuse_rate:.1%} below "
+            f"--min-reuse {args.min_reuse:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_facts_query(args: argparse.Namespace) -> int:
+    from .store import FactStore
+
+    store = FactStore(args.store)
+    if not store.epochs():
+        print(
+            f"fact store {args.store!r} holds no epochs — run "
+            "'repro epochs' or 'repro facts extract' first",
+            file=sys.stderr,
+        )
+        return 2
+    if args.transitions:
+        transitions = store.transitions(
+            subject=args.subject, predicate=args.predicate
+        )
+        if args.json:
+            print(json.dumps([t.to_dict() for t in transitions], indent=2))
+            return 0
+        for t in transitions:
+            before = ", ".join(t.before) or "-"
+            after = ", ".join(t.after) or "-"
+            print(
+                f"{t.subject} {t.predicate}: epoch {t.epoch}: "
+                f"{{{before}}} -> {{{after}}}"
+            )
+        print(f"-- {len(transitions)} transition(s)")
+        return 0
+    intervals = store.intervals(
+        subject=args.subject, predicate=args.predicate, obj=args.object
+    )
+    if args.json:
+        print(json.dumps([iv.to_dict() for iv in intervals], indent=2))
+        return 0
+    latest = store.epochs()[-1]
+    for iv in intervals:
+        still = " (current)" if iv.valid_to == latest else ""
+        print(
+            f"{iv.fact.subject} {iv.fact.predicate} {iv.fact.object} "
+            f"[epochs {iv.valid_from}..{iv.valid_to}]{still}"
+        )
+    print(f"-- {len(intervals)} interval(s) over epochs {store.epochs()}")
+    return 0
+
+
+def cmd_facts_extract(args: argparse.Namespace) -> int:
+    from .persist import load_campaign
+    from .store import FactStore, facts_from_campaign
+
+    campaign = load_campaign(args.run)
+    store = FactStore(args.store)
+    epoch = args.epoch
+    if epoch is None:
+        provenance = campaign.meta.get("provenance") or {}
+        epoch = provenance.get("epoch", 0)
+    count = store.append_epoch(epoch, facts_from_campaign(campaign))
+    print(f"extracted {count} fact(s) from {args.run} at epoch {epoch}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ALL_EXPERIMENTS
 
@@ -531,6 +660,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=cmd_serve)
 
+    epochs = sub.add_parser(
+        "epochs",
+        help="longitudinal observatory: run drifted epochs with "
+        "incremental unit reuse into a fact store",
+    )
+    _add_world_args(epochs)
+    epochs.add_argument(
+        "--epochs", type=int, default=3, help="number of epochs to run"
+    )
+    epochs.add_argument(
+        "--drift-plan",
+        default=None,
+        help="world drift: 'auto' (seeded generation), inline JSON, or "
+        "@path/to/plan.json; omit for a static world",
+    )
+    epochs.add_argument(
+        "--drift-seed",
+        type=int,
+        default=0,
+        help="seed for --drift-plan auto",
+    )
+    epochs.add_argument(
+        "--out", required=True, help="observatory output directory"
+    )
+    epochs.add_argument("--repetitions", type=int, default=2)
+    epochs.add_argument("--max-endpoints", type=int, default=4)
+    epochs.add_argument("--fuzz-max-endpoints", type=int, default=2)
+    epochs.add_argument("--workers", type=int, default=None)
+    epochs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry and print store.* counters",
+    )
+    epochs.add_argument(
+        "--min-reuse",
+        type=float,
+        default=None,
+        help="fail unless the overall unit reuse rate reaches this "
+        "fraction",
+    )
+    epochs.set_defaults(func=cmd_epochs)
+
+    facts = sub.add_parser(
+        "facts", help="query or extend the longitudinal fact store"
+    )
+    facts_sub = facts.add_subparsers(dest="facts_command", required=True)
+
+    facts_query = facts_sub.add_parser(
+        "query",
+        help="validity intervals or transitions for stored facts",
+    )
+    facts_query.add_argument(
+        "--store", required=True, help="fact store directory"
+    )
+    facts_query.add_argument(
+        "--subject", default=None, help="e.g. as:9198 or device:5.2.0.2"
+    )
+    facts_query.add_argument(
+        "--predicate",
+        default=None,
+        help="blocks_with/blocks_domain/hosts_device/vendor/"
+        "serves_blockpage/named/in_country",
+    )
+    facts_query.add_argument("--object", default=None)
+    facts_query.add_argument(
+        "--transitions",
+        action="store_true",
+        help="report when the object set changed instead of intervals "
+        '("when did AS 9198 switch from RST to blockpage?")',
+    )
+    facts_query.add_argument("--json", action="store_true")
+    facts_query.set_defaults(func=cmd_facts_query)
+
+    facts_extract = facts_sub.add_parser(
+        "extract",
+        help="extract facts from a saved campaign directory into a store",
+    )
+    facts_extract.add_argument(
+        "--run", required=True, help="save_campaign directory"
+    )
+    facts_extract.add_argument(
+        "--store", required=True, help="fact store directory"
+    )
+    facts_extract.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="epoch to record (default: the campaign's own provenance)",
+    )
+    facts_extract.set_defaults(func=cmd_facts_extract)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -559,7 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PersistError as exc:
+        # Any analysis path reading a missing/truncated/corrupt run
+        # directory reports cleanly instead of tracebacking.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

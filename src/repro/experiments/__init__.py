@@ -25,6 +25,7 @@ from .campaign import (
     get_campaign,
     run_campaign,
 )
+from .epochs import EpochResult, EpochScheduler
 
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -53,4 +54,6 @@ __all__ = [
     "clear_campaign_cache",
     "get_campaign",
     "run_campaign",
+    "EpochResult",
+    "EpochScheduler",
 ]

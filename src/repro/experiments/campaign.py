@@ -75,6 +75,10 @@ class CountryCampaign:
     # Observability: set when run_campaign() is given an active
     # telemetry sink; None under the default NULL_TELEMETRY.
     run_report: Optional[RunReport] = None
+    # How the run executed (None = serial). Environment provenance only
+    # — results are bit-identical regardless, and persistence keeps it
+    # out of identity comparisons accordingly.
+    workers: Optional[int] = None
 
     # -- derived views ----------------------------------------------------
 
@@ -253,7 +257,7 @@ def run_campaign(
             world.spec = dataclasses.replace(
                 world.spec, fault_plan=config.fault_plan
             )
-    campaign = CountryCampaign(world=world, config=config)
+    campaign = CountryCampaign(world=world, config=config, workers=workers)
 
     units = trace_units_for(world, config)
     n_remote = sum(1 for u in units if u.vantage == VANTAGE_REMOTE)

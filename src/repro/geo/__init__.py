@@ -6,6 +6,7 @@ from .countries import (
     COUNTRIES,
     TEST_DOMAINS,
     StudyWorld,
+    WorldSpec,
     build_az_world,
     build_blockpage_study_world,
     build_by_world,
@@ -13,6 +14,16 @@ from .countries import (
     build_kz_world,
     build_ru_world,
     build_world,
+)
+from .drift import (
+    DriftError,
+    DriftOp,
+    DriftPlan,
+    apply_drift,
+    auto_drift_plan,
+    devices_in_as,
+    ops_touching,
+    unit_touchpoints,
 )
 
 __all__ = [
@@ -23,6 +34,7 @@ __all__ = [
     "COUNTRIES",
     "TEST_DOMAINS",
     "StudyWorld",
+    "WorldSpec",
     "build_az_world",
     "build_blockpage_study_world",
     "build_by_world",
@@ -30,4 +42,12 @@ __all__ = [
     "build_kz_world",
     "build_ru_world",
     "build_world",
+    "DriftError",
+    "DriftOp",
+    "DriftPlan",
+    "apply_drift",
+    "auto_drift_plan",
+    "devices_in_as",
+    "ops_touching",
+    "unit_touchpoints",
 ]

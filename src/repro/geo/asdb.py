@@ -66,6 +66,30 @@ class ASDatabase:
         self._grow(asn)
         return info
 
+    def reassign(
+        self,
+        asn: int,
+        *,
+        name: Optional[str] = None,
+        country: Optional[str] = None,
+    ) -> ASInfo:
+        """Re-home a registered AS: new owner name and/or country code.
+
+        Models registry churn (mergers, ISPs re-homing networks) for the
+        longitudinal drift layer. Prefix allocations are untouched — the
+        addresses stay the same, only the metadata lookups change.
+        """
+        current = self._as_info.get(asn)
+        if current is None:
+            raise KeyError(f"AS{asn} not registered; cannot reassign")
+        info = ASInfo(
+            asn=asn,
+            name=current.name if name is None else name,
+            country=current.country if country is None else country,
+        )
+        self._as_info[asn] = info
+        return info
+
     def _grow(self, asn: int) -> None:
         base = next(self._pool)
         self._prefix_to_asn[base] = asn
@@ -109,3 +133,7 @@ class ASDatabase:
 
     def all_ases(self) -> List[ASInfo]:
         return list(self._as_info.values())
+
+    def registered(self) -> List[ASInfo]:
+        """All registered ASes in ascending ASN order (deterministic)."""
+        return [self._as_info[asn] for asn in sorted(self._as_info)]

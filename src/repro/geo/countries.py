@@ -57,6 +57,7 @@ from ..netsim.topology import Client, Endpoint, Router, Topology
 from ..services.banners import generic_linux_services
 from ..services.webserver import FilteringWebServer, ServerProfile, WebServer
 from .asdb import ASDatabase
+from .drift import DriftPlan, apply_drift
 
 CONTROL_DOMAIN = "www.example.com"
 
@@ -108,6 +109,11 @@ class WorldSpec:
     # FaultPlan is frozen/hashable, so the spec stays usable as a cache
     # key and travels to parallel campaign workers unchanged.
     fault_plan: Optional[FaultPlan] = None
+    # Longitudinal drift (repro.geo.drift): the world as of ``epoch``
+    # under ``drift_plan``. Both frozen/hashable for the same reasons;
+    # epoch 0 with any plan is identical to no plan at all.
+    drift_plan: Optional[DriftPlan] = None
+    epoch: int = 0
 
     def build(self) -> "StudyWorld":
         return build_world(
@@ -115,6 +121,8 @@ class WorldSpec:
             seed=self.seed,
             scale=self.scale,
             fault_plan=self.fault_plan,
+            drift_plan=self.drift_plan,
+            epoch=self.epoch,
         )
 
 
@@ -1197,8 +1205,16 @@ def build_world(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    drift_plan: Optional[DriftPlan] = None,
+    epoch: int = 0,
 ) -> StudyWorld:
-    """Build the study world for ``country`` ("AZ", "BY", "KZ", "RU")."""
+    """Build the study world for ``country`` ("AZ", "BY", "KZ", "RU").
+
+    With a ``drift_plan``, the returned world is the epoch-``epoch``
+    state: every drift op with ``op.epoch <= epoch`` applied, in order,
+    to the freshly built base world. Epoch 0 never drifts, so it is
+    byte-identical to a plain build.
+    """
     try:
         builder = _BUILDERS[country.upper()]
     except KeyError:
@@ -1213,7 +1229,14 @@ def build_world(
     world = builder(**kwargs)
     if fault_plan is not None:
         world.sim.set_fault_plan(fault_plan)
+    if drift_plan is not None and epoch > 0:
+        apply_drift(world, drift_plan, epoch)
     world.spec = WorldSpec(
-        country=country.upper(), seed=seed, scale=scale, fault_plan=fault_plan
+        country=country.upper(),
+        seed=seed,
+        scale=scale,
+        fault_plan=fault_plan,
+        drift_plan=drift_plan,
+        epoch=epoch,
     )
     return world

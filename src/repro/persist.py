@@ -16,9 +16,10 @@ terminating responses), not archived byte-for-byte.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .core.cenfuzz.runner import (
     EndpointFuzzReport,
@@ -28,11 +29,49 @@ from .core.cenfuzz.runner import (
 from .core.cenprobe.scanner import BannerGrab, ProbeReport
 from .core.centrace.results import CenTraceResult, HopInfo
 from .netmodel.icmp import QuoteDelta
-from .telemetry import RunReport
+from .telemetry import NULL_TELEMETRY, RunReport
 
 # 2: adds optional report.json (telemetry run report) + has_report meta.
-# Version-1 directories (no report) load unchanged.
-FORMAT_VERSION = 2
+# 3: meta.json gains "kind" + "provenance" (world seed/scale/fault plan/
+#    drift plan/epoch) + "environment" (workers); service-run dirs gain
+#    their own kind-tagged meta.json. Version-1/2 directories (no kind,
+#    no provenance) load unchanged.
+FORMAT_VERSION = 3
+
+VANTAGE_VALUES = ("remote", "in-country")
+
+
+class PersistError(RuntimeError):
+    """A persisted run directory is missing, truncated, or corrupt.
+
+    Raised instead of raw ``FileNotFoundError``/``JSONDecodeError`` so
+    analysis CLI paths can catch one exception type and exit cleanly;
+    the message always names the offending path.
+    """
+
+
+def _read_json(path: Path, what: str) -> Dict:
+    """Read one JSON file, converting failures into PersistError."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise PersistError(
+            f"{what} not found: {path} (is this a saved run directory?)"
+        ) from None
+    except OSError as exc:
+        raise PersistError(f"cannot read {what} {path}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistError(
+            f"corrupt {what} {path}: {exc} (truncated write?)"
+        ) from None
+    if not isinstance(data, dict):
+        raise PersistError(
+            f"corrupt {what} {path}: expected a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    return data
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +293,15 @@ def unit_result_to_dict(kind: str, result) -> Dict:
     raise ValueError(f"unknown work-unit kind {kind!r}")
 
 
+def unit_result_from_dict(kind: str, payload: Dict):
+    """Inverse of :func:`unit_result_to_dict` (epoch-scheduler reuse)."""
+    if kind == "trace":
+        return trace_result_from_dict(payload)
+    if kind == "fuzz":
+        return fuzz_report_from_dict(payload)
+    raise ValueError(f"unknown work-unit kind {kind!r}")
+
+
 # ---------------------------------------------------------------------------
 # CenProbe reports
 # ---------------------------------------------------------------------------
@@ -319,11 +367,31 @@ def _write_jsonl(path: Path, records: Iterable[Dict]) -> int:
     return count
 
 
+def read_jsonl(path: Path) -> List[Dict]:
+    """Hardened JSONL reader: missing file -> [], corrupt -> PersistError.
+
+    Public because the fact store (``repro.store``) builds on the same
+    hardened readers as campaign persistence.
+    """
+    return _read_jsonl(path)
+
+
 def _read_jsonl(path: Path) -> List[Dict]:
     if not path.exists():
         return []
+    records = []
     with path.open() as handle:
-        return [json.loads(line) for line in handle if line.strip()]
+        for lineno, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise PersistError(
+                    f"corrupt record in {path} at line {lineno}: {exc} "
+                    "(truncated write?)"
+                ) from None
+    return records
 
 
 def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
@@ -366,6 +434,7 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
         counts["report"] = 1
     meta = {
         "version": FORMAT_VERSION,
+        "kind": "campaign",
         "country": campaign.world.country,
         "world": campaign.world.name,
         "test_domains": list(campaign.world.test_domains),
@@ -374,9 +443,36 @@ def save_campaign(campaign, directory: Union[str, Path]) -> Dict[str, int]:
         "repetitions": campaign.config.repetitions,
         "has_report": run_report is not None,
         "counts": counts,
+        "provenance": _campaign_provenance(campaign),
+        # Environment facts (how fast, not what): excluded from identity
+        # comparisons the same way workers_requested lives in the run
+        # report's wall section — serial and parallel runs of one
+        # campaign must stay identical everywhere else.
+        "environment": {"workers": getattr(campaign, "workers", None)},
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
     return counts
+
+
+def _campaign_provenance(campaign) -> Dict:
+    """The configuration that produced a campaign, replayably.
+
+    Drawn from ``world.spec`` when the world was built through
+    ``build_world`` (the normal path — it carries seed/scale/fault plan/
+    drift plan/epoch); hand-built worlds fall back to what the campaign
+    itself knows.
+    """
+    spec = getattr(campaign.world, "spec", None)
+    fault_plan = spec.fault_plan if spec is not None else campaign.config.fault_plan
+    drift_plan = spec.drift_plan if spec is not None else None
+    return {
+        "country": spec.country if spec is not None else campaign.world.country,
+        "seed": spec.seed if spec is not None else None,
+        "scale": spec.scale if spec is not None else None,
+        "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
+        "drift_plan": drift_plan.to_dict() if drift_plan is not None else None,
+        "epoch": spec.epoch if spec is not None else 0,
+    }
 
 
 def save_service_run(
@@ -398,6 +494,14 @@ def save_service_run(
         json.dumps(run_report.to_dict(), indent=2, sort_keys=True)
     )
     counts["report"] = 1
+    # Kind-tagged so load_campaign can reject this directory with a
+    # clear message instead of crashing on the absent campaign files.
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "service-run",
+        "counts": counts,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
     return counts
 
 
@@ -425,17 +529,38 @@ class LoadedCampaign:
 
 
 def load_campaign(directory: Union[str, Path]) -> LoadedCampaign:
-    """Reload a campaign saved by :func:`save_campaign`."""
+    """Reload a campaign saved by :func:`save_campaign`.
+
+    Raises :class:`PersistError` on missing/corrupt files, on
+    directories of a different kind (e.g. ``save_service_run`` output),
+    and on records whose ``vantage`` tag is missing or unknown — a
+    typo'd vantage must not silently land in the remote bucket.
+    """
     directory = Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
+    meta = _read_json(directory / "meta.json", "campaign meta")
+    # "kind" arrived in version 3; version-1/2 metas are campaigns.
+    kind = meta.get("kind", "campaign")
+    if kind != "campaign":
+        raise PersistError(
+            f"{directory} holds a {kind!r} run, not a campaign "
+            "(use 'repro report --run' for service runs)"
+        )
     remote: List[CenTraceResult] = []
     in_country: List[CenTraceResult] = []
-    for record in _read_jsonl(directory / "traces.jsonl"):
+    traces_path = directory / "traces.jsonl"
+    for index, record in enumerate(_read_jsonl(traces_path), 1):
         result = trace_result_from_dict(record)
-        if record.get("vantage") == "in-country":
+        vantage = record.get("vantage")
+        if vantage == "in-country":
             in_country.append(result)
-        else:
+        elif vantage == "remote":
             remote.append(result)
+        else:
+            raise PersistError(
+                f"record {index} in {traces_path} has "
+                f"{'no vantage' if vantage is None else f'unknown vantage {vantage!r}'}"
+                f"; expected one of {VANTAGE_VALUES}"
+            )
     fuzz = [
         fuzz_report_from_dict(record)
         for record in _read_jsonl(directory / "fuzz.jsonl")
@@ -449,5 +574,121 @@ def load_campaign(directory: Union[str, Path]) -> LoadedCampaign:
     run_report = None
     report_path = directory / "report.json"
     if report_path.exists():
-        run_report = RunReport.from_dict(json.loads(report_path.read_text()))
+        run_report = RunReport.from_dict(
+            _read_json(report_path, "run report")
+        )
     return LoadedCampaign(meta, remote, in_country, fuzz, banners, run_report)
+
+
+# ---------------------------------------------------------------------------
+# Persistent work-unit cache (longitudinal observatory / service restarts)
+# ---------------------------------------------------------------------------
+
+
+def unit_cache_key(
+    world_identity: Sequence,
+    work_key: Sequence,
+    touching_ops: Sequence = (),
+) -> str:
+    """Canonical :class:`UnitCache` key for one work unit.
+
+    ``world_identity`` is the JSON-serializable identity of the base
+    world (country, seed, scale, fault-plan dict); ``work_key`` the
+    executor's :func:`~repro.experiments.executor.unit_work_key` parts;
+    ``touching_ops`` the serialized drift ops that can affect this unit
+    (empty outside the epoch scheduler). The service and the epoch
+    scheduler both derive keys here, so an undrifted unit hashes the
+    same for either — their caches interoperate.
+    """
+    material = json.dumps(
+        [list(world_identity), list(work_key), list(touching_ops)],
+        sort_keys=True,
+        default=list,
+    )
+    return hashlib.blake2b(
+        material.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+class UnitCache:
+    """Append-only content-keyed cache of serialized work-unit results.
+
+    One ``units.jsonl`` under ``directory``; each line is
+    ``{"key": ..., "kind": "trace"|"fuzz", "payload": {...}}``. Keys are
+    caller-computed content hashes (the epoch scheduler hashes the world
+    spec + unit + the drift ops that can touch the unit; the service
+    uses its coalescing work key), so a hit is by construction the
+    payload an actual run would have produced — byte-identity is the
+    repo-wide contract that makes this sound.
+
+    Loads are tolerant of a corrupt *final* line (a crash mid-append
+    loses that one record, never the cache); corruption anywhere else is
+    a :class:`PersistError`. ``store.unit_cache_*`` counters flow to the
+    supplied telemetry sink.
+    """
+
+    FILENAME = "units.jsonl"
+
+    def __init__(
+        self, directory: Union[str, Path], telemetry=NULL_TELEMETRY
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+        self.telemetry = telemetry
+        self._entries: Dict[str, Dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            lines = handle.readlines()
+        last_content = len(lines)
+        while last_content and not lines[last_content - 1].strip():
+            last_content -= 1
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key, kind, payload = (
+                    record["key"], record["kind"], record["payload"]
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if lineno == last_content:
+                    # Torn final append: drop the lost record, keep the
+                    # cache usable (misses re-run and re-append).
+                    self.telemetry.count("store.unit_cache_torn_tail")
+                    break
+                raise PersistError(
+                    f"corrupt unit cache {self.path} at line {lineno}: "
+                    f"{exc}"
+                ) from None
+            self._entries[key] = {"kind": kind, "payload": payload}
+        self.telemetry.count("store.unit_cache_loaded", len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The ``{"kind", "payload"}`` entry for ``key``, counting hits."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.telemetry.count("store.unit_cache_misses")
+            return None
+        self.telemetry.count("store.unit_cache_hits")
+        return entry
+
+    def put(self, key: str, kind: str, payload: Dict) -> None:
+        """Record a freshly computed unit result (idempotent per key)."""
+        if key in self._entries:
+            return
+        self._entries[key] = {"kind": kind, "payload": payload}
+        record = {"key": key, "kind": kind, "payload": payload}
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        self.telemetry.count("store.unit_cache_writes")

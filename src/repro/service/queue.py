@@ -43,9 +43,14 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..experiments.executor import CampaignExecutor, ExecutorError
+from ..experiments.executor import CampaignExecutor, ExecutorError, unit_work_key
 from ..geo.countries import StudyWorld
-from ..persist import unit_result_to_dict
+from ..persist import (
+    UnitCache,
+    unit_cache_key,
+    unit_result_from_dict,
+    unit_result_to_dict,
+)
 from ..telemetry import RunReport, Telemetry, wall_now
 from .jobs import (
     ProbeRequest,
@@ -79,6 +84,12 @@ class ServiceConfig:
     max_retries: int = 1
     #: Worker processes per world executor (``None`` = in-process).
     workers: Optional[int] = None
+    #: Directory for a persistent :class:`~repro.persist.UnitCache`.
+    #: When set, completed unit payloads survive service restarts: a
+    #: fresh service answers previously-computed units from disk
+    #: without re-simulating (``service.cache_restored`` counter).
+    #: ``None`` keeps the service memory-only, as before.
+    cache_dir: Optional[str] = None
 
 
 class _TokenBucket:
@@ -161,6 +172,14 @@ class CampaignService:
         self._running = False
         self._token_waiters = 0
         self.max_depth = 0
+        # Cross-restart persistence: payloads of completed units, keyed
+        # by the same content hash the epoch scheduler uses (so an
+        # observatory's cache and a service's cache interoperate).
+        self._cache: Optional[UnitCache] = None
+        if self.config.cache_dir is not None:
+            self._cache = UnitCache(
+                self.config.cache_dir, telemetry=self.telemetry
+            )
 
     # -- lifecycle ----------------------------------------------------
 
@@ -242,6 +261,15 @@ class CampaignService:
             await self._admit_tokens(bucket)
             key = work_key(request.world, unit, request.repetitions)
             state = self._states.get(key)
+            if state is None and self._cache is not None:
+                restored = self._restore_from_cache(key, request, unit)
+                if restored is not None:
+                    # Restored units add no backend work, so like
+                    # coalesced duplicates they bypass backpressure.
+                    stream._deliver(
+                        self._result_for(restored, coalesced=False)
+                    )
+                    continue
             if state is None:
                 await self._admit_backpressure()
                 # Re-check: while this task awaited capacity, another
@@ -280,6 +308,47 @@ class CampaignService:
             # submissions instead of the whole batch landing first.
             await asyncio.sleep(0)
         return stream
+
+    def _persist_key(
+        self, world: WorldKey, kind: str, unit, repetitions: int
+    ) -> str:
+        fault_plan = world.fault_plan
+        identity = [
+            world.country.upper(),
+            world.seed,
+            world.scale,
+            fault_plan.to_dict() if fault_plan is not None else None,
+        ]
+        return unit_cache_key(
+            identity, unit_work_key(kind, unit, repetitions)
+        )
+
+    def _restore_from_cache(
+        self, key: Tuple, request: ProbeRequest, unit
+    ) -> Optional[_UnitState]:
+        """A DONE state rebuilt from the persistent cache, or None."""
+        kind = kind_of(unit)
+        entry = self._cache.get(
+            self._persist_key(request.world, kind, unit, request.repetitions)
+        )
+        if entry is None or entry["kind"] != kind:
+            return None
+        self.telemetry.count("service.cache_restored")
+        self._seq += 1
+        state = _UnitState(
+            key=key,
+            world=request.world,
+            kind=kind,
+            unit=unit,
+            repetitions=request.repetitions,
+            priority=request.priority,
+            seq=self._seq,
+            status=_DONE,
+        )
+        state.payload = entry["payload"]
+        state.result = unit_result_from_dict(kind, entry["payload"])
+        self._states[key] = state
+        return state
 
     async def _admit_tokens(self, bucket: _TokenBucket) -> None:
         if bucket.try_take():
@@ -371,6 +440,14 @@ class CampaignService:
             state.status = _DONE
             state.result = result
             state.payload = unit_result_to_dict(state.kind, result)
+            if self._cache is not None:
+                self._cache.put(
+                    self._persist_key(
+                        state.world, state.kind, state.unit, state.repetitions
+                    ),
+                    state.kind,
+                    state.payload,
+                )
             if snapshot is not None:
                 tel.merge_snapshot(snapshot)
                 tel.add_virtual("service.unit", snapshot["virtual_seconds"])

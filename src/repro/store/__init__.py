@@ -1,0 +1,46 @@
+"""Longitudinal fact store: entity/relationship records across epochs.
+
+Modeled on internet-yellow-pages' knowledge-graph approach: instead of
+per-run result directories, the observatory distills each epoch's
+classified measurements into append-only **facts** —
+``(subject, predicate, object)`` triples observed at an epoch — and
+answers questions over time by folding the per-epoch observations into
+validity intervals ("AS 9198 blocked with RST from epoch 1 through 2").
+"""
+
+from .extract import facts_from_campaign
+from .facts import FactInterval, FactStore, Transition
+from .observatory import ObservatorySummary, run_observatory
+from .records import (
+    PRED_BLOCKS_DOMAIN,
+    PRED_BLOCKS_WITH,
+    PRED_HOSTS_DEVICE,
+    PRED_IN_COUNTRY,
+    PRED_NAMED,
+    PRED_SERVES_BLOCKPAGE,
+    PRED_VENDOR,
+    Fact,
+    entity_as,
+    entity_country,
+    entity_device,
+)
+
+__all__ = [
+    "Fact",
+    "FactInterval",
+    "FactStore",
+    "Transition",
+    "ObservatorySummary",
+    "facts_from_campaign",
+    "run_observatory",
+    "entity_as",
+    "entity_country",
+    "entity_device",
+    "PRED_BLOCKS_DOMAIN",
+    "PRED_BLOCKS_WITH",
+    "PRED_HOSTS_DEVICE",
+    "PRED_IN_COUNTRY",
+    "PRED_NAMED",
+    "PRED_SERVES_BLOCKPAGE",
+    "PRED_VENDOR",
+]

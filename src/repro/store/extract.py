@@ -1,0 +1,95 @@
+"""Distill one epoch's classified campaign into fact assertions.
+
+Extraction is deliberately conservative, mirroring the paper's
+classification discipline: only *valid blocked* CenTrace results assert
+anything, blocking mechanisms are the classifier's types (§4.1), device
+identities are observed blocking-hop IPs (§4.2's localization output),
+vendor names come from CenProbe banner matches (§5.2) and blockpage
+fingerprints from the known-fingerprint corpus (§6.1). AS-level facts
+additionally record registry metadata (name, country) so rehoming drift
+is observable longitudinally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .records import (
+    PRED_BLOCKS_DOMAIN,
+    PRED_BLOCKS_WITH,
+    PRED_HOSTS_DEVICE,
+    PRED_IN_COUNTRY,
+    PRED_NAMED,
+    PRED_SERVES_BLOCKPAGE,
+    PRED_VENDOR,
+    Fact,
+    entity_as,
+    entity_country,
+    entity_device,
+)
+
+
+def facts_from_campaign(campaign) -> List[Fact]:
+    """All facts one campaign (or loaded campaign) asserts, sorted.
+
+    Works on anything with the campaign result surface:
+    ``remote_results``/``in_country_results`` (CenTrace),
+    ``probe_reports`` (CenProbe) — both :class:`CountryCampaign` and
+    :class:`~repro.persist.LoadedCampaign` qualify. The world, when
+    present, contributes AS registry metadata.
+    """
+    facts: Set[Fact] = set()
+    world = getattr(campaign, "world", None)
+    country = None
+    if world is not None:
+        country = world.country
+    else:
+        meta = getattr(campaign, "meta", None) or {}
+        country = meta.get("country")
+    country_entity = entity_country(country) if country else None
+
+    results = list(campaign.remote_results) + list(campaign.in_country_results)
+    blocking_asns: Set[int] = set()
+    for result in results:
+        if not (result.blocked and result.valid):
+            continue
+        hop = result.blocking_hop
+        hop_asn = hop.asn if hop is not None else None
+        subjects = []
+        if hop_asn is not None:
+            subjects.append(entity_as(hop_asn))
+            blocking_asns.add(hop_asn)
+        if hop is not None and hop.ip is not None:
+            device = entity_device(hop.ip)
+            subjects.append(device)
+            if hop_asn is not None:
+                facts.add(Fact(entity_as(hop_asn), PRED_HOSTS_DEVICE, device))
+        for subject in subjects:
+            facts.add(Fact(subject, PRED_BLOCKS_WITH, result.blocking_type))
+            facts.add(Fact(subject, PRED_BLOCKS_DOMAIN, result.test_domain))
+            if result.blockpage_fingerprint:
+                facts.add(
+                    Fact(
+                        subject,
+                        PRED_SERVES_BLOCKPAGE,
+                        result.blockpage_fingerprint,
+                    )
+                )
+        if country_entity is not None:
+            facts.add(
+                Fact(country_entity, PRED_BLOCKS_DOMAIN, result.test_domain)
+            )
+
+    for ip, report in campaign.probe_reports.items():
+        if report.vendor:
+            facts.add(Fact(entity_device(ip), PRED_VENDOR, report.vendor))
+
+    if world is not None:
+        for asn in blocking_asns:
+            info = world.asdb.as_info(asn)
+            if info is None:
+                continue
+            facts.add(Fact(entity_as(asn), PRED_NAMED, info.name))
+            facts.add(Fact(entity_as(asn), PRED_IN_COUNTRY, info.country))
+
+    return sorted(facts, key=lambda f: (f.subject, f.predicate, f.object))

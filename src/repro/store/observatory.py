@@ -1,0 +1,116 @@
+"""The longitudinal observatory driver: epochs -> campaigns -> facts.
+
+One call runs the whole loop the ``repro epochs`` CLI exposes: per
+epoch, build the drifted world, run the incremental campaign (reusing
+drift-unaffected units from the persistent cache), persist the raw
+campaign directory, extract facts, and append them to the store.
+
+Output layout under ``out_dir``::
+
+    epoch-000/ epoch-001/ ...   save_campaign directories (raw data)
+    units-cache/units.jsonl     persistent work-unit cache
+    facts/facts.jsonl,epochs.jsonl   the queryable fact store
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..experiments.campaign import CampaignConfig
+from ..experiments.epochs import EpochResult, EpochScheduler
+from ..geo.drift import DriftPlan
+from ..persist import UnitCache, save_campaign
+from ..telemetry import NULL_TELEMETRY
+from .extract import facts_from_campaign
+from .facts import FactStore
+
+
+@dataclass
+class ObservatorySummary:
+    """What one observatory run did, per epoch and in total."""
+
+    out_dir: Path
+    epoch_results: List[EpochResult] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_results)
+
+    @property
+    def total_units(self) -> int:
+        return sum(r.total_units for r in self.epoch_results)
+
+    @property
+    def reused_units(self) -> int:
+        return sum(r.reused_units for r in self.epoch_results)
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.total_units
+        return self.reused_units / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "out_dir": str(self.out_dir),
+            "epochs": self.epochs,
+            "total_units": self.total_units,
+            "reused_units": self.reused_units,
+            "reuse_rate": round(self.reuse_rate, 4),
+            "per_epoch": [
+                {
+                    "epoch": r.epoch,
+                    "total_units": r.total_units,
+                    "reused_units": r.reused_units,
+                    "executed_units": (
+                        r.executed_trace_units + r.executed_fuzz_units
+                    ),
+                    "drift_ops_applied": r.drift_ops_applied,
+                    "reuse_rate": round(r.reuse_rate, 4),
+                }
+                for r in self.epoch_results
+            ],
+        }
+
+
+def run_observatory(
+    country: str,
+    out_dir: Union[str, Path],
+    *,
+    epochs: int,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    config: Optional[CampaignConfig] = None,
+    drift_plan: Optional[DriftPlan] = None,
+    workers: Optional[int] = None,
+    telemetry=NULL_TELEMETRY,
+) -> ObservatorySummary:
+    """Run ``epochs`` epochs end-to-end into ``out_dir``.
+
+    Re-runnable: the unit cache and fact store both persist, so a second
+    invocation with more epochs continues where the first stopped (fact
+    epochs must keep increasing — the store enforces it).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = UnitCache(out / "units-cache", telemetry=telemetry)
+    store = FactStore(out / "facts", telemetry=telemetry)
+    start_epoch = store.epochs()[-1] + 1 if store.epochs() else 0
+    scheduler = EpochScheduler(
+        country,
+        seed=seed,
+        scale=scale,
+        config=config,
+        drift_plan=drift_plan,
+        cache=cache,
+        workers=workers,
+        telemetry=telemetry,
+    )
+    summary = ObservatorySummary(out_dir=out)
+    for epoch in range(start_epoch, start_epoch + epochs):
+        result = scheduler.run_epoch(epoch)
+        save_campaign(result.campaign, out / f"epoch-{epoch:03d}")
+        store.append_epoch(epoch, facts_from_campaign(result.campaign))
+        summary.epoch_results.append(result)
+    return summary

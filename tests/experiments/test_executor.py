@@ -1,11 +1,11 @@
 """Parallel executor: bit-identity with serial runs, crash surfacing."""
 
-import hashlib
 import os
 from pathlib import Path
 
 import pytest
 
+from ..helpers_golden import digest_dir
 from repro.experiments.campaign import CampaignConfig, run_campaign
 from repro.experiments.executor import (
     CampaignExecutor,
@@ -27,16 +27,15 @@ _CONFIG = CampaignConfig(repetitions=2, max_endpoints=4, fuzz_max_endpoints=2)
 
 
 def _campaign_digest(tmp_path: Path, country: str, seed: int, workers, tag: str):
-    """Run a campaign and hash its full serialized form."""
+    """Run a campaign and hash its full serialized form (the canonical
+    digest: meta.json's environment section describes execution shape,
+    not measurement content, so serial and parallel runs may differ
+    there by design)."""
     world = build_world(country, seed=seed, scale=0.35)
     campaign = run_campaign(world, _CONFIG, workers=workers)
     out = tmp_path / tag
     save_campaign(campaign, str(out))
-    digest = hashlib.sha256()
-    for path in sorted(out.iterdir()):
-        digest.update(path.name.encode())
-        digest.update(path.read_bytes())
-    return digest.hexdigest(), campaign
+    return digest_dir(out), campaign
 
 
 @pytest.mark.parametrize("country", ["AZ", "KZ"])

@@ -6,6 +6,13 @@ NetContext landed. The engine must keep producing byte-identical
 campaign outputs — serial and parallel, with and without fault plans.
 A legitimate behavior change (new measurement semantics) must update
 these constants in the same commit that explains why.
+
+Recaptured for meta.json format v3 (kind tag, provenance block,
+environment section): every measurement file — traces, fuzz reports,
+banners, report — was verified byte-identical against the v2 baseline
+per-file hashes; only meta.json changed. The ``environment`` section is
+canonicalized away by ``digest_dir`` so the serial == parallel identity
+below still holds with worker counts recorded in meta.
 """
 
 import pytest
@@ -13,11 +20,11 @@ import pytest
 from ..helpers_golden import campaign_digest
 
 GOLDEN = {
-    "az-serial": "08ac7d2654866798149a29ac4208ffef20c0090da786048d56159e33a8e12f51",
-    "az-par2": "08ac7d2654866798149a29ac4208ffef20c0090da786048d56159e33a8e12f51",
-    "az-lossy-serial": "65879e698b82e533650b3d9100513a9436b8ff7a45f609e53897a0f6008e1570",
-    "az-lossy-par2": "65879e698b82e533650b3d9100513a9436b8ff7a45f609e53897a0f6008e1570",
-    "kz-serial": "b136d75b9a0fd408bc6c90e373bc8f4f1e00dff7e40ea9bfd12802f5439ad4e1",
+    "az-serial": "af65d39727188aec652053f5288bbd6a8f49b36ccc4322e028382d27b8d21bef",
+    "az-par2": "af65d39727188aec652053f5288bbd6a8f49b36ccc4322e028382d27b8d21bef",
+    "az-lossy-serial": "62962b5cddf7f5203bd50921c99ffdde38cfacb1337cd1ea502c2168ec9b8bab",
+    "az-lossy-par2": "62962b5cddf7f5203bd50921c99ffdde38cfacb1337cd1ea502c2168ec9b8bab",
+    "kz-serial": "68ede6f269f27461938794737d92937521b5667d76cc97fd816aa764edf6ff01",
 }
 
 CASES = [

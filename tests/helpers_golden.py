@@ -9,6 +9,7 @@ free of wall-clock content.
 """
 
 import hashlib
+import json
 from pathlib import Path
 
 from repro.experiments.campaign import CampaignConfig, run_campaign
@@ -17,12 +18,29 @@ from repro.netsim.faults import FaultPlan
 from repro.persist import save_campaign
 
 
+def _canonical_bytes(path: Path) -> bytes:
+    """A file's digest-relevant bytes.
+
+    ``meta.json`` carries an ``environment`` section (worker count and
+    the like) that describes *how* the run executed, not *what* it
+    measured — the same identity/wall split RunReport makes. Dropping it
+    here keeps the digest a statement about measurement bytes, so the
+    serial == parallel contract stays enforceable.
+    """
+    data = path.read_bytes()
+    if path.name == "meta.json":
+        meta = json.loads(data)
+        meta.pop("environment", None)
+        return json.dumps(meta, indent=2, sort_keys=True).encode()
+    return data
+
+
 def digest_dir(out: Path) -> str:
     """Canonical sha256 over a saved campaign directory (name + bytes)."""
     digest = hashlib.sha256()
     for path in sorted(out.iterdir()):
         digest.update(path.name.encode())
-        digest.update(path.read_bytes())
+        digest.update(_canonical_bytes(path))
     return digest.hexdigest()
 
 

@@ -320,3 +320,40 @@ class TestResidual:
         assert data["stateful"] is True
         low, high = data["duration_bounds"]
         assert low < 60 <= high
+
+
+class TestEpochs:
+    def _run(self, tmp_path, extra=()):
+        return main([
+            "epochs", "--country", "KZ", "--seed", "11", "--scale", "0.35",
+            "--epochs", "2", "--repetitions", "2", "--max-endpoints", "2",
+            "--fuzz-max-endpoints", "1", "--out", str(tmp_path / "obs"),
+            *extra,
+        ])
+
+    def test_observatory_run_and_continuation(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0:" in out and "epoch 1:" in out
+        # Continuation: same out dir, no new drift -> everything reuses,
+        # so --min-reuse passes; the store grows epochs 2-3.
+        assert self._run(tmp_path, ("--min-reuse", "0.5")) == 0
+        out = capsys.readouterr().out
+        assert "epoch 2:" in out and "(100%)" in out
+
+    def test_min_reuse_gate_fails_a_cold_run(self, tmp_path, capsys):
+        # Even in-run reuse (epoch 1 hitting epoch 0's units) tops out
+        # at 1/2 here; a cold observatory cannot reach 0.9.
+        code = self._run(tmp_path, ("--min-reuse", "0.9"))
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_json_summary_with_auto_plan(self, tmp_path, capsys):
+        code = self._run(
+            tmp_path, ("--drift-plan", "auto", "--drift-seed", "3", "--json")
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["epochs"] == 2
+        assert [e["epoch"] for e in summary["per_epoch"]] == [0, 1]
+        assert summary["per_epoch"][1]["drift_ops_applied"] == 1

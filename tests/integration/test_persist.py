@@ -5,14 +5,18 @@ import json
 import pytest
 
 from repro.persist import (
+    PersistError,
+    UnitCache,
     fuzz_report_from_dict,
     fuzz_report_to_dict,
     load_campaign,
     probe_report_from_dict,
     probe_report_to_dict,
     save_campaign,
+    save_service_run,
     trace_result_from_dict,
     trace_result_to_dict,
+    unit_cache_key,
 )
 
 
@@ -103,11 +107,45 @@ class TestCampaignSaveLoad:
         meta = json.loads((tmp_path / "az3" / "meta.json").read_text())
         assert meta["endpoints"] == 29
         assert len(meta["test_domains"]) == 5
-        # Telemetry was off for this campaign: format v2 still records
+        # Telemetry was off for this campaign: format v3 still records
         # that, and writes no report file.
-        assert meta["version"] == 2
+        assert meta["version"] == 3
         assert meta["has_report"] is False
         assert not (tmp_path / "az3" / "report.json").exists()
+        # v3 provenance: enough to rebuild the world that produced this
+        # directory (seed/scale arrive via world.spec).
+        assert meta["kind"] == "campaign"
+        # This fixture's world was hand-built (no WorldSpec): provenance
+        # degrades to what the campaign itself knows.
+        provenance = meta["provenance"]
+        assert provenance["country"] == "AZ"
+        assert provenance["seed"] is None
+        assert provenance["fault_plan"] is None
+        assert provenance["drift_plan"] is None
+        assert provenance["epoch"] == 0
+        # Environment facts (how it ran, not what it measured).
+        assert meta["environment"] == {"workers": None}
+
+    def test_spec_built_world_records_full_provenance(self, tmp_path):
+        from repro.experiments.campaign import CampaignConfig, run_campaign
+        from repro.geo.countries import build_world
+
+        world = build_world("KZ", seed=11, scale=0.35)
+        campaign = run_campaign(
+            world,
+            CampaignConfig(repetitions=2, max_endpoints=2,
+                           fuzz_max_endpoints=1),
+        )
+        save_campaign(campaign, tmp_path / "kz")
+        meta = json.loads((tmp_path / "kz" / "meta.json").read_text())
+        assert meta["provenance"] == {
+            "country": "KZ",
+            "seed": 11,
+            "scale": 0.35,
+            "fault_plan": None,
+            "drift_plan": None,
+            "epoch": 0,
+        }
 
 
 class TestRunReportPersistence:
@@ -148,3 +186,230 @@ class TestRunReportPersistence:
         assert loaded.meta["version"] == 1
         assert loaded.run_report is None
         assert len(loaded.remote_results) == len(az_campaign.remote_results)
+
+
+class TestPersistErrors:
+    """The bugfix sweep: every malformed-directory path raises one typed
+    PersistError naming the offending file, never a raw traceback."""
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistError, match="meta.json"):
+            load_campaign(tmp_path / "nope")
+
+    def test_corrupt_meta(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "meta.json").write_text('{"version": 3')  # truncated write
+        with pytest.raises(PersistError, match="corrupt campaign meta"):
+            load_campaign(run)
+
+    def test_non_object_meta(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "meta.json").write_text('[1, 2]')
+        with pytest.raises(PersistError, match="expected a JSON object"):
+            load_campaign(run)
+
+    def test_corrupt_trace_line_names_path_and_line(
+        self, az_campaign, tmp_path
+    ):
+        save_campaign(az_campaign, tmp_path / "run")
+        traces = tmp_path / "run" / "traces.jsonl"
+        lines = traces.read_text().splitlines()
+        lines[2] = lines[2][:-5]  # truncate record 3
+        traces.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match=r"line 3"):
+            load_campaign(tmp_path / "run")
+
+    def test_service_run_directory_rejected(self, tmp_path):
+        from repro.telemetry import RunReport
+
+        save_service_run(RunReport(), [{"payload": 1}], tmp_path / "svc")
+        with pytest.raises(PersistError, match="service-run"):
+            load_campaign(tmp_path / "svc")
+
+    def test_service_run_meta_is_kind_tagged(self, tmp_path):
+        from repro.telemetry import RunReport
+
+        save_service_run(RunReport(), [{"payload": 1}], tmp_path / "svc")
+        meta = json.loads((tmp_path / "svc" / "meta.json").read_text())
+        assert meta["kind"] == "service-run"
+        assert meta["version"] == 3
+        assert meta["counts"]["results"] == 1
+
+
+class TestVantageStrictness:
+    """A typo'd vantage must never silently land in the remote bucket."""
+
+    def test_unknown_vantage_rejected(self, az_campaign, tmp_path):
+        save_campaign(az_campaign, tmp_path / "run")
+        traces = tmp_path / "run" / "traces.jsonl"
+        lines = traces.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["vantage"] = "remotee"
+        lines[0] = json.dumps(record)
+        traces.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match="unknown vantage 'remotee'"):
+            load_campaign(tmp_path / "run")
+
+    def test_missing_vantage_rejected(self, az_campaign, tmp_path):
+        save_campaign(az_campaign, tmp_path / "run")
+        traces = tmp_path / "run" / "traces.jsonl"
+        lines = traces.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["vantage"]
+        lines[1] = json.dumps(record)
+        traces.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match=r"record 2 .* no vantage"):
+            load_campaign(tmp_path / "run")
+
+    def test_round_trip_preserves_vantage_split(self, az_campaign, tmp_path):
+        """Regression for the sweep: the split must survive a save/load
+        cycle exactly, not merely sum to the right total."""
+        save_campaign(az_campaign, tmp_path / "run")
+        loaded = load_campaign(tmp_path / "run")
+        assert [r.endpoint_ip for r in loaded.remote_results] == [
+            r.endpoint_ip for r in az_campaign.remote_results
+        ]
+        assert [r.endpoint_ip for r in loaded.in_country_results] == [
+            r.endpoint_ip for r in az_campaign.in_country_results
+        ]
+
+
+class TestUnitCache:
+    def entry(self, n=0):
+        key = unit_cache_key(["AZ", 7, 0.35, None], ["trace", 2, f"u{n}"])
+        return key, {"endpoint_ip": f"10.0.0.{n}", "blocked": True}
+
+    def test_persists_across_instances(self, tmp_path):
+        cache = UnitCache(tmp_path)
+        key, payload = self.entry()
+        cache.put(key, "trace", payload)
+        reloaded = UnitCache(tmp_path)
+        assert len(reloaded) == 1
+        assert key in reloaded
+        assert reloaded.get(key) == {"kind": "trace", "payload": payload}
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = UnitCache(tmp_path)
+        key, payload = self.entry()
+        cache.put(key, "trace", payload)
+        cache.put(key, "trace", payload)
+        assert len((tmp_path / UnitCache.FILENAME).read_text().splitlines()) == 1
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        cache = UnitCache(tmp_path)
+        for n in range(3):
+            key, payload = self.entry(n)
+            cache.put(key, "trace", payload)
+        path = tmp_path / UnitCache.FILENAME
+        path.write_text(path.read_text()[:-20])  # crash mid-append
+        telemetry = Telemetry()
+        reloaded = UnitCache(tmp_path, telemetry=telemetry)
+        assert len(reloaded) == 2
+        assert telemetry.counters["store.unit_cache_torn_tail"] == 1
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        cache = UnitCache(tmp_path)
+        for n in range(3):
+            key, payload = self.entry(n)
+            cache.put(key, "trace", payload)
+        path = tmp_path / UnitCache.FILENAME
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match="line 1"):
+            UnitCache(tmp_path)
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        cache = UnitCache(tmp_path, telemetry=telemetry)
+        key, payload = self.entry()
+        assert cache.get(key) is None
+        cache.put(key, "trace", payload)
+        assert cache.get(key) is not None
+        assert telemetry.counters["store.unit_cache_misses"] == 1
+        assert telemetry.counters["store.unit_cache_hits"] == 1
+        assert telemetry.counters["store.unit_cache_writes"] == 1
+
+    def test_key_depends_on_each_component(self):
+        base = unit_cache_key(["AZ", 7, 0.35, None], ["trace", 2, "u"])
+        assert base != unit_cache_key(["AZ", 8, 0.35, None], ["trace", 2, "u"])
+        assert base != unit_cache_key(["AZ", 7, 0.35, None], ["trace", 3, "u"])
+        assert base != unit_cache_key(
+            ["AZ", 7, 0.35, None], ["trace", 2, "u"],
+            [{"kind": "firmware", "target": "dev1", "epoch": 1}],
+        )
+        # Deterministic across processes (no randomized hashing).
+        assert base == unit_cache_key(["AZ", 7, 0.35, None], ["trace", 2, "u"])
+
+
+class TestFieldsDrivenTraceRoundTrip:
+    """Walks dataclasses.fields(CenTraceResult) so a newly added field
+    that the serializer ignores fails here by name, not by luck."""
+
+    # Sweep transcripts are summarized, not archived (module docstring).
+    EXCLUDED = {"sweeps_control", "sweeps_test"}
+
+    def variant_result(self):
+        import dataclasses
+
+        from repro.core.centrace.results import CenTraceResult, HopInfo
+        from repro.netmodel.icmp import QuoteDelta
+
+        variants = {
+            "endpoint_ip": "10.9.9.9",
+            "endpoint_asn": 64501,
+            "test_domain": "variant.example",
+            "protocol": "https",
+            "blocked": True,
+            "valid": False,
+            "degraded": True,
+            "blocking_type": "RST",
+            "terminating_ttl": 9,
+            "endpoint_distance": 13,
+            "blocking_hop": HopInfo(
+                ttl=5, ip="10.0.0.5", asn=64500,
+                as_name="VariantNet", country="AZ",
+            ),
+            "location_class": "in-path",
+            "in_path": True,
+            "hops_from_endpoint": 3,
+            "ttl_copy_detected": True,
+            "corrected_device_distance": 4,
+            "injected_ip_id": 54321,
+            "injected_ip_tos": 8,
+            "injected_ip_flags": 2,
+            "injected_ttl": 61,
+            "injected_initial_ttl": 64,
+            "injected_tcp_flags": 0x14,
+            "injected_tcp_window": 512,
+            "injected_tcp_options": (2, 4, 8),
+            "blockpage_fingerprint": "generic_region_block",
+            "quote_delta": QuoteDelta(
+                tos_changed=True, ip_flags_changed=True, ttl_delta=2,
+                identification_changed=True, length_changed=True,
+                transport_bytes_quoted=28, follows_rfc792=True,
+                payload_modified=True,
+            ),
+            "control_hops": {3: {"10.0.0.3": 2}},
+        }
+        names = {
+            f.name for f in dataclasses.fields(CenTraceResult)
+        } - self.EXCLUDED
+        missing = names - set(variants)
+        assert not missing, (
+            f"add round-trip variants for new CenTraceResult "
+            f"field(s): {sorted(missing)}"
+        )
+        return CenTraceResult(**variants), names
+
+    def test_every_field_round_trips(self):
+        original, names = self.variant_result()
+        restored = trace_result_from_dict(trace_result_to_dict(original))
+        for name in sorted(names):
+            assert getattr(restored, name) == getattr(original, name), name

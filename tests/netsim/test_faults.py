@@ -803,6 +803,8 @@ def _campaign_digests(tmp_path, plan):
     from repro.geo.countries import build_world
     from repro.persist import save_campaign
 
+    from ..helpers_golden import digest_dir
+
     def digest(workers, tag):
         world = build_world("AZ", seed=7, scale=0.35, fault_plan=plan)
         config = CampaignConfig(
@@ -811,11 +813,7 @@ def _campaign_digests(tmp_path, plan):
         campaign = run_campaign(world, config, workers=workers)
         out = tmp_path / tag
         save_campaign(campaign, str(out))
-        h = hashlib.sha256()
-        for path in sorted(out.iterdir()):
-            h.update(path.name.encode())
-            h.update(path.read_bytes())
-        return h.hexdigest(), campaign
+        return digest_dir(out), campaign
 
     serial, campaign = digest(None, "serial")
     parallel, _ = digest(2, "parallel")

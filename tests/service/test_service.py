@@ -248,3 +248,59 @@ class TestDeterminism:
         )
         digest = self._digest_via_service(tmp_path, "az-lossy", config, 3)
         assert digest == GOLDEN["az-lossy-serial"]
+
+
+class TestRestartPersistence:
+    """ServiceConfig.cache_dir: completed units survive a service
+    restart and are answered from disk, byte-identically."""
+
+    def _run_service(self, cache_dir, telemetry=None):
+        async def main():
+            config = ServiceConfig(cache_dir=str(cache_dir))
+            async with CampaignService(config, telemetry=telemetry) as service:
+                units = pool_for(service)[:6]
+                stream = await service.submit(request(units))
+                return await stream.collect(), service.stats()
+
+        return run(main())
+
+    def test_second_service_restores_from_disk(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        cache_dir = tmp_path / "cache"
+        first_results, first_stats = self._run_service(cache_dir)
+        assert first_stats["units_executed"] == 6
+
+        telemetry = Telemetry()
+        second_results, second_stats = self._run_service(
+            cache_dir, telemetry=telemetry
+        )
+        assert second_stats["units_executed"] == 0
+        assert telemetry.counters["service.cache_restored"] == 6
+        assert [json.dumps(r.payload, sort_keys=True)
+                for r in second_results] == [
+            json.dumps(r.payload, sort_keys=True) for r in first_results
+        ]
+
+    def test_no_cache_dir_keeps_memory_only_behavior(self, tmp_path):
+        async def main():
+            async with CampaignService() as service:
+                units = pool_for(service)[:2]
+                stream = await service.submit(request(units))
+                return await stream.collect(), service.stats()
+
+        _, stats1 = run(main())
+        _, stats2 = run(main())
+        assert stats1["units_executed"] == 2
+        assert stats2["units_executed"] == 2  # nothing persisted
+
+    def test_shares_cache_format_with_epoch_scheduler(self, tmp_path):
+        """Both writers speak the same UnitCache file format: the
+        service can load (and extend) a scheduler-written cache."""
+        from repro.persist import UnitCache
+
+        cache_dir = tmp_path / "cache"
+        UnitCache(cache_dir).put("someone-elses-key", "trace", {"x": 1})
+        _, stats = self._run_service(cache_dir)
+        assert stats["units_executed"] == 6  # foreign keys don't collide
+        assert len(UnitCache(cache_dir)) == 7

@@ -68,6 +68,18 @@ LAYER_DEPS: Dict[str, Set[str]] = {
         "persist",
         "telemetry",
     },
+    # The fact store reads campaigns (persist/experiments layers) and
+    # drift plans (geo) to extract longitudinal records; nothing below
+    # the CLI drives it.
+    "store": {
+        "core",
+        "experiments",
+        "geo",
+        "netmodel",
+        "netsim",
+        "persist",
+        "telemetry",
+    },
     "cli": {"*"},
     # The package root re-exports the public API.
     "<root>": {"*"},
@@ -81,6 +93,7 @@ NEVER_IMPORTED = {"cli"}
 #: ``cli``-like layers and the package root are bound by it.
 RESTRICTED_IMPORTERS: Dict[str, Set[str]] = {
     "service": {"cli"},
+    "store": {"cli"},
 }
 
 PACKAGE = "repro"
