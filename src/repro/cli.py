@@ -26,6 +26,7 @@ from .core.cenfuzz import CenFuzz
 from .core.cenprobe import CenProbe, summarize_reports
 from .core.centrace import CenTrace, CenTraceConfig
 from .geo.countries import COUNTRIES, build_world
+from .geo.drift import DriftError
 from .netsim.faults import FaultPlan
 from .persist import (
     PersistError,
@@ -467,6 +468,23 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.registry:
+        # Render the telemetry registry — the documented operational
+        # surface every counter/span/event literal in src/ must appear
+        # in (enforced by lintkit RP601/RP603).
+        from . import telemetry_registry
+
+        if args.json:
+            print(
+                json.dumps(
+                    telemetry_registry.registry_as_dict(),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(telemetry_registry.render_registry())
+        return 0
     if args.run:
         # Render the telemetry run report persisted with a saved
         # campaign (``repro campaign --metrics --out DIR``) or service
@@ -770,6 +788,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="render the telemetry run report saved in campaign dir DIR",
     )
+    report.add_argument(
+        "--registry",
+        action="store_true",
+        help="render the telemetry registry (documented metric names)",
+    )
     report.add_argument("--json", action="store_true")
     report.set_defaults(func=cmd_report)
 
@@ -781,9 +804,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except PersistError as exc:
+    except (PersistError, DriftError) as exc:
         # Any analysis path reading a missing/truncated/corrupt run
-        # directory reports cleanly instead of tracebacking.
+        # directory — or a malformed drift-plan spec — reports cleanly
+        # instead of tracebacking.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

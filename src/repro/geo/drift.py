@@ -209,16 +209,41 @@ class DriftPlan:
         if isinstance(spec, dict):
             return cls.from_dict(spec)
         if not isinstance(spec, str):
-            raise TypeError(f"cannot build a DriftPlan from {spec!r}")
+            # Programmer contract: callers dispatch on type before here.
+            raise TypeError(  # lint: ignore[RP901] -- not user-reachable
+                f"cannot build a DriftPlan from {spec!r}"
+            )
         text = spec.strip()
         if text.startswith("@"):
-            return cls.from_dict(json.loads(Path(text[1:]).read_text()))
+            path = Path(text[1:])
+            try:
+                raw = path.read_text()
+            except OSError as exc:
+                raise DriftError(
+                    f"cannot read drift plan file {path}: {exc}"
+                ) from exc
+            return cls.from_dict(cls._parse_json(raw, source=str(path)))
         if text.startswith("{"):
-            return cls.from_dict(json.loads(text))
+            return cls.from_dict(cls._parse_json(text, source="inline spec"))
         raise DriftError(
             f"unknown drift plan {spec!r}; expected inline JSON, "
             "@path/to/plan.json, or 'auto' (CLI only)"
         )
+
+    @staticmethod
+    def _parse_json(raw: str, source: str) -> Dict:
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise DriftError(
+                f"malformed drift plan JSON in {source}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise DriftError(
+                f"drift plan in {source} must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        return data
 
 
 # ---------------------------------------------------------------------------

@@ -79,6 +79,15 @@ def _read_json(path: Path, what: str) -> Dict:
 # ---------------------------------------------------------------------------
 
 
+#: Dataclass fields deliberately absent from the serialized form, by
+#: serializer-pair prefix (lintkit RP701 reads this). The raw per-TTL
+#: sweeps are inputs to classification, not results: the saved record
+#: is analysis-complete, and replaying sweeps requires re-probing.
+SERIALIZER_EXCLUDED_FIELDS = {
+    "trace_result": ("sweeps_control", "sweeps_test"),
+}
+
+
 def trace_result_to_dict(result: CenTraceResult) -> Dict:
     """Serialize a classified CenTrace result (analysis-complete)."""
     def hop(info: Optional[HopInfo]) -> Optional[Dict]:
@@ -290,7 +299,10 @@ def unit_result_to_dict(kind: str, result) -> Dict:
         return trace_result_to_dict(result)
     if kind == "fuzz":
         return fuzz_report_to_dict(result)
-    raise ValueError(f"unknown work-unit kind {kind!r}")
+    # Programmer contract: kinds come from WorkUnit literals, not data.
+    raise ValueError(  # lint: ignore[RP901] -- not user-reachable
+        f"unknown work-unit kind {kind!r}"
+    )
 
 
 def unit_result_from_dict(kind: str, payload: Dict):
@@ -299,7 +311,9 @@ def unit_result_from_dict(kind: str, payload: Dict):
         return trace_result_from_dict(payload)
     if kind == "fuzz":
         return fuzz_report_from_dict(payload)
-    raise ValueError(f"unknown work-unit kind {kind!r}")
+    # The kind is read back from a stored fact payload: corrupt or
+    # hand-edited stores reach this, so it reports as a typed error.
+    raise PersistError(f"unknown work-unit kind {kind!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -192,9 +192,13 @@ class CampaignService:
     async def stop(self) -> None:
         self._running = False
         self._wake.set()
-        if self._dispatcher is not None:
-            await self._dispatcher
-            self._dispatcher = None
+        # Snapshot-and-clear before awaiting: a start() racing this
+        # stop() would otherwise have its fresh dispatcher clobbered by
+        # the stale write after the await (RP802's check-then-act shape).
+        dispatcher = self._dispatcher
+        self._dispatcher = None
+        if dispatcher is not None:
+            await dispatcher
         for executor in self._executors.values():
             executor.close()
         self._executors.clear()

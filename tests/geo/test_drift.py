@@ -99,6 +99,24 @@ class TestSerialization:
         path.write_text(json.dumps(plan.to_dict()))
         assert DriftPlan.from_spec(f"@{path}") == plan
 
+    def test_from_spec_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(DriftError, match="cannot read drift plan file"):
+            DriftPlan.from_spec(f"@{tmp_path / 'nope.json'}")
+
+    def test_from_spec_malformed_json_is_typed_error(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(DriftError, match="malformed drift plan JSON"):
+            DriftPlan.from_spec(f"@{path}")
+        with pytest.raises(DriftError, match="malformed drift plan JSON"):
+            DriftPlan.from_spec("{not json")
+
+    def test_from_spec_non_object_json_is_typed_error(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(DriftError, match="must be a JSON object"):
+            DriftPlan.from_spec(f"@{path}")
+
     def test_unknown_fields_rejected(self):
         with pytest.raises(DriftError, match="unknown drift op fields"):
             DriftOp.from_dict({"epoch": 1, "kind": "firmware",

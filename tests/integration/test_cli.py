@@ -200,6 +200,35 @@ class TestCampaign:
         err = capsys.readouterr().err
         assert "without telemetry" in err
 
+    def test_report_registry_renders_documented_surface(self, capsys):
+        assert main(["report", "--registry"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry registry" in out
+        assert "Counters" in out and "Spans" in out and "Events" in out
+        assert "centrace.measurements" in out
+
+    def test_report_registry_json_matches_declared_tables(self, capsys):
+        from repro.telemetry_registry import COUNTERS, EVENTS, SPANS
+
+        assert main(["report", "--registry", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"] == COUNTERS
+        assert payload["spans"] == SPANS
+        assert payload["events"] == EVENTS
+
+    def test_drift_error_routes_to_exit_two(self, capsys, tmp_path):
+        # A malformed --drift-plan spec is user input: clear message,
+        # exit 2, no traceback (the RP902 contract, exercised live).
+        code = main([
+            "epochs", "--country", "KZ", "--epochs", "1",
+            "--out", str(tmp_path / "obs"),
+            "--drift-plan", "@" + str(tmp_path / "nope.json"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot read drift plan file" in err
+        assert "Traceback" not in err
+
     def test_report_run_partially_written_report(self, capsys, tmp_path):
         # Simulate a crash mid-write: truncated JSON must degrade to a
         # clear message + exit 2, never a traceback.

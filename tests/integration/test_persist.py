@@ -221,6 +221,14 @@ class TestPersistErrors:
         with pytest.raises(PersistError, match=r"line 3"):
             load_campaign(tmp_path / "run")
 
+    def test_unknown_unit_kind_is_typed_error(self):
+        # The kind tag is read back from stored fact payloads, so a
+        # corrupt or hand-edited store must report, not traceback.
+        from repro.persist import unit_result_from_dict
+
+        with pytest.raises(PersistError, match="unknown work-unit kind"):
+            unit_result_from_dict("banner", {})
+
     def test_service_run_directory_rejected(self, tmp_path):
         from repro.telemetry import RunReport
 
@@ -352,8 +360,12 @@ class TestFieldsDrivenTraceRoundTrip:
     """Walks dataclasses.fields(CenTraceResult) so a newly added field
     that the serializer ignores fails here by name, not by luck."""
 
-    # Sweep transcripts are summarized, not archived (module docstring).
-    EXCLUDED = {"sweeps_control", "sweeps_test"}
+    # Sweep transcripts are summarized, not archived — read straight
+    # from the declared exclusion table so this test and the RP701
+    # static check can never disagree about what is exempt.
+    from repro.persist import SERIALIZER_EXCLUDED_FIELDS
+
+    EXCLUDED = set(SERIALIZER_EXCLUDED_FIELDS["trace_result"])
 
     def variant_result(self):
         import dataclasses

@@ -540,21 +540,40 @@ class TestPragma:
         assert found == []
 
     def test_pragma_is_per_rule(self, tmp_path):
-        # Suppressing RP502 must not hide an RP101 on the same line.
+        # Suppressing RP502 must not hide an RP101 on the same line —
+        # and the wrong-rule pragma is itself reported stale (RP001).
         found = lint_module(
             tmp_path,
             "repro.mod",
             "import time\n"
             "x = time.time()  # lint: ignore[RP502] -- wrong rule\n",
         )
-        assert rule_ids(found) == ["RP101"]
+        assert rule_ids(found) == ["RP001", "RP101"]
+        assert found[0].severity == "warning"
+        assert found[1].severity == "error"
 
     def test_multi_rule_pragma(self, tmp_path):
+        # RP301 fires and is suppressed; the RP302 arm never fires, so
+        # it surfaces as a stale-pragma warning rather than silence.
         found = lint_module(
             tmp_path,
             "repro.core.mod",
             "for x in {1, 2}:  # lint: ignore[RP301, RP302] -- fixture\n"
             "    print(x)\n",
+        )
+        assert rule_ids(found) == ["RP001"]
+        assert found[0].severity == "warning"
+        assert "RP302" in found[0].message
+
+    def test_fully_used_multi_rule_pragma_clean(self, tmp_path):
+        found = lint_module(
+            tmp_path,
+            "repro.core.mod",
+            "import time\n"
+            "def f():\n"
+            "    s = {1, 2}\n"
+            "    for x in s:  # lint: ignore[RP301] -- fixture\n"
+            "        t = time.time()  # lint: ignore[RP101] -- fixture\n",
         )
         assert found == []
 
@@ -564,11 +583,24 @@ class TestPragma:
 
 
 class TestFramework:
-    def test_at_least_five_passes_registered(self):
+    def test_rule_inventory(self):
         ids = {rule.id for rule in lintkit.REGISTRY.select()}
-        assert {"RP101", "RP201", "RP301", "RP401", "RP501"} <= ids
-        # Five invariant families, each with its own hundred-block.
-        assert len({i[:3] for i in ids}) >= 5
+        assert {
+            "RP001",
+            "RP101",
+            "RP201",
+            "RP301",
+            "RP401",
+            "RP501",
+            "RP601",
+            "RP701",
+            "RP801",
+            "RP901",
+        } <= ids
+        # At least 18 passes across at least 9 invariant families,
+        # each family owning its own hundred-block.
+        assert len(ids) >= 18
+        assert len({i[:3] for i in ids}) >= 9
 
     def test_syntax_error_is_violation(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")
@@ -633,16 +665,36 @@ class TestCli:
         )
         assert lintkit_main([str(tmp_path), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["ok"] is False
         assert payload["checked_files"] >= 1
         assert payload["counts"] == {"RP101": 1}
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
         assert set(payload["rules"]) >= {"RP101", "RP201", "RP301"}
         (violation,) = payload["violations"]
         assert violation["rule"] == "RP101"
         assert violation["line"] == 2
+        assert violation["severity"] == "error"
         assert violation["path"].endswith("mod.py")
         assert "wall-clock" in violation["message"]
+
+    def test_json_warning_keeps_ok_true(self, tmp_path, capsys):
+        # A stale pragma is a warning: reported, counted, but ok stays
+        # true and the exit code stays 0.
+        write_module(
+            tmp_path,
+            "repro.mod",
+            "X = 1  # lint: ignore[RP101] -- stale\n",
+        )
+        assert lintkit_main([str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["warnings"] == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "RP001"
+        assert violation["severity"] == "warning"
 
     def test_json_ok_on_clean(self, tmp_path, capsys):
         write_module(tmp_path, "repro.mod", "X = 1\n")

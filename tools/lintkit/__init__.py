@@ -1,9 +1,13 @@
-"""lintkit — multi-pass AST invariant linter for the reproduction.
+"""lintkit — two-phase AST invariant linter for the reproduction.
 
 One shared walk, many passes: every ``*.py`` file is parsed exactly
-once, then each registered :class:`~tools.lintkit.base.Rule` inspects
-the shared tree (per-file rules) or the whole set (project rules such
-as the layer-DAG check). Run it via ``make lint`` or::
+once (phase 1 also builds the shared
+:class:`~tools.lintkit.index.ProjectIndex` — symbol tables, resolved
+imports, dataclass field inventories, telemetry call sites), then each
+registered :class:`~tools.lintkit.base.Rule` inspects the shared tree
+(per-file rules), the whole set (project rules such as the layer-DAG
+check), or the index (cross-module contract rules). Run it via
+``make lint`` or::
 
     python -m tools.lintkit src            # text report, exit 1 on findings
     python -m tools.lintkit src --json     # machine-readable report
@@ -17,7 +21,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from .base import REGISTRY, FileRule, ProjectRule, Rule, Violation, register
+from .base import (
+    REGISTRY,
+    FileRule,
+    IndexRule,
+    ProjectRule,
+    Rule,
+    Violation,
+    register,
+)
+from .index import ProjectIndex
 from .walker import run_rules, walk_paths
 
 # Importing registers every pass.
@@ -26,6 +39,8 @@ from . import rules as _rules  # noqa: F401
 __all__ = [
     "REGISTRY",
     "FileRule",
+    "IndexRule",
+    "ProjectIndex",
     "ProjectRule",
     "Rule",
     "Violation",

@@ -2,19 +2,23 @@
 
 Exit codes (the contract ``make lint`` and CI rely on):
 
-* 0 — tree is clean
-* 1 — violations found (listed on stdout)
-* 2 — usage error (unknown rule id, missing path)
+* 0 — tree is clean (warning-severity findings are reported but do
+  not fail the run; the committed baseline keeps them from
+  accumulating silently)
+* 1 — error-severity violations found (listed on stdout), or new
+  findings vs ``--baseline``
+* 2 — usage error (unknown rule id, missing path, unreadable baseline)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from . import REGISTRY, lint
-from .reporters import render_json, render_text
+from .reporters import diff_baseline, render_json, render_text
 
 #: Default target when invoked bare from the repo root.
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
@@ -23,8 +27,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.lintkit",
-        description="Multi-pass AST invariant linter (determinism, RNG "
-        "discipline, iteration order, layering, shared state).",
+        description="Two-phase AST invariant linter (determinism, RNG "
+        "discipline, iteration order, layering, shared state, telemetry "
+        "registry, serializer drift, async safety, error contracts).",
     )
     parser.add_argument(
         "paths",
@@ -39,6 +44,13 @@ def main(argv=None) -> int:
         "--select",
         metavar="RPxxx[,RPxxx...]",
         help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        type=Path,
+        help="diff findings against a committed --json payload; exit 1 "
+        "only on findings not present in the baseline",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list registered passes"
@@ -70,9 +82,23 @@ def main(argv=None) -> int:
         return 2
 
     violations, checked = lint(paths, root=REPO_ROOT, select=select)
+
+    if args.baseline is not None:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"lintkit: cannot read baseline {args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        delta, has_new = diff_baseline(violations, baseline)
+        print(delta)
+        return 1 if has_new else 0
+
     render = render_json if args.json else render_text
     print(render(violations, rules, checked))
-    return 1 if violations else 0
+    return 1 if any(v.severity == "error" for v in violations) else 0
 
 
 if __name__ == "__main__":

@@ -1,29 +1,41 @@
-"""Violation reporters: human text and machine ``--json``.
+"""Violation reporters: human text, machine ``--json``, baseline diff.
 
 The JSON schema is versioned and stable — CI and editor integrations
 key off it::
 
     {
-      "version": 1,
-      "ok": false,
+      "version": 2,
+      "ok": false,                 # no error-severity findings
       "checked_files": 42,
       "rules": ["RP101", ...],
       "counts": {"RP101": 2},
+      "errors": 2,
+      "warnings": 0,
       "violations": [
-        {"rule": "RP101", "path": "src/x.py", "line": 3, "message": "..."}
+        {"rule": "RP101", "path": "src/x.py", "line": 3,
+         "severity": "error", "message": "..."}
       ]
     }
+
+Schema history: v1 (PR 4) had no ``severity``/``errors``/``warnings``;
+v2 (this PR) adds them — ``ok`` now means "no error-severity findings"
+so warning-only runs (stale pragmas) stay green.
+
+``diff_baseline`` compares a run against a committed baseline payload
+(``tools/lintkit/baseline.json``) and renders new/fixed findings as a
+readable delta; CI fails only on *new* findings, so the job log shows
+exactly what a change introduced rather than a wall of context.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from .base import Rule, Violation
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(
@@ -32,12 +44,14 @@ def render_text(
     checked_files: int,
 ) -> str:
     lines: List[str] = [v.render() for v in violations]
+    errors = sum(1 for v in violations if v.severity == "error")
+    warnings = len(violations) - errors
     if violations:
         counts = Counter(v.rule_id for v in violations)
         summary = ", ".join(f"{rid}×{n}" for rid, n in sorted(counts.items()))
         lines.append(
-            f"lintkit: {len(violations)} violation(s) in {checked_files} "
-            f"file(s) [{summary}]"
+            f"lintkit: {errors} violation(s), {warnings} warning(s) in "
+            f"{checked_files} file(s) [{summary}]"
         )
     else:
         ids = ", ".join(rule.id for rule in rules)
@@ -53,20 +67,66 @@ def render_json(
     checked_files: int,
 ) -> str:
     counts = Counter(v.rule_id for v in violations)
+    errors = sum(1 for v in violations if v.severity == "error")
     payload = {
         "version": JSON_SCHEMA_VERSION,
-        "ok": not violations,
+        "ok": errors == 0,
         "checked_files": checked_files,
         "rules": [rule.id for rule in rules],
         "counts": dict(sorted(counts.items())),
+        "errors": errors,
+        "warnings": len(violations) - errors,
         "violations": [
             {
                 "rule": v.rule_id,
                 "path": str(v.path),
                 "line": v.line,
+                "severity": v.severity,
                 "message": v.message,
             }
             for v in violations
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _finding_keys(
+    entries: Sequence[Dict],
+) -> Counter:
+    """Multiset of (rule, path, message) — line numbers shift too easily
+    to key a cross-commit diff on them."""
+    return Counter(
+        (e["rule"], e["path"], e["message"]) for e in entries
+    )
+
+
+def diff_baseline(
+    violations: Sequence[Violation], baseline: Dict
+) -> Tuple[str, bool]:
+    """(readable delta, has_new_findings) vs a baseline JSON payload."""
+    current_entries = [
+        {"rule": v.rule_id, "path": str(v.path), "message": v.message}
+        for v in violations
+    ]
+    current = _finding_keys(current_entries)
+    base = _finding_keys(baseline.get("violations", []))
+    new = current - base
+    fixed = base - current
+    lines: List[str] = []
+    for (rule, path, message), n in sorted(new.items()):
+        tag = f" (×{n})" if n > 1 else ""
+        lines.append(f"NEW   {path}: {rule} {message}{tag}")
+    for (rule, path, message), n in sorted(fixed.items()):
+        tag = f" (×{n})" if n > 1 else ""
+        lines.append(f"FIXED {path}: {rule} {message}{tag}")
+    if not lines:
+        lines.append(
+            "lintkit: no delta vs baseline "
+            f"({sum(base.values())} baseline finding(s))"
+        )
+    else:
+        lines.append(
+            f"lintkit: {sum(new.values())} new, {sum(fixed.values())} "
+            "fixed vs baseline"
+        )
+    return "\n".join(lines), bool(new)

@@ -1,0 +1,321 @@
+"""RP801-RP802 — async-safety invariants for the campaign service.
+
+``repro.service`` runs a single asyncio dispatcher; its correctness
+model is "atomic between awaits". Two things break that model:
+
+* RP801 — a blocking call directly inside an ``async def`` body:
+  ``time.sleep``, synchronous file IO (``open``, ``Path.read_text``
+  and friends), or a direct executor ``.run_unit``/``.run_traces``/
+  ``.run_fuzz`` call not routed through ``run_in_executor``. Each one
+  stalls every coroutine on the loop. (Deliberately-synchronous
+  helpers — plain ``def`` — are out of scope; making a blocking
+  section structural rather than incidental is exactly the sanctioned
+  idiom, as ``CampaignService._execute`` documents.)
+* RP802 — shared-state check-then-act across an ``await``: a guard on
+  ``self.<attr>`` (directly, or via a local snapshot of it) whose
+  body awaits, followed by a mutation of the same attribute with no
+  re-read in between. While the coroutine awaited, another task may
+  have changed the attribute; the PR 7 admission race was exactly
+  this shape. The fix — re-reading the attribute after the await —
+  satisfies the rule.
+
+Both are per-file passes scoped to ``repro.service``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..base import FileContext, FileRule, Violation, register
+
+#: Dotted call targets that block the event loop.
+BLOCKING_CALLS = {
+    "time.sleep": "blocks the event loop; use asyncio.sleep",
+    "open": "synchronous file IO on the event loop",
+}
+
+#: Method names that are file IO no matter the receiver.
+BLOCKING_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: Executor entry points that must go through run_in_executor when
+#: called from a coroutine.
+EXECUTOR_METHODS = {"run_unit", "run_traces", "run_fuzz"}
+
+#: Calls that mutate a container receiver in place.
+MUTATING_METHODS = {
+    "append",
+    "add",
+    "insert",
+    "extend",
+    "update",
+    "setdefault",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+SERVICE_PACKAGE = "repro.service"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _iter_async_defs(tree: ast.Module) -> Iterable[ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _walk_async_body(func: ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+    """Nodes of the coroutine itself, skipping nested function defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _ServiceRule(FileRule):
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(
+            ctx.module
+            and (
+                ctx.module == SERVICE_PACKAGE
+                or ctx.module.startswith(SERVICE_PACKAGE + ".")
+            )
+        )
+
+
+@register
+class BlockingCallInCoroutine(_ServiceRule):
+    id = "RP801"
+    name = "async-blocking-call"
+    description = (
+        "No blocking calls (time.sleep, sync file IO, direct executor "
+        "run_unit) inside async def bodies — they stall every "
+        "coroutine on the loop."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for func in _iter_async_defs(ctx.tree):
+            for node in _walk_async_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                message = self._blocking_reason(node)
+                if message is not None:
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=ctx.relative,
+                            line=node.lineno,
+                            message=f"in async def {func.name}: {message}",
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _blocking_reason(node: ast.Call) -> Optional[str]:
+        dotted = _dotted(node.func)
+        if dotted in BLOCKING_CALLS:
+            return f"{dotted}() — {BLOCKING_CALLS[dotted]}"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in BLOCKING_METHODS:
+                return (
+                    f".{attr}() — synchronous file IO on the event loop; "
+                    "move it to a sync helper or run_in_executor"
+                )
+            if attr in EXECUTOR_METHODS:
+                return (
+                    f".{attr}() called directly on the loop — route it "
+                    "through loop.run_in_executor (or a deliberate sync "
+                    "helper)"
+                )
+        return None
+
+
+@register
+class CheckThenActAcrossAwait(_ServiceRule):
+    id = "RP802"
+    name = "async-check-then-act"
+    description = (
+        "A guard on shared self-state followed by an await must re-read "
+        "the state before mutating it (the admission-race shape)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for func in _iter_async_defs(ctx.tree):
+            violations.extend(self._check_coroutine(ctx, func))
+        return violations
+
+    def _check_coroutine(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> List[Violation]:
+        # Locals that snapshot a self attribute: x = self._states.get(k),
+        # x = self._states[k], x = self._states.
+        snapshot_of: Dict[str, str] = {}
+        for node in _walk_async_body(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                attr = self._snapshotted_attr(node.value)
+                if isinstance(target, ast.Name) and attr is not None:
+                    snapshot_of[target.id] = attr
+
+        # Linearize the events the race shape is made of.
+        loads: Dict[str, List[int]] = {}
+        mutations: Dict[str, List[Tuple[int, str]]] = {}
+        for node in _walk_async_body(func):
+            for attr, line, how in self._mutations(node):
+                mutations.setdefault(attr, []).append((line, how))
+            attr = self._self_attr_load(node)
+            if attr is not None:
+                loads.setdefault(attr, []).append(node.lineno)
+
+        violations: List[Violation] = []
+        reported: Set[Tuple[str, int]] = set()
+        for guard in _walk_async_body(func):
+            if not isinstance(guard, ast.If):
+                continue
+            guarded = self._guarded_attrs(guard.test, snapshot_of)
+            if not guarded:
+                continue
+            first_await = self._first_await_within(guard)
+            if first_await is None:
+                continue
+            for attr in sorted(guarded):
+                for line, how in sorted(mutations.get(attr, ())):
+                    if line <= first_await:
+                        continue
+                    rechecked = any(
+                        first_await < load < line
+                        for load in loads.get(attr, ())
+                    )
+                    if rechecked or (attr, line) in reported:
+                        break
+                    reported.add((attr, line))
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=ctx.relative,
+                            line=line,
+                            message=(
+                                f"in async def {func.name}: self.{attr} "
+                                f"is {how} after the await at line "
+                                f"{first_await}, but the guard at line "
+                                f"{guard.lineno} checked it before the "
+                                "await — re-read it after awaiting "
+                                "(check-then-act race)"
+                            ),
+                        )
+                    )
+                    break
+        return violations
+
+    # -- shape helpers ----------------------------------------------
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _snapshotted_attr(self, value: ast.AST) -> Optional[str]:
+        attr = self._self_attr(value)
+        if attr is not None:
+            return attr
+        if isinstance(value, ast.Subscript):
+            return self._self_attr(value.value)
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+        ):
+            return self._self_attr(value.func.value)
+        return None
+
+    def _guarded_attrs(
+        self, test: ast.AST, snapshot_of: Dict[str, str]
+    ) -> Set[str]:
+        guarded: Set[str] = set()
+        for node in ast.walk(test):
+            attr = self._self_attr(node)
+            if attr is not None:
+                guarded.add(attr)
+            if isinstance(node, ast.Name) and node.id in snapshot_of:
+                guarded.add(snapshot_of[node.id])
+        return guarded
+
+    @staticmethod
+    def _first_await_within(guard: ast.If) -> Optional[int]:
+        lines = [
+            node.lineno
+            for node in ast.walk(guard)
+            if isinstance(node, ast.Await)
+        ]
+        return min(lines) if lines else None
+
+    def _mutations(
+        self, node: ast.AST
+    ) -> List[Tuple[str, int, str]]:
+        found: List[Tuple[str, int, str]] = []
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self._self_attr(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = self._self_attr(target.value)
+                if attr is not None:
+                    found.append((attr, node.lineno, "assigned"))
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in MUTATING_METHODS:
+                attr = self._self_attr(node.func.value)
+                if attr is not None:
+                    found.append(
+                        (attr, node.lineno, f"mutated ({node.func.attr})")
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = self._self_attr(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = self._self_attr(target.value)
+                if attr is not None:
+                    found.append((attr, node.lineno, "deleted"))
+        return found
+
+    def _self_attr_load(self, node: ast.AST) -> Optional[str]:
+        # A Load of self.<attr> anywhere counts as a potential re-check.
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None

@@ -28,11 +28,15 @@ import ast
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..base import FileContext, ProjectRule, Violation, register
+from ..index import resolve_relative
 
 #: package -> packages it may import. ``*`` means "anything but the
 #: packages everyone is banned from" (see NEVER_IMPORTED).
 LAYER_DEPS: Dict[str, Set[str]] = {
     "telemetry": set(),
+    # The declared telemetry name registry (RP6xx contract): pure data,
+    # imports nothing; only entry points render it at runtime.
+    "telemetry_registry": set(),
     "netmodel": set(),
     "netsim": {"netmodel", "telemetry"},
     "services": {"netmodel", "netsim"},
@@ -97,24 +101,6 @@ RESTRICTED_IMPORTERS: Dict[str, Set[str]] = {
 }
 
 PACKAGE = "repro"
-
-
-def resolve_relative(
-    module: str, is_package: bool, level: int, target: Optional[str]
-) -> Optional[str]:
-    """Absolute dotted name for a ``from ...target import x`` statement."""
-    if level == 0:
-        return target
-    parts = module.split(".")
-    if not is_package:
-        parts = parts[:-1]
-    if level > 1:
-        if level - 1 > len(parts):
-            return None
-        parts = parts[: len(parts) - (level - 1)]
-    if target:
-        parts = parts + target.split(".")
-    return ".".join(parts) if parts else None
 
 
 def _layer_of(module: str) -> Optional[str]:

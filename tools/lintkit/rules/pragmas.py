@@ -1,0 +1,37 @@
+"""RP001 — stale suppression pragmas.
+
+A ``# lint: ignore[RPxxx]`` whose rule never fires on the shielded
+line(s) is documentation pointing at nothing: the violation it once
+waived has been fixed (or the pragma was wrong from the start), and
+leaving it behind teaches readers that pragmas are noise. RP001 flags
+every such pragma at **warning** severity — reported, counted in the
+baseline, but not an exit-1 failure, so a fix that removes a violation
+does not atomically require touching the pragma in the same commit.
+
+The check itself lives in the walker (``run_rules``): only the
+suppression layer knows which pragmas actually fired, and it only
+convicts IDs among the rules that ran, so ``--select`` subsets never
+produce false positives. This class exists to give the pass a stable
+registered ID for ``--list-rules`` and ``--select``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..base import FileContext, FileRule, Violation, register
+
+
+@register
+class UnusedPragma(FileRule):
+    id = "RP001"
+    name = "unused-pragma"
+    description = (
+        "A # lint: ignore[RPxxx] pragma that suppresses nothing is a "
+        "stale waiver — delete it (warning severity)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        # Driven by the walker after all other passes have run; see
+        # tools/lintkit/walker.py (UNUSED_PRAGMA_ID).
+        return ()

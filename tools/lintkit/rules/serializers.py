@@ -1,0 +1,349 @@
+"""RP701-RP703 — serializer/schema drift between dataclasses and dicts.
+
+``persist.py`` hand-writes a ``*_to_dict`` / ``*_from_dict`` pair per
+persisted dataclass. The PR 8 round-trip tests catch drift at runtime
+for the objects a test happens to construct; these passes catch it
+statically for every pair: the dataclass's field inventory (from the
+phase-1 index, inherited fields included) is matched against the key
+literals the pair writes and reads.
+
+* RP701 — a dataclass field the ``to_dict`` never writes and that is
+  not declared in the module's ``SERIALIZER_EXCLUDED_FIELDS`` table
+  (data silently dropped on save).
+* RP702 — pair asymmetry: a key written but never read back by the
+  paired ``from_dict`` (dead weight, or a forgotten reader), or read
+  but never written (can only come from hand-edited files).
+* RP703 — a written or read key that is not a field at all (the
+  classic rename-one-side typo).
+
+Static model: "written keys" are the immediate constant keys of dict
+literals the ``to_dict`` returns (plus ``data["k"] = ...`` stores on a
+returned name); "read keys" are constant subscripts / ``.get("k")``
+calls on the ``from_dict``'s first parameter. Nested helper functions
+are skipped — nested dataclasses get their own pair. Meta keys
+(``version``) are exempt from field matching. A deliberately
+unserialized field is declared per pair prefix::
+
+    SERIALIZER_EXCLUDED_FIELDS = {"trace_result": ("sweeps_control",)}
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..base import FileContext, IndexRule, Violation, register
+from ..index import ProjectIndex
+
+#: Keys every serializer may write without a matching field.
+META_KEYS = {"version"}
+
+#: Module-level table declaring deliberately-unserialized fields.
+EXCLUSIONS_CONSTANT = "SERIALIZER_EXCLUDED_FIELDS"
+
+TO_SUFFIX = "_to_dict"
+FROM_SUFFIX = "_from_dict"
+
+
+def _walk_skip_nested(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _written_keys(func: ast.FunctionDef) -> Dict[str, int]:
+    """Constant keys the function serializes, with line numbers."""
+    keys: Dict[str, int] = {}
+    returned_names: Set[str] = set()
+    for node in _walk_skip_nested(func):
+        if isinstance(node, ast.Return):
+            if isinstance(node.value, ast.Dict):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys.setdefault(key.value, key.lineno)
+            elif isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+    if returned_names:
+        for node in _walk_skip_nested(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in returned_names
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    for key in node.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.setdefault(key.value, key.lineno)
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in returned_names
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.setdefault(target.slice.value, target.lineno)
+    return keys
+
+
+def _read_keys(func: ast.FunctionDef) -> Dict[str, int]:
+    """Constant keys read off the function's first parameter."""
+    keys: Dict[str, int] = {}
+    if not func.args.args:
+        return keys
+    param = func.args.args[0].arg
+    for node in _walk_skip_nested(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.setdefault(node.slice.value, node.lineno)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.setdefault(node.args[0].value, node.lineno)
+    return keys
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts: List[str] = []
+        cur: ast.AST = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return ".".join(reversed(parts))
+    return None
+
+
+class _Pair:
+    """One prefix's to_dict/from_dict functions in a module."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.to_func: Optional[ast.FunctionDef] = None
+        self.from_func: Optional[ast.FunctionDef] = None
+
+    @property
+    def exclusion_key(self) -> str:
+        return self.prefix.lstrip("_")
+
+
+def _collect_pairs(tree: ast.Module) -> List[_Pair]:
+    pairs: Dict[str, _Pair] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.endswith(TO_SUFFIX):
+            prefix = node.name[: -len(TO_SUFFIX)]
+            pairs.setdefault(prefix, _Pair(prefix)).to_func = node
+        elif node.name.endswith(FROM_SUFFIX):
+            prefix = node.name[: -len(FROM_SUFFIX)]
+            pairs.setdefault(prefix, _Pair(prefix)).from_func = node
+    return [pairs[k] for k in sorted(pairs)]
+
+
+def _pair_dataclass(
+    index: ProjectIndex, module: str, pair: _Pair
+) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """(dataclass name, full field inventory) for a pair, if resolvable."""
+    annotation: Optional[str] = None
+    if pair.to_func is not None and pair.to_func.args.args:
+        annotation = _annotation_name(pair.to_func.args.args[0].annotation)
+    if annotation is None and pair.from_func is not None:
+        annotation = _annotation_name(pair.from_func.returns)
+    if annotation is None:
+        return None
+    fields = index.dataclass_fields(module, annotation)
+    if fields is None:
+        return None
+    return annotation.strip("'\""), fields
+
+
+def _excluded_fields(
+    index: ProjectIndex, module: str, pair: _Pair
+) -> Set[str]:
+    info = index.modules.get(module)
+    if info is None:
+        return set()
+    table = info.constants.get(EXCLUSIONS_CONSTANT)
+    if not isinstance(table, dict):
+        return set()
+    declared = table.get(pair.exclusion_key, ())
+    return set(declared) if isinstance(declared, (list, tuple, set)) else set()
+
+
+def _pairs_with_fields(index: ProjectIndex, ctx: FileContext):
+    """Analyzable (pair, dataclass name, fields) triples of one module."""
+    if not ctx.module:
+        return
+    for pair in _collect_pairs(ctx.tree):
+        resolved = _pair_dataclass(index, ctx.module, pair)
+        if resolved is None:
+            continue  # dispatcher or non-dataclass helper
+        yield pair, resolved[0], resolved[1]
+
+
+@register
+class UnserializedField(IndexRule):
+    id = "RP701"
+    name = "serializer-field-dropped"
+    description = (
+        "Every dataclass field must be written by its *_to_dict or be "
+        "declared in SERIALIZER_EXCLUDED_FIELDS (silent data loss on "
+        "save otherwise)."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for ctx in contexts:
+            for pair, cls_name, fields in _pairs_with_fields(index, ctx):
+                if pair.to_func is None:
+                    continue
+                written = _written_keys(pair.to_func)
+                if not written:
+                    continue  # opaque serializer (generic/dynamic keys)
+                excluded = _excluded_fields(index, ctx.module, pair)
+                for field_name in fields:
+                    if field_name in written or field_name in excluded:
+                        continue
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=ctx.relative,
+                            line=pair.to_func.lineno,
+                            message=(
+                                f"{cls_name}.{field_name} is never "
+                                f"serialized by {pair.to_func.name} — "
+                                "write it, or declare it in "
+                                f"{EXCLUSIONS_CONSTANT}"
+                                f"[{pair.exclusion_key!r}]"
+                            ),
+                        )
+                    )
+        return violations
+
+
+@register
+class SerializerPairAsymmetry(IndexRule):
+    id = "RP702"
+    name = "serializer-pair-asymmetry"
+    description = (
+        "Keys written by *_to_dict and keys read by the paired "
+        "*_from_dict must match (meta keys aside) — one-sided keys are "
+        "drift."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for ctx in contexts:
+            for pair, cls_name, _fields in _pairs_with_fields(index, ctx):
+                if pair.to_func is None or pair.from_func is None:
+                    continue
+                written = _written_keys(pair.to_func)
+                read = _read_keys(pair.from_func)
+                if not written or not read:
+                    continue
+                for key in sorted(set(written) - set(read) - META_KEYS):
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=ctx.relative,
+                            line=written[key],
+                            message=(
+                                f"key {key!r} is written by "
+                                f"{pair.to_func.name} but never read by "
+                                f"{pair.from_func.name}"
+                            ),
+                        )
+                    )
+                for key in sorted(set(read) - set(written) - META_KEYS):
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=ctx.relative,
+                            line=read[key],
+                            message=(
+                                f"key {key!r} is read by "
+                                f"{pair.from_func.name} but never "
+                                f"written by {pair.to_func.name}"
+                            ),
+                        )
+                    )
+        return violations
+
+
+@register
+class SerializerUnknownKey(IndexRule):
+    id = "RP703"
+    name = "serializer-unknown-key"
+    description = (
+        "Serialized keys must be dataclass fields (or declared meta "
+        "keys) — an unknown key is a rename-one-side typo."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for ctx in contexts:
+            for pair, cls_name, fields in _pairs_with_fields(index, ctx):
+                excluded = _excluded_fields(index, ctx.module, pair)
+                known = set(fields) | META_KEYS | excluded
+                sides = []
+                if pair.to_func is not None:
+                    sides.append(
+                        (pair.to_func.name, "writes", _written_keys(pair.to_func))
+                    )
+                if pair.from_func is not None:
+                    sides.append(
+                        (pair.from_func.name, "reads", _read_keys(pair.from_func))
+                    )
+                for func_name, verb, keys in sides:
+                    for key in sorted(set(keys) - known):
+                        violations.append(
+                            Violation(
+                                rule_id=self.id,
+                                path=ctx.relative,
+                                line=keys[key],
+                                message=(
+                                    f"{func_name} {verb} key {key!r} "
+                                    f"which is not a field of {cls_name}"
+                                ),
+                            )
+                        )
+        return violations

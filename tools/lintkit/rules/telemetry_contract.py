@@ -1,0 +1,284 @@
+"""RP601-RP603 — the telemetry name registry contract.
+
+The telemetry layer identifies every counter/span/event by a string
+name; reports, the service stats surface, and the fact store all key
+off those names, so a typo silently forks a metric. The declared
+registry (``src/repro/telemetry_registry.py``) is the single source of
+truth; these passes hold call sites and registry to each other:
+
+* RP601 — a literal telemetry name not declared in the registry
+  (unregistered counter, or a typo of a registered one).
+* RP602 — a telemetry name computed at runtime outside a whitelisted
+  helper (``NONLITERAL_NAME_SITES``); computed names defeat the
+  registry check, so each such site needs a declared justification.
+* RP603 — a registry entry with no remaining literal call site: stale
+  documentation (unless declared in ``INDIRECT_COUNTERS`` as emitted
+  through a whitelisted dynamic site).
+
+All three run over the phase-1 :class:`ProjectIndex` telemetry
+call-site table, so they see every module at once and cost no extra
+parse. The telemetry implementation itself (``repro.telemetry``) is
+exempt — its span bookkeeping re-emits ``self._name``.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..base import FileContext, IndexRule, Violation, register
+from ..index import ProjectIndex, TelemetryCall
+
+#: Where the declared registry lives inside the linted tree.
+REGISTRY_MODULE = "repro.telemetry_registry"
+
+#: Modules exempt from the contract: the registry itself and the
+#: telemetry implementation (spans re-emit their own stored name).
+EXEMPT_MODULES = {REGISTRY_MODULE, "repro.telemetry"}
+
+#: API -> (exact-table name, dynamic-table name) in the registry.
+API_SECTIONS: Dict[str, Tuple[str, str]] = {
+    "count": ("COUNTERS", "DYNAMIC_COUNTERS"),
+    "span": ("SPANS", "DYNAMIC_SPANS"),
+    "add_virtual": ("SPANS", "DYNAMIC_SPANS"),
+    "add_wall": ("SPANS", "DYNAMIC_SPANS"),
+    "event": ("EVENTS", ""),
+}
+
+
+def _registry_tables(
+    index: ProjectIndex, package: str
+) -> Dict[str, object]:
+    info = index.modules.get(f"{package}.telemetry_registry")
+    return dict(info.constants) if info is not None else {}
+
+
+def _scoped_calls(
+    index: ProjectIndex, package: str
+) -> List[TelemetryCall]:
+    prefix = package + "."
+    return [
+        call
+        for call in index.telemetry_calls
+        if (call.module == package or call.module.startswith(prefix))
+        and call.module
+        not in {f"{package}.telemetry", f"{package}.telemetry_registry"}
+    ]
+
+
+def _packages(index: ProjectIndex) -> List[str]:
+    """Top-level packages that declare a telemetry registry."""
+    return sorted(
+        {
+            module.rsplit(".", 1)[0]
+            for module in index.modules
+            if module.endswith(".telemetry_registry")
+        }
+    )
+
+
+class _RegistryView:
+    """The declared tables of one package's registry, pre-resolved."""
+
+    def __init__(self, tables: Dict[str, object]) -> None:
+        def table(name: str) -> Dict[str, str]:
+            value = tables.get(name)
+            return dict(value) if isinstance(value, dict) else {}
+
+        self.exact: Dict[str, Dict[str, str]] = {
+            name: table(name) for name in ("COUNTERS", "SPANS", "EVENTS")
+        }
+        self.dynamic: Dict[str, Dict[str, str]] = {
+            name: table(name)
+            for name in ("DYNAMIC_COUNTERS", "DYNAMIC_SPANS")
+        }
+        indirect = tables.get("INDIRECT_COUNTERS")
+        self.indirect: Set[str] = (
+            set(indirect) if isinstance(indirect, (set, frozenset, list, tuple)) else set()
+        )
+        sites = tables.get("NONLITERAL_NAME_SITES")
+        self.nonliteral_sites: Set[str] = (
+            set(sites) if isinstance(sites, (dict, set, list, tuple)) else set()
+        )
+
+    def covers(self, api: str, name: str) -> bool:
+        exact_name, dynamic_name = API_SECTIONS[api]
+        if name in self.exact.get(exact_name, {}):
+            return True
+        dynamics = self.dynamic.get(dynamic_name, {}) if dynamic_name else {}
+        return any(name.startswith(prefix) for prefix in dynamics)
+
+
+@register
+class UnregisteredTelemetryName(IndexRule):
+    id = "RP601"
+    name = "telemetry-registry"
+    description = (
+        "Every literal telemetry counter/span/event name must be "
+        "declared in the telemetry_registry tables (typos fork metrics "
+        "silently)."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for package in _packages(index):
+            view = _RegistryView(_registry_tables(index, package))
+            known: List[str] = [
+                name
+                for table in view.exact.values()
+                for name in table
+            ]
+            for call in _scoped_calls(index, package):
+                for name in call.names:
+                    if view.covers(call.api, name):
+                        continue
+                    hint = ""
+                    close = difflib.get_close_matches(name, known, n=1)
+                    if close:
+                        hint = f" (did you mean {close[0]!r}?)"
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=Path(call.path),
+                            line=call.lineno,
+                            message=(
+                                f"telemetry {call.api} name {name!r} is "
+                                "not declared in "
+                                f"{package}.telemetry_registry{hint}"
+                            ),
+                        )
+                    )
+        # A tree that emits telemetry but declares no registry at all
+        # cannot satisfy the contract.
+        if not _packages(index):
+            for call in index.telemetry_calls[:1]:
+                violations.append(
+                    Violation(
+                        rule_id=self.id,
+                        path=Path(call.path),
+                        line=call.lineno,
+                        message=(
+                            "telemetry is emitted but no "
+                            "telemetry_registry module declares the "
+                            "name tables"
+                        ),
+                    )
+                )
+        return violations
+
+
+@register
+class NonLiteralTelemetryName(IndexRule):
+    id = "RP602"
+    name = "telemetry-literal-names"
+    description = (
+        "Telemetry names must be string literals except in helpers "
+        "whitelisted (with justification) in NONLITERAL_NAME_SITES."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        for package in _packages(index):
+            view = _RegistryView(_registry_tables(index, package))
+            for call in _scoped_calls(index, package):
+                if call.names:
+                    continue
+                site = f"{call.module}:{call.function}"
+                if site in view.nonliteral_sites:
+                    continue
+                violations.append(
+                    Violation(
+                        rule_id=self.id,
+                        path=Path(call.path),
+                        line=call.lineno,
+                        message=(
+                            f"telemetry {call.api} name is computed "
+                            f"({call.expr}); whitelist {site!r} in "
+                            "NONLITERAL_NAME_SITES with a justification "
+                            "or use a literal"
+                        ),
+                    )
+                )
+        return violations
+
+
+@register
+class StaleRegistryEntry(IndexRule):
+    id = "RP603"
+    name = "telemetry-stale-entry"
+    description = (
+        "Every exact registry entry needs a live literal call site "
+        "(or an INDIRECT_COUNTERS declaration) — dead entries are "
+        "documentation rot."
+    )
+
+    def check_index(
+        self, index: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterable[Violation]:
+        violations: List[Violation] = []
+        by_module = {ctx.module: ctx for ctx in contexts if ctx.module}
+        for package in _packages(index):
+            registry_module = f"{package}.telemetry_registry"
+            view = _RegistryView(_registry_tables(index, package))
+            used: Dict[str, Set[str]] = {
+                "COUNTERS": set(),
+                "SPANS": set(),
+                "EVENTS": set(),
+            }
+            for call in _scoped_calls(index, package):
+                exact_name, _ = API_SECTIONS[call.api]
+                used[exact_name].update(call.names)
+            key_lines = self._key_lines(by_module.get(registry_module))
+            reg_info = index.modules.get(registry_module)
+            path = Path(reg_info.relative if reg_info else registry_module)
+            for table_name, table in sorted(view.exact.items()):
+                for name in table:
+                    if name in used[table_name]:
+                        continue
+                    if (
+                        table_name == "COUNTERS"
+                        and name in view.indirect
+                    ):
+                        continue
+                    violations.append(
+                        Violation(
+                            rule_id=self.id,
+                            path=path,
+                            line=key_lines.get((table_name, name), 1),
+                            message=(
+                                f"registry entry {name!r} in {table_name} "
+                                "has no literal call site — delete it or "
+                                "declare it in INDIRECT_COUNTERS"
+                            ),
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _key_lines(ctx) -> Dict[Tuple[str, str], int]:
+        """(table, key) -> line of the key literal in the registry."""
+        lines: Dict[Tuple[str, str], int] = {}
+        if ctx is None:
+            return lines
+        for node in ctx.tree.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        lines[(target.id, key.value)] = key.lineno
+        return lines

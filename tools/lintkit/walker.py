@@ -1,11 +1,18 @@
-"""File discovery and the multi-pass driver.
+"""File discovery and the two-phase multi-pass driver.
 
 ``walk_paths`` turns CLI arguments (files or directories) into parsed
 :class:`FileContext` objects — one ``ast.parse`` per file no matter how
-many passes run. ``run_rules`` then applies every selected rule:
-per-file rules stream over each context, project rules see the whole
-set at once (for DAG/cycle analysis). Pragma suppression is applied
-centrally here so individual rules never have to think about it.
+many passes run. Files the parser cannot consume (syntax errors,
+non-UTF-8 bytes, unreadable paths) surface as clean per-file ``RP000``
+diagnostics, never tracebacks.
+
+``run_rules`` then applies every selected rule. Per-file rules stream
+over each context; project rules see the whole set at once; index
+rules (phase 2) share one :class:`~tools.lintkit.index.ProjectIndex`
+built lazily when the first one is selected. Pragma suppression is
+applied centrally here so individual rules never have to think about
+it — and because it is central, the walker also knows which pragmas
+never fired, which it reports as warning-severity ``RP001`` findings.
 """
 
 from __future__ import annotations
@@ -14,10 +21,22 @@ import ast
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .base import FileContext, FileRule, ProjectRule, Rule, Violation
+from .base import (
+    FileContext,
+    FileRule,
+    IndexRule,
+    ProjectRule,
+    Rule,
+    Violation,
+)
+from .index import ProjectIndex
 
 #: Directories never descended into.
 SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+#: Rule id of the stale-pragma pass (driven here, not by a checker —
+#: only the walker knows which suppressions fired).
+UNUSED_PRAGMA_ID = "RP001"
 
 
 def module_name(path: Path) -> Optional[str]:
@@ -50,36 +69,63 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
             yield path
 
 
-def load_context(path: Path, root: Optional[Path] = None) -> FileContext:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    relative = path
+def _relative(path: Path, root: Optional[Path]) -> Path:
     if root is not None:
         try:
-            relative = path.resolve().relative_to(root.resolve())
+            return path.resolve().relative_to(root.resolve())
         except ValueError:
-            relative = path
-    return FileContext(path, relative, source, tree, module_name(path))
+            pass
+    return path
+
+
+def load_context(path: Path, root: Optional[Path] = None) -> FileContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path, _relative(path, root), source, tree, module_name(path)
+    )
 
 
 def walk_paths(
     paths: Sequence[Path], root: Optional[Path] = None
 ) -> Tuple[List[FileContext], List[Violation]]:
-    """Parse every file once; syntax errors become RP000 violations."""
+    """Parse every file once; unreadable files become RP000 violations.
+
+    Covered failure modes: syntax errors (with the offending line),
+    files that are not valid UTF-8, files containing NUL bytes, and
+    OS-level read failures (permissions, vanished files). Each yields
+    one diagnostic and exit code 1 — never a traceback (exit 2).
+    """
     contexts: List[FileContext] = []
     errors: List[Violation] = []
+
+    def diag(path: Path, line: int, message: str) -> None:
+        errors.append(
+            Violation(
+                rule_id="RP000",
+                path=_relative(path, root),
+                line=line,
+                message=message,
+            )
+        )
+
     for path in iter_python_files(paths):
         try:
             contexts.append(load_context(path, root))
         except SyntaxError as exc:
-            errors.append(
-                Violation(
-                    rule_id="RP000",
-                    path=path,
-                    line=exc.lineno or 1,
-                    message=f"syntax error: {exc.msg}",
-                )
+            diag(path, exc.lineno or 1, f"syntax error: {exc.msg}")
+        except UnicodeDecodeError as exc:
+            diag(
+                path,
+                1,
+                f"cannot decode file as UTF-8 ({exc.reason} at byte "
+                f"{exc.start})",
             )
+        except ValueError as exc:
+            # ast.parse refuses NUL bytes with a bare ValueError.
+            diag(path, 1, f"cannot parse file: {exc}")
+        except OSError as exc:
+            diag(path, 1, f"cannot read file: {exc.strerror or exc}")
     return contexts, errors
 
 
@@ -87,19 +133,28 @@ def run_rules(
     contexts: Sequence[FileContext], rules: Sequence[Rule]
 ) -> List[Violation]:
     violations: List[Violation] = []
+    by_path = {ctx.relative: ctx for ctx in contexts}
+    index: Optional[ProjectIndex] = None
+
+    def keep(violation: Violation) -> bool:
+        ctx = by_path.get(violation.path)
+        return ctx is None or not ctx.is_suppressed(
+            violation.rule_id, violation.line
+        )
+
     for rule in rules:
-        if isinstance(rule, ProjectRule):
-            found = rule.check_project(
-                [ctx for ctx in contexts if rule.applies_to(ctx)]
+        if isinstance(rule, IndexRule):
+            if index is None:
+                index = ProjectIndex.build(contexts)
+            scoped = [ctx for ctx in contexts if rule.applies_to(ctx)]
+            violations.extend(
+                v for v in rule.check_index(index, scoped) if keep(v)
             )
-            by_path = {ctx.relative: ctx for ctx in contexts}
-            for violation in found:
-                ctx = by_path.get(violation.path)
-                if ctx is not None and ctx.is_suppressed(
-                    violation.rule_id, violation.line
-                ):
-                    continue
-                violations.append(violation)
+        elif isinstance(rule, ProjectRule):
+            scoped = [ctx for ctx in contexts if rule.applies_to(ctx)]
+            violations.extend(
+                v for v in rule.check_project(scoped) if keep(v)
+            )
         elif isinstance(rule, FileRule):
             for ctx in contexts:
                 if not rule.applies_to(ctx):
@@ -108,5 +163,27 @@ def run_rules(
                     if ctx.is_suppressed(violation.rule_id, violation.line):
                         continue
                     violations.append(violation)
+
+    # Stale-pragma pass: runs last, once every selected rule has had
+    # its chance to fire a suppression. Only rule ids that actually ran
+    # are considered, so `--select RP101` never convicts RP5xx pragmas.
+    active_ids = {rule.id for rule in rules}
+    if UNUSED_PRAGMA_ID in active_ids:
+        for ctx in contexts:
+            for line, rule_id in ctx.unused_pragma_ids(active_ids):
+                violation = Violation(
+                    rule_id=UNUSED_PRAGMA_ID,
+                    path=ctx.relative,
+                    line=line,
+                    message=(
+                        f"pragma suppresses nothing: no {rule_id} finding "
+                        "on the shielded line(s) — delete the stale "
+                        "suppression"
+                    ),
+                    severity="warning",
+                )
+                if keep(violation):
+                    violations.append(violation)
+
     violations.sort(key=lambda v: (str(v.path), v.line, v.rule_id))
     return violations
