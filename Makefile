@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-update chaos lint serve-smoke epochs-smoke
+.PHONY: test bench bench-update chaos lint serve-smoke epochs-smoke localize-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +45,15 @@ epochs-smoke:
 	  --out /tmp/repro-epochs-smoke --min-reuse 0.8
 	$(PYTHON) -m repro.cli facts query \
 	  --store /tmp/repro-epochs-smoke/facts --transitions
+
+# Localization cross-validation smoke (the CI localize-smoke job):
+# sweeps a device over every link of the ECMP placement topology,
+# localizes with churn tomography / path-inconsistency / CenTrace TTL
+# probing, and fails unless tomography places >= 80% of devices within
+# one link of simulator ground truth — without a single TTL probe.
+localize-smoke:
+	$(PYTHON) -m repro.cli localize --rounds 6 --probes-per-round 4 \
+	  --seed 11 --metrics --min-accuracy 0.8
 
 # Fault-injection invariant suite over the full fault-plan grid
 # (the default `make test` runs only the fast chaos subset).

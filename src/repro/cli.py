@@ -33,6 +33,7 @@ from .persist import (
     fuzz_report_to_dict,
     probe_report_to_dict,
     save_campaign,
+    save_localization,
     trace_result_to_dict,
 )
 
@@ -389,6 +390,67 @@ def cmd_epochs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_localize(args: argparse.Namespace) -> int:
+    from .experiments.localize_xval import (
+        placement_labels,
+        run_cross_validation,
+    )
+    from .localize import METHOD_TOMOGRAPHY
+    from .telemetry import NULL_TELEMETRY, Telemetry
+
+    placements = None
+    if args.placements:
+        placements = [p for p in args.placements.split(",") if p]
+        unknown = sorted(set(placements) - set(placement_labels()))
+        if unknown:
+            print(
+                f"error: unknown placement(s) {', '.join(unknown)} — "
+                f"valid: {', '.join(placement_labels())}",
+                file=sys.stderr,
+            )
+            return 2
+    telemetry = Telemetry() if args.metrics else NULL_TELEMETRY
+    report = run_cross_validation(
+        seed=args.seed if args.seed is not None else 11,
+        rounds=args.rounds,
+        probes_per_round=args.probes_per_round,
+        tolerance=args.tolerance,
+        run_ttl=not args.no_ttl,
+        placements=placements,
+        telemetry=telemetry,
+    )
+    if args.out:
+        counts = save_localization(
+            report.verdicts, report.evidence, args.out, xval=report.to_dict()
+        )
+        if not args.json:
+            print(
+                f"-- saved {counts['verdicts']} verdicts / "
+                f"{counts['evidence']} evidence records to {args.out}"
+            )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+        if args.metrics:
+            localize_counters = {
+                k: v
+                for k, v in sorted(telemetry.counters.items())
+                if k.startswith("localize.")
+            }
+            print(f"-- counters: {json.dumps(localize_counters)}")
+    if args.min_accuracy is not None:
+        accuracy = report.accuracy(METHOD_TOMOGRAPHY)
+        if accuracy < args.min_accuracy:
+            print(
+                f"FAIL: tomography accuracy {accuracy:.1%} below "
+                f"--min-accuracy {args.min_accuracy:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def cmd_facts_query(args: argparse.Namespace) -> int:
     from .store import FactStore
 
@@ -719,6 +781,48 @@ def build_parser() -> argparse.ArgumentParser:
         "fraction",
     )
     epochs.set_defaults(func=cmd_epochs)
+
+    localize = sub.add_parser(
+        "localize",
+        help="cross-validate localization methods (TTL probing vs "
+        "churn tomography vs path-inconsistency) against ground truth",
+    )
+    localize.add_argument(
+        "--rounds", type=int, default=6, help="churn rounds of evidence"
+    )
+    localize.add_argument(
+        "--probes-per-round", type=int, default=4,
+        help="outcome probes per endpoint per round",
+    )
+    localize.add_argument("--seed", type=int, default=None)
+    localize.add_argument(
+        "--tolerance", type=int, default=1,
+        help="accuracy counts placements within this many links of truth",
+    )
+    localize.add_argument(
+        "--no-ttl", action="store_true",
+        help="skip the CenTrace TTL pass (tomography/inconsistency only)",
+    )
+    localize.add_argument(
+        "--placements", default=None,
+        help="comma-separated subset of placement labels to sweep",
+    )
+    localize.add_argument(
+        "--out", default=None,
+        help="save verdicts + evidence + xval report to this directory",
+    )
+    localize.add_argument(
+        "--metrics", action="store_true",
+        help="collect telemetry and print localize.* counters",
+    )
+    localize.add_argument(
+        "--min-accuracy", type=float, default=None,
+        help="fail unless tomography accuracy reaches this fraction",
+    )
+    localize.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    localize.set_defaults(func=cmd_localize)
 
     facts = sub.add_parser(
         "facts", help="query or extend the longitudinal fact store"

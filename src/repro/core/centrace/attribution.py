@@ -1,0 +1,54 @@
+"""Hop-voting and attribution primitives shared by every localizer.
+
+Extracted from ``classify.py`` so the localization layer
+(``repro.localize``) can reuse the exact voting semantics CenTrace's
+classifier applies — the layer DAG lets ``localize`` import ``core``
+but not the other way around, so the shared seam lives here and
+``classify.py`` stays a thin client of it. The golden campaign digests
+pin these functions bit-for-bit: tie-breaking is dict-insertion order
+(first observation wins), silence is the empty string in the vote and
+``None`` to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...geo.asdb import ASDatabase
+from .results import HopInfo, TraceSweep
+
+
+def build_hop_distribution(sweeps: List[TraceSweep]) -> Dict[int, Dict[str, int]]:
+    """TTL -> {hop ip (or "" for silence): count} over all repetitions."""
+    distribution: Dict[int, Dict[str, int]] = {}
+    for sweep in sweeps:
+        for ttl, ip in sweep.hop_ips().items():
+            bucket = distribution.setdefault(ttl, {})
+            key = ip if ip is not None else ""
+            bucket[key] = bucket.get(key, 0) + 1
+    return distribution
+
+
+def most_likely_hop(
+    distribution: Dict[int, Dict[str, int]], ttl: int
+) -> Optional[str]:
+    """The most frequently observed hop IP at ``ttl`` (None = silence)."""
+    bucket = distribution.get(ttl)
+    if not bucket:
+        return None
+    ip = max(bucket, key=bucket.get)
+    return ip or None
+
+
+def attribute_hop(
+    ip: Optional[str], ttl: int, asdb: Optional[ASDatabase]
+) -> HopInfo:
+    """Wrap a hop IP in a :class:`HopInfo`, AS-attributed when possible."""
+    hop = HopInfo(ttl=ttl, ip=ip)
+    if ip and asdb is not None:
+        meta = asdb.lookup(ip)
+        if meta is not None:
+            hop.asn = meta.asn
+            hop.as_name = meta.as_name
+            hop.country = meta.country
+    return hop

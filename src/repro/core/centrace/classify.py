@@ -5,20 +5,29 @@ occurred (conservatively: resets, repeated drops, or known blockpages),
 attributes the blocking hop via the Control-Domain path distribution,
 distinguishes in-path from on-path devices, corrects for TTL-copying
 injectors, and extracts the clustering features of Table 3.
+
+The hop-voting/attribution primitives this module historically owned
+(``build_hop_distribution``, ``most_likely_hop``, ``_attribute``) now
+live in :mod:`.attribution` so the localization layer can share them;
+they are re-exported here so existing importers keep working.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ...geo.asdb import ASDatabase
 from ...netmodel.icmp import compare_quote
 from ..blockpages import BlockpageMatcher
+from .attribution import (
+    attribute_hop as _attribute,
+    build_hop_distribution,
+    most_likely_hop,
+)
 from .results import (
     BLOCK_TYPES,
     CenTraceResult,
-    HopInfo,
     LOC_AT_E,
     LOC_NO_ICMP,
     LOC_PAST_E,
@@ -45,39 +54,6 @@ def _majority(values) -> Optional[object]:
     if not counter:
         return None
     return counter.most_common(1)[0][0]
-
-
-def build_hop_distribution(sweeps: List[TraceSweep]) -> Dict[int, Dict[str, int]]:
-    """TTL -> {hop ip (or "" for silence): count} over all repetitions."""
-    distribution: Dict[int, Dict[str, int]] = {}
-    for sweep in sweeps:
-        for ttl, ip in sweep.hop_ips().items():
-            bucket = distribution.setdefault(ttl, {})
-            key = ip if ip is not None else ""
-            bucket[key] = bucket.get(key, 0) + 1
-    return distribution
-
-
-def most_likely_hop(
-    distribution: Dict[int, Dict[str, int]], ttl: int
-) -> Optional[str]:
-    """The most frequently observed hop IP at ``ttl`` (None = silence)."""
-    bucket = distribution.get(ttl)
-    if not bucket:
-        return None
-    ip = max(bucket, key=bucket.get)
-    return ip or None
-
-
-def _attribute(ip: Optional[str], ttl: int, asdb: Optional[ASDatabase]) -> HopInfo:
-    hop = HopInfo(ttl=ttl, ip=ip)
-    if ip and asdb is not None:
-        meta = asdb.lookup(ip)
-        if meta is not None:
-            hop.asn = meta.asn
-            hop.as_name = meta.as_name
-            hop.country = meta.country
-    return hop
 
 
 def _detect_ttl_copy(sweeps: List[TraceSweep]) -> Tuple[bool, Optional[int]]:

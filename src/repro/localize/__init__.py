@@ -1,0 +1,71 @@
+"""Pluggable device localization built on a method-agnostic evidence model.
+
+The paper localizes censorship devices exclusively by TTL-limited
+probing (CenTrace, §4). "A Churn for the Better" and "Pathfinder"
+(PAPERS.md) show that *path diversity itself* is a localization signal:
+when ECMP churn re-hashes a flow onto different candidate paths and the
+censorship outcome changes, the device must sit on some link the
+blocked paths share and the clean paths avoid — no TTL ladder needed.
+
+This layer makes that pluggable:
+
+* :mod:`.evidence` — :class:`PathEvidence`, one record per observation:
+  (client, endpoint, flow key, resolved traversed link set, outcome,
+  churn epoch). Producible from plain outcome probes
+  (:func:`collect_outcome_evidence`) and from CenTrace results
+  (:func:`evidence_from_trace`).
+* :mod:`.verdicts` — the :class:`Localizer` protocol and the
+  :class:`LocalizationVerdict` every method returns (claimed link set,
+  hop interval, confidence, method tag).
+* :mod:`.ttl` — :class:`TtlLocalizer`, the CenTrace attribution logic
+  behind the shared :mod:`repro.core.centrace.attribution` seam.
+* :mod:`.tomography` — :class:`TomographyLocalizer`, boolean network
+  tomography over churn rounds (intersection of blocked link sets,
+  elimination by clean ones).
+* :mod:`.inconsistency` — Pathfinder-style same-endpoint,
+  different-path outcome disagreement reporting.
+
+Layering: ``localize`` may import core/netsim/netmodel/geo/telemetry;
+only ``cli`` and ``experiments`` may import ``localize`` (declared in
+tools/lintkit's layer DAG).
+"""
+
+from .evidence import (
+    PathEvidence,
+    SOURCE_CENTRACE,
+    SOURCE_OUTCOME,
+    collect_outcome_evidence,
+    evidence_from_trace,
+)
+from .inconsistency import (
+    InconsistencyFinding,
+    InconsistencyLocalizer,
+    find_inconsistencies,
+)
+from .tomography import TomographyLocalizer
+from .ttl import TtlLocalizer
+from .verdicts import (
+    LocalizationVerdict,
+    Localizer,
+    METHOD_INCONSISTENCY,
+    METHOD_TOMOGRAPHY,
+    METHOD_TTL,
+)
+
+__all__ = [
+    "PathEvidence",
+    "SOURCE_CENTRACE",
+    "SOURCE_OUTCOME",
+    "collect_outcome_evidence",
+    "evidence_from_trace",
+    "InconsistencyFinding",
+    "InconsistencyLocalizer",
+    "find_inconsistencies",
+    "TomographyLocalizer",
+    "TtlLocalizer",
+    "LocalizationVerdict",
+    "Localizer",
+    "METHOD_INCONSISTENCY",
+    "METHOD_TOMOGRAPHY",
+    "METHOD_TTL",
+]

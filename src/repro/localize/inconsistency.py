@@ -1,0 +1,150 @@
+"""Pathfinder-style inconsistency reporting.
+
+Pathfinder (PAPERS.md) flags *measurement inconsistencies*: the same
+endpoint, probed for the same domain, answers differently depending on
+which ingress path the flow hashed onto. Each such disagreement is
+direct evidence that the censoring device sits on the divergent
+segment — the links the blocked path traversed and the clean path did
+not. This module reports the disagreements themselves (the auditing
+product) and adapts them to the :class:`Localizer` protocol (the
+localization product: union of divergent segments, a deliberately
+weaker claim than tomography's intersection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .evidence import Link, PathEvidence, SOURCE_OUTCOME
+from .verdicts import (
+    LocalizationVerdict,
+    METHOD_INCONSISTENCY,
+    group_by_target,
+    interval_of,
+    link_positions,
+    narrowing_confidence,
+    ordered_candidates,
+)
+
+
+@dataclass
+class InconsistencyFinding:
+    """One same-endpoint, different-path outcome disagreement.
+
+    One finding per distinct blocked link set: the probes that took
+    this path saw ``blocked_outcome`` while probes on other paths saw
+    the endpoint answer normally. ``divergent_links`` is the blocked
+    path minus every clean path — the segment that explains the
+    disagreement.
+    """
+
+    endpoint_ip: str
+    domain: str
+    protocol: str
+    blocked_outcome: str
+    blocked_links: Tuple[Link, ...]
+    clean_links: Tuple[Link, ...]  # union of clean paths, sorted
+    divergent_links: Tuple[Link, ...]
+    blocked_count: int
+    clean_count: int
+
+    def brief(self) -> str:
+        segment = ", ".join(f"{a}>{b}" for a, b in self.divergent_links)
+        return (
+            f"{self.endpoint_ip} {self.domain}: {self.blocked_count}x "
+            f"{self.blocked_outcome} vs {self.clean_count}x clean — "
+            f"divergent {{{segment}}}"
+        )
+
+
+def find_inconsistencies(
+    evidence: Sequence[PathEvidence],
+) -> List[InconsistencyFinding]:
+    """All same-endpoint outcome disagreements in ``evidence``."""
+    findings: List[InconsistencyFinding] = []
+    for (endpoint_ip, domain), items in group_by_target(
+        [e for e in evidence if e.source == SOURCE_OUTCOME]
+    ).items():
+        blocked = [e for e in items if e.blocked]
+        clean = [e for e in items if not e.blocked]
+        if not blocked or not clean:
+            continue
+        clean_union: Set[Link] = set()
+        for item in clean:
+            clean_union.update(item.links)
+        # One finding per distinct blocked path (dict keeps first-seen
+        # order so reports are stable across runs).
+        by_links: Dict[Tuple[Link, ...], List[PathEvidence]] = {}
+        for item in blocked:
+            by_links.setdefault(item.links, []).append(item)
+        for links, group in by_links.items():
+            divergent = tuple(l for l in links if l not in clean_union)
+            if not divergent:
+                # Same link set, different outcome: flakiness, not a
+                # path-dependent inconsistency.
+                continue
+            findings.append(
+                InconsistencyFinding(
+                    endpoint_ip=endpoint_ip,
+                    domain=domain,
+                    protocol=group[0].protocol,
+                    blocked_outcome=group[0].outcome,
+                    blocked_links=links,
+                    clean_links=tuple(sorted(clean_union)),
+                    divergent_links=divergent,
+                    blocked_count=len(group),
+                    clean_count=len(clean),
+                )
+            )
+    return findings
+
+
+class InconsistencyLocalizer:
+    """Localize from the disagreement report alone.
+
+    The claim per target is the union of its findings' divergent
+    segments — every link that ever explained a disagreement. Weaker
+    than tomography (union, not intersection; no cross-endpoint
+    narrowing) by design: it only speaks where an actual disagreement
+    was observed, which is the Pathfinder failure model.
+    """
+
+    method = METHOD_INCONSISTENCY
+
+    def localize(
+        self, evidence: Sequence[PathEvidence]
+    ) -> List[LocalizationVerdict]:
+        by_target: Dict[Tuple[str, str], List[InconsistencyFinding]] = {}
+        for finding in find_inconsistencies(evidence):
+            by_target.setdefault(
+                (finding.endpoint_ip, finding.domain), []
+            ).append(finding)
+        groups = group_by_target(evidence)
+        verdicts: List[LocalizationVerdict] = []
+        for (endpoint_ip, domain), findings in by_target.items():
+            items = groups.get((endpoint_ip, domain), [])
+            positions = link_positions(items)
+            candidates: List[Link] = []
+            for finding in findings:
+                for link in finding.divergent_links:
+                    if link not in candidates:
+                        candidates.append(link)
+            ordered = ordered_candidates(candidates, positions)
+            hop_low, hop_high = interval_of(ordered, positions)
+            verdicts.append(
+                LocalizationVerdict(
+                    method=self.method,
+                    endpoint_ip=endpoint_ip,
+                    domain=domain,
+                    candidate_links=ordered,
+                    hop_low=hop_low,
+                    hop_high=hop_high,
+                    confidence=narrowing_confidence(
+                        len(ordered), len(positions)
+                    ),
+                    evidence_count=len(items),
+                    detail=f"findings={len(findings)}",
+                )
+            )
+        return verdicts

@@ -1,0 +1,134 @@
+"""Churn tomography: localize by link-set intersection and elimination.
+
+Boolean network tomography over outcome evidence ("A Churn for the
+Better" applied to censorship): every blocked probe proves the device
+sits on *some* link of that probe's traversed set, every clean probe
+for the same domain proves it sits on *none* of that probe's links.
+With ECMP churn re-hashing flows across candidate paths, repeated
+probes sample enough distinct link sets that
+
+    candidates(endpoint) = ∩ blocked link sets  −  ∪ clean link sets
+
+collapses to a handful of links — no TTL-limited probes at all.
+
+Two refinements sharpen the boolean system:
+
+* clean elimination is **per domain across all endpoints** — a device
+  blocks its domains wherever it sees them, so a clean probe for
+  domain *d* on any path clears every link it traversed;
+* verdicts for the same domain whose candidate sets intersect are
+  assumed to be the same device and are narrowed to the shared links
+  (a censor at the shared ingress blocks every endpoint behind it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .evidence import Link, PathEvidence, SOURCE_OUTCOME
+from .verdicts import (
+    LocalizationVerdict,
+    METHOD_TOMOGRAPHY,
+    group_by_target,
+    interval_of,
+    link_positions,
+    narrowing_confidence,
+    ordered_candidates,
+)
+
+
+class TomographyLocalizer:
+    """Set-intersection localization over churn-round outcome evidence."""
+
+    method = METHOD_TOMOGRAPHY
+
+    def __init__(self, refine_across_endpoints: bool = True) -> None:
+        self.refine_across_endpoints = refine_across_endpoints
+
+    def localize(
+        self, evidence: Sequence[PathEvidence]
+    ) -> List[LocalizationVerdict]:
+        outcome_evidence = [
+            e for e in evidence if e.source == SOURCE_OUTCOME
+        ]
+        clean_by_domain: Dict[str, Set[Link]] = {}
+        for item in outcome_evidence:
+            if not item.blocked:
+                clean_by_domain.setdefault(item.domain, set()).update(
+                    item.links
+                )
+        raw: List[Tuple[Set[Link], List[PathEvidence], str, str]] = []
+        for (endpoint_ip, domain), items in group_by_target(
+            outcome_evidence
+        ).items():
+            blocked = [e for e in items if e.blocked]
+            if not blocked:
+                continue
+            suspects: Set[Link] = set(blocked[0].links)
+            for item in blocked[1:]:
+                suspects &= item.link_set()
+            candidates = suspects - clean_by_domain.get(domain, set())
+            if not candidates:
+                # Contradictory evidence (e.g. a flaky device failing
+                # open): fall back to the un-eliminated intersection
+                # rather than claiming nothing.
+                candidates = suspects
+            raw.append((candidates, items, endpoint_ip, domain))
+        if self.refine_across_endpoints:
+            self._refine(raw)
+        verdicts = []
+        for candidates, items, endpoint_ip, domain in raw:
+            verdicts.append(
+                self._verdict(endpoint_ip, domain, candidates, items)
+            )
+        return verdicts
+
+    def _refine(
+        self, raw: List[Tuple[Set[Link], List[PathEvidence], str, str]]
+    ) -> None:
+        """Narrow same-domain verdicts with intersecting candidates.
+
+        Iterates to a fixed point so A∩B then (A∩B)∩C chains settle;
+        sets only ever shrink, so termination is immediate in practice.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(raw)):
+                for j in range(i + 1, len(raw)):
+                    if raw[i][3] != raw[j][3]:  # different domain
+                        continue
+                    shared = raw[i][0] & raw[j][0]
+                    if not shared:
+                        continue
+                    for k in (i, j):
+                        if raw[k][0] != shared:
+                            raw[k] = (shared, raw[k][1], raw[k][2], raw[k][3])
+                            changed = True
+
+    def _verdict(
+        self,
+        endpoint_ip: str,
+        domain: str,
+        candidates: Set[Link],
+        items: List[PathEvidence],
+    ) -> LocalizationVerdict:
+        positions = link_positions(items)
+        ordered = ordered_candidates(sorted(candidates), positions)
+        hop_low, hop_high = interval_of(ordered, positions)
+        blocked_count = sum(1 for e in items if e.blocked)
+        epochs = {e.epoch for e in items}
+        return LocalizationVerdict(
+            method=self.method,
+            endpoint_ip=endpoint_ip,
+            domain=domain,
+            candidate_links=ordered,
+            hop_low=hop_low,
+            hop_high=hop_high,
+            confidence=narrowing_confidence(len(ordered), len(positions)),
+            evidence_count=len(items),
+            detail=(
+                f"blocked={blocked_count}/{len(items)} "
+                f"epochs={len(epochs)}"
+            ),
+        )

@@ -1,0 +1,96 @@
+"""TTL-probing localization — CenTrace's attribution behind the protocol.
+
+The voting semantics live in :mod:`repro.core.centrace.attribution`
+(the seam extracted from ``classify.py``); this module re-applies the
+same primitives to CenTrace-derived :class:`PathEvidence` so the §4
+method can be scored side by side with tomography and inconsistency
+localization. The layer DAG points this way deliberately: ``localize``
+imports ``core``, never the reverse, so CenTrace's classifier stays
+free of any localization-layer dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.centrace.attribution import most_likely_hop
+from .evidence import PathEvidence, SOURCE_CENTRACE
+from .verdicts import (
+    LocalizationVerdict,
+    METHOD_TTL,
+    group_by_target,
+    interval_of,
+    link_positions,
+    narrowing_confidence,
+    ordered_candidates,
+)
+
+
+class TtlLocalizer:
+    """Localize from CenTrace results: the device is at the attributed
+    hop's TTL, i.e. on the link leading into that hop (link index
+    ``ttl - 1``, the convention ``Path.devices()`` uses)."""
+
+    method = METHOD_TTL
+
+    def localize(
+        self, evidence: Sequence[PathEvidence]
+    ) -> List[LocalizationVerdict]:
+        verdicts: List[LocalizationVerdict] = []
+        for (endpoint_ip, domain), items in group_by_target(evidence).items():
+            traces = [
+                e
+                for e in items
+                if e.source == SOURCE_CENTRACE
+                and e.blocked
+                and e.terminating_ttl is not None
+            ]
+            if not traces:
+                continue
+            verdicts.append(self._verdict(endpoint_ip, domain, traces))
+        return verdicts
+
+    def _verdict(
+        self, endpoint_ip: str, domain: str, traces: List[PathEvidence]
+    ) -> LocalizationVerdict:
+        # Re-vote across repetitions with the exact classifier
+        # primitives: a TTL->{hop ip: count} distribution, majority by
+        # insertion order (first observation wins ties).
+        distribution: Dict[int, Dict[str, int]] = {}
+        ttl_votes: Dict[int, int] = {}
+        for trace in traces:
+            ttl = trace.terminating_ttl
+            ttl_votes[ttl] = ttl_votes.get(ttl, 0) + 1
+            bucket = distribution.setdefault(ttl, {})
+            key = trace.blocking_hop_ip or ""
+            bucket[key] = bucket.get(key, 0) + 1
+        device_ttl = max(ttl_votes, key=ttl_votes.get)
+        hop_ip = most_likely_hop(distribution, device_ttl)
+        agreeing = [t for t in traces if t.terminating_ttl == device_ttl]
+        link_index = device_ttl - 1
+        candidates = []
+        for trace in agreeing:
+            if 0 <= link_index < len(trace.links):
+                link = trace.links[link_index]
+                if link not in candidates:
+                    candidates.append(link)
+        positions = link_positions(traces)
+        hop_low, hop_high = interval_of(candidates, positions)
+        if hop_low is None:
+            # Off-path attribution (e.g. "Past E"): keep the interval
+            # from the TTL itself so the claim stays comparable.
+            hop_low = hop_high = link_index
+        return LocalizationVerdict(
+            method=self.method,
+            endpoint_ip=endpoint_ip,
+            domain=domain,
+            candidate_links=ordered_candidates(candidates, positions),
+            hop_low=hop_low,
+            hop_high=hop_high,
+            confidence=narrowing_confidence(
+                max(1, len(candidates)), len(positions)
+            )
+            * (len(agreeing) / len(traces)),
+            evidence_count=len(traces),
+            detail=f"device_ttl={device_ttl} hop_ip={hop_ip or '-'}",
+        )

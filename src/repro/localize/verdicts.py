@@ -1,0 +1,130 @@
+"""The localizer protocol and the verdict every method returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from .evidence import Link, PathEvidence
+
+METHOD_TTL = "ttl"
+METHOD_TOMOGRAPHY = "tomography"
+METHOD_INCONSISTENCY = "inconsistency"
+
+METHODS = (METHOD_TTL, METHOD_TOMOGRAPHY, METHOD_INCONSISTENCY)
+
+
+@dataclass
+class LocalizationVerdict:
+    """One method's claim about where a device sits for one target.
+
+    ``candidate_links`` is the claimed link set, ordered by distance
+    from the client (ties by link name); ``hop_low``/``hop_high`` is
+    the inclusive link-index interval those candidates span on the
+    blocked path(s) — the same 0-based indexing as
+    ``netsim.routing.Path.devices()``, so index ``i`` is the link
+    leading into the path's hop ``i``. ``confidence`` is in [0, 1]:
+    1.0 means the method narrowed the claim to a single link out of
+    everything it observed.
+    """
+
+    method: str
+    endpoint_ip: str
+    domain: str
+    candidate_links: Tuple[Link, ...]
+    hop_low: Optional[int]
+    hop_high: Optional[int]
+    confidence: float
+    evidence_count: int
+    detail: str = ""
+
+    @property
+    def interval_width(self) -> int:
+        """Number of links the claim spans (0 = no claim)."""
+        return len(self.candidate_links)
+
+    def brief(self) -> str:
+        links = ", ".join(f"{a}>{b}" for a, b in self.candidate_links)
+        return (
+            f"[{self.method}] {self.endpoint_ip} {self.domain}: "
+            f"links {{{links}}} hops {self.hop_low}..{self.hop_high} "
+            f"conf={self.confidence:.2f}"
+        )
+
+
+class Localizer(Protocol):
+    """A localization method: evidence in, verdicts out.
+
+    Implementations must be deterministic pure functions of the
+    evidence sequence — the cross-validation harness relies on
+    replaying the same evidence through every method.
+    """
+
+    method: str
+
+    def localize(
+        self, evidence: Sequence[PathEvidence]
+    ) -> List[LocalizationVerdict]: ...
+
+
+def group_by_target(
+    evidence: Sequence[PathEvidence],
+) -> Dict[Tuple[str, str], List[PathEvidence]]:
+    """Evidence grouped by (endpoint_ip, domain), insertion-ordered.
+
+    Shared by every localizer so all methods agree on what one
+    "target" is when the harness builds its disagreement matrix.
+    """
+    groups: Dict[Tuple[str, str], List[PathEvidence]] = {}
+    for item in evidence:
+        groups.setdefault((item.endpoint_ip, item.domain), []).append(item)
+    return groups
+
+
+def link_positions(
+    evidence: Sequence[PathEvidence],
+) -> Dict[Link, int]:
+    """Each link's 0-based distance from the client, first sighting wins.
+
+    Links are per-path positional, but ECMP path sets in one route
+    share prefixes/suffixes, so the first observed position is a stable
+    ordering key for candidate sets drawn from several paths.
+    """
+    positions: Dict[Link, int] = {}
+    for item in evidence:
+        for index, link in enumerate(item.links):
+            positions.setdefault(link, index)
+    return positions
+
+
+def ordered_candidates(
+    candidates: Sequence[Link], positions: Dict[Link, int]
+) -> Tuple[Link, ...]:
+    """Candidates sorted client-outward (unknown positions last)."""
+    return tuple(
+        sorted(candidates, key=lambda l: (positions.get(l, 1 << 30), l))
+    )
+
+
+def interval_of(
+    candidates: Sequence[Link], positions: Dict[Link, int]
+) -> Tuple[Optional[int], Optional[int]]:
+    """The (hop_low, hop_high) link-index interval candidates span."""
+    known = [positions[l] for l in candidates if l in positions]
+    if not known:
+        return None, None
+    return min(known), max(known)
+
+
+def narrowing_confidence(candidates_len: int, universe_len: int) -> float:
+    """How much of the observed link universe the claim eliminated.
+
+    1.0 when a single link remains, 0.0 when nothing was eliminated;
+    degenerate universes (a single observed link) count as fully
+    narrowed.
+    """
+    if candidates_len == 0:
+        return 0.0
+    if universe_len <= 1:
+        return 1.0
+    return max(0.0, 1.0 - (candidates_len - 1) / (universe_len - 1))

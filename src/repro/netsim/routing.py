@@ -94,6 +94,20 @@ class Path:
                 found.append((i, device))
         return found
 
+    def links(self, origin: str) -> Tuple[Tuple[str, str], ...]:
+        """The ordered (from-node, to-node) link pairs of this path.
+
+        ``origin`` names the sending client (paths exclude it), so
+        ``links(origin)[0]`` is the client's access link. The link at
+        index ``i`` leads into ``hops[i]`` — the same convention as
+        :meth:`devices`, so a device reported at ``link_index i`` sits
+        on ``links(origin)[i]``. Tomography keys its boolean system on
+        these pairs: two ECMP paths that traverse the same physical
+        link produce the same pair.
+        """
+        names = (origin,) + self.node_names()
+        return tuple(zip(names, names[1:]))
+
 
 class Route:
     """The set of candidate paths between one client and one endpoint."""
@@ -128,6 +142,28 @@ class Route:
             if point < cumulative:
                 return path
         return self.paths[-1]
+
+    def enumerate_paths(self) -> Tuple[Tuple[Path, float], ...]:
+        """Every candidate path with its normalized selection weight.
+
+        Deterministic: pairs come back in registration order, the same
+        order :meth:`select`'s cumulative scan walks. This is the
+        tomography entry point — churn localization needs the *full*
+        ECMP path set (link sets to intersect/eliminate), not just the
+        one path a flow hashes onto.
+        """
+        return tuple(zip(self.paths, self.weights))
+
+    def traversed_links(
+        self, flow: FlowKey, origin: str, seed: int = 0
+    ) -> Tuple[Tuple[str, str], ...]:
+        """The link set ``flow`` traverses under ``seed``.
+
+        Convenience over ``select(flow, seed).links(origin)`` so
+        evidence builders recompute a probe's traversed links exactly
+        the way the simulator chose them.
+        """
+        return self.select(flow, seed=seed).links(origin)
 
     def all_devices(self) -> List[Tuple[int, LinkDevice]]:
         """Union of devices across all candidate paths (deduplicated)."""

@@ -257,6 +257,26 @@ class Simulator:
             # and across serial/parallel execution.
             self._faults.reset(seed)
 
+    def current_path_seed(self) -> int:
+        """The ECMP hash seed in effect for the *next* path selection.
+
+        With no fault plan (or no churn) this is the construction seed;
+        under churn it advances with the fault state's epoch. Because
+        ``send_from_client`` counts the packet *before* selecting its
+        path, the value read immediately after a send is also the seed
+        that send used — which is how evidence builders
+        (``repro.localize``) recompute a probe's traversed links
+        without reaching into the walk.
+        """
+        if self._faults is None:
+            return self.seed
+        return self._faults.path_seed(self.seed)
+
+    @property
+    def churn_epoch(self) -> int:
+        """The fault state's current ECMP re-hash epoch (0 = no churn)."""
+        return 0 if self._faults is None else self._faults.epoch
+
     def set_fault_plan(self, fault_plan: Optional[FaultPlan]) -> None:
         """Install (or remove) a fault plan, resetting its runtime state."""
         self.fault_plan = fault_plan

@@ -28,6 +28,8 @@ from .core.cenfuzz.runner import (
 )
 from .core.cenprobe.scanner import BannerGrab, ProbeReport
 from .core.centrace.results import CenTraceResult, HopInfo
+from .localize.evidence import PathEvidence
+from .localize.verdicts import LocalizationVerdict
 from .netmodel.icmp import QuoteDelta
 from .telemetry import NULL_TELEMETRY, RunReport
 
@@ -365,6 +367,166 @@ def probe_report_from_dict(data: Dict) -> ProbeReport:
             )
         )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Localization evidence and verdicts
+# ---------------------------------------------------------------------------
+
+
+def path_evidence_to_dict(evidence: PathEvidence) -> Dict:
+    """Serialize one localization evidence record."""
+    return {
+        "client_ip": evidence.client_ip,
+        "endpoint_ip": evidence.endpoint_ip,
+        "domain": evidence.domain,
+        "protocol": evidence.protocol,
+        "sport": evidence.sport,
+        "dport": evidence.dport,
+        "outcome": evidence.outcome,
+        "blocked": evidence.blocked,
+        "links": [list(link) for link in evidence.links],
+        "epoch": evidence.epoch,
+        "source": evidence.source,
+        "terminating_ttl": evidence.terminating_ttl,
+        "blocking_hop_ip": evidence.blocking_hop_ip,
+        "endpoint_distance": evidence.endpoint_distance,
+    }
+
+
+def path_evidence_from_dict(data: Dict) -> PathEvidence:
+    return PathEvidence(
+        client_ip=data["client_ip"],
+        endpoint_ip=data["endpoint_ip"],
+        domain=data["domain"],
+        protocol=data["protocol"],
+        sport=data["sport"],
+        dport=data["dport"],
+        outcome=data["outcome"],
+        blocked=data["blocked"],
+        links=tuple(tuple(link) for link in data["links"]),
+        epoch=data.get("epoch", 0),
+        source=data.get("source", "outcome"),
+        terminating_ttl=data.get("terminating_ttl"),
+        blocking_hop_ip=data.get("blocking_hop_ip"),
+        endpoint_distance=data.get("endpoint_distance"),
+    )
+
+
+def localization_verdict_to_dict(verdict: LocalizationVerdict) -> Dict:
+    """Serialize one localizer claim."""
+    return {
+        "method": verdict.method,
+        "endpoint_ip": verdict.endpoint_ip,
+        "domain": verdict.domain,
+        "candidate_links": [list(link) for link in verdict.candidate_links],
+        "hop_low": verdict.hop_low,
+        "hop_high": verdict.hop_high,
+        "confidence": verdict.confidence,
+        "evidence_count": verdict.evidence_count,
+        "detail": verdict.detail,
+    }
+
+
+def localization_verdict_from_dict(data: Dict) -> LocalizationVerdict:
+    return LocalizationVerdict(
+        method=data["method"],
+        endpoint_ip=data["endpoint_ip"],
+        domain=data["domain"],
+        candidate_links=tuple(
+            tuple(link) for link in data["candidate_links"]
+        ),
+        hop_low=data.get("hop_low"),
+        hop_high=data.get("hop_high"),
+        confidence=data["confidence"],
+        evidence_count=data["evidence_count"],
+        detail=data.get("detail", ""),
+    )
+
+
+def save_localization(
+    verdicts: Sequence[LocalizationVerdict],
+    evidence: Sequence[PathEvidence],
+    directory: Union[str, Path],
+    *,
+    xval: Optional[Dict] = None,
+) -> Dict[str, int]:
+    """Write one localization run: verdicts + the evidence behind them.
+
+    Produces ``verdicts.jsonl``, ``evidence.jsonl`` and a kind-tagged
+    ``meta.json``; ``xval`` (a cross-validation report dict, see
+    ``experiments.localize_xval.XvalReport.to_dict``) lands in
+    ``xval.json`` when given.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts = {
+        "verdicts": _write_jsonl(
+            directory / "verdicts.jsonl",
+            (localization_verdict_to_dict(v) for v in verdicts),
+        ),
+        "evidence": _write_jsonl(
+            directory / "evidence.jsonl",
+            (path_evidence_to_dict(e) for e in evidence),
+        ),
+    }
+    if xval is not None:
+        (directory / "xval.json").write_text(
+            json.dumps(xval, indent=2, sort_keys=True)
+        )
+        counts["xval"] = 1
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "localization",
+        "counts": counts,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return counts
+
+
+class LoadedLocalization:
+    """A localization run reloaded from disk."""
+
+    def __init__(
+        self,
+        meta: Dict,
+        verdicts: List[LocalizationVerdict],
+        evidence: List[PathEvidence],
+        xval: Optional[Dict] = None,
+    ) -> None:
+        self.meta = meta
+        self.verdicts = verdicts
+        self.evidence = evidence
+        self.xval = xval
+
+    def by_method(self) -> Dict[str, List[LocalizationVerdict]]:
+        grouped: Dict[str, List[LocalizationVerdict]] = {}
+        for verdict in self.verdicts:
+            grouped.setdefault(verdict.method, []).append(verdict)
+        return grouped
+
+
+def load_localization(directory: Union[str, Path]) -> LoadedLocalization:
+    """Reload a ``save_localization`` directory (PersistError on rot)."""
+    directory = Path(directory)
+    meta = _read_json(directory / "meta.json", "localization meta")
+    kind = meta.get("kind", "localization")
+    if kind != "localization":
+        raise PersistError(
+            f"{directory} holds a {kind!r} run, not a localization run "
+            "(point repro localize --load at a save_localization dir)"
+        )
+    verdicts = [
+        localization_verdict_from_dict(record)
+        for record in _read_jsonl(directory / "verdicts.jsonl")
+    ]
+    evidence = [
+        path_evidence_from_dict(record)
+        for record in _read_jsonl(directory / "evidence.jsonl")
+    ]
+    xval_path = directory / "xval.json"
+    xval = _read_json(xval_path, "xval report") if xval_path.exists() else None
+    return LoadedLocalization(meta, verdicts, evidence, xval)
 
 
 # ---------------------------------------------------------------------------

@@ -72,6 +72,11 @@ COUNTERS: Dict[str, str] = {
     "cenprobe.unreachable": "scan targets that never answered",
     "cenprobe.banner_grabs": "banners grabbed from open ports",
     "cenprobe.vendor_labels": "scans that yielded a vendor label",
+    # -- localization layer (repro.localize) ------------------------
+    "localize.probes": "plain outcome probes sent for path evidence",
+    "localize.evidence_records": "path-evidence records collected",
+    "localize.blocked_evidence": "evidence records that observed blocking",
+    "localize.verdicts": "localization verdicts produced",
     # -- campaign service (repro.service) ---------------------------
     "service.requests": "client requests admitted by the service",
     "service.units_requested": "work units named across all requests",
@@ -116,6 +121,8 @@ SPANS: Dict[str, str] = {
     "campaign.probe": "CenProbe stage of a campaign",
     "centrace.sweep": "one CenTrace TTL sweep",
     "cenfuzz.endpoint": "all permutations for one fuzzed endpoint",
+    "localize.collect": "one outcome-evidence collection campaign",
+    "localize.xval": "whole localization cross-validation sweep",
     "service.unit": "one work unit executed by the campaign service",
 }
 
@@ -131,6 +138,7 @@ EVENTS: Dict[str, str] = {
     "sim.batch": "one batched sweep walked (size, fast-path flag)",
     "centrace.blocked": "a measurement observed blocking (endpoint, type)",
     "cenfuzz.endpoint": "one endpoint fuzzed (evasion/permutation counts)",
+    "localize.placement": "one placement world scored (true index, methods)",
 }
 
 #: Registered counters with **no** literal call site: they are emitted

@@ -1,0 +1,129 @@
+"""Edge-case locks for the hop-voting/attribution primitives.
+
+These tests were written against the pre-extraction
+``core/centrace/classify.py`` and re-run unchanged after the voting
+code moved to ``core/centrace/attribution.py`` (with ``TtlLocalizer``
+layered on top in ``repro.localize``): they pin the exact tie-breaking,
+silence and no-ASDB behaviour the golden digests depend on.
+"""
+
+import pytest
+
+from repro.core.centrace.classify import (
+    _attribute,
+    build_hop_distribution,
+    most_likely_hop,
+)
+from repro.core.centrace.results import (
+    HopInfo,
+    ProbeObservation,
+    ResponseSummary,
+    TraceSweep,
+)
+
+
+def sweep_with_hops(hops):
+    """A one-repetition sweep whose probe at each TTL saw ``hops[ttl]``.
+
+    ``hops`` maps TTL -> hop IP (None = silence: the probe got no ICMP
+    back, exactly like an ICMP-quiet router or a rate-limited hop).
+    """
+    probes = []
+    for ttl in sorted(hops):
+        ip = hops[ttl]
+        responses = (
+            [ResponseSummary(kind="icmp", src_ip=ip, arrival_ttl=60)]
+            if ip is not None
+            else []
+        )
+        probes.append(ProbeObservation(ttl=ttl, responses=responses))
+    return TraceSweep(domain="control.example", protocol="http", probes=probes)
+
+
+class TestMostLikelyHopTies:
+    def test_tie_broken_by_first_observation(self):
+        # Two repetitions disagree 1-1 at TTL 3. ``max`` over a dict is
+        # insertion-ordered, so the hop seen in the *earlier* sweep wins
+        # the vote — locked here because reorderings would silently move
+        # blocking-hop attributions.
+        sweeps = [
+            sweep_with_hops({3: "10.0.0.3"}),
+            sweep_with_hops({3: "10.0.9.9"}),
+        ]
+        distribution = build_hop_distribution(sweeps)
+        assert distribution == {3: {"10.0.0.3": 1, "10.0.9.9": 1}}
+        assert most_likely_hop(distribution, 3) == "10.0.0.3"
+
+    def test_majority_beats_first_observation(self):
+        sweeps = [
+            sweep_with_hops({3: "10.0.0.3"}),
+            sweep_with_hops({3: "10.0.9.9"}),
+            sweep_with_hops({3: "10.0.9.9"}),
+        ]
+        assert most_likely_hop(build_hop_distribution(sweeps), 3) == "10.0.9.9"
+
+    def test_silence_ties_with_response(self):
+        # 1-1 between silence ("") and a real hop: silence was inserted
+        # first, wins the max, and is reported as None.
+        sweeps = [
+            sweep_with_hops({4: None}),
+            sweep_with_hops({4: "10.0.0.4"}),
+        ]
+        assert most_likely_hop(build_hop_distribution(sweeps), 4) is None
+
+
+class TestAllTimeoutSweeps:
+    def test_all_silent_distribution_votes_none(self):
+        sweeps = [sweep_with_hops({1: None, 2: None}) for _ in range(3)]
+        distribution = build_hop_distribution(sweeps)
+        assert distribution == {1: {"": 3}, 2: {"": 3}}
+        assert most_likely_hop(distribution, 1) is None
+        assert most_likely_hop(distribution, 2) is None
+
+    def test_empty_sweep_list(self):
+        assert build_hop_distribution([]) == {}
+        assert most_likely_hop({}, 1) is None
+
+    def test_missing_ttl_is_none(self):
+        distribution = build_hop_distribution([sweep_with_hops({1: "10.0.0.1"})])
+        assert most_likely_hop(distribution, 7) is None
+
+
+class _StubMeta:
+    asn = 64500
+    as_name = "StubNet"
+    country = "AZ"
+
+
+class _StubASDB:
+    def __init__(self, known):
+        self.known = known
+
+    def lookup(self, ip):
+        return _StubMeta() if ip in self.known else None
+
+
+class TestAttributeEdges:
+    def test_no_asdb_keeps_bare_hop(self):
+        hop = _attribute("10.0.0.5", 5, None)
+        assert hop == HopInfo(ttl=5, ip="10.0.0.5")
+        assert hop.asn is None and hop.as_name is None and hop.country is None
+
+    def test_none_ip_never_looked_up(self):
+        class Exploding:
+            def lookup(self, ip):  # pragma: no cover - must not run
+                raise AssertionError("lookup called for silent hop")
+
+        assert _attribute(None, 5, Exploding()) == HopInfo(ttl=5, ip=None)
+
+    def test_unknown_ip_stays_unattributed(self):
+        hop = _attribute("10.0.0.5", 5, _StubASDB(known=()))
+        assert hop == HopInfo(ttl=5, ip="10.0.0.5")
+
+    def test_known_ip_fills_metadata(self):
+        hop = _attribute("10.0.0.5", 5, _StubASDB(known=("10.0.0.5",)))
+        assert (hop.asn, hop.as_name, hop.country) == (64500, "StubNet", "AZ")
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

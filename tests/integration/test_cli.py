@@ -386,3 +386,48 @@ class TestEpochs:
         assert summary["epochs"] == 2
         assert [e["epoch"] for e in summary["per_epoch"]] == [0, 1]
         assert summary["per_epoch"][1]["drift_ops_applied"] == 1
+
+
+class TestLocalize:
+    SUBSET = "i0>a1,b1>n"
+
+    def test_text_run_with_gate_and_save(self, tmp_path, capsys):
+        code = main([
+            "localize", "--placements", self.SUBSET,
+            "--min-accuracy", "0.8", "--metrics",
+            "--out", str(tmp_path / "loc"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tomography" in out and "accuracy=" in out
+        assert "localize.probes" in out
+        assert (tmp_path / "loc" / "verdicts.jsonl").exists()
+        from repro.persist import load_localization
+
+        run = load_localization(tmp_path / "loc")
+        assert run.xval is not None
+        assert "tomography" in run.by_method()
+
+    def test_json_output_parses(self, capsys):
+        code = main([
+            "localize", "--placements", self.SUBSET, "--no-ttl", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["methods"]["tomography"]["accuracy"] == 1.0
+        assert "ttl" not in report["methods"]
+
+    def test_impossible_accuracy_gate_fails(self, capsys):
+        # The inconsistency/TTL methods never reach 101%; neither can
+        # tomography — the gate must trip, not be clamped.
+        code = main([
+            "localize", "--placements", self.SUBSET, "--no-ttl",
+            "--min-accuracy", "1.01",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_unknown_placement_rejected(self, capsys):
+        code = main(["localize", "--placements", "nope"])
+        assert code == 2
+        assert "unknown placement" in capsys.readouterr().err

@@ -425,3 +425,144 @@ class TestFieldsDrivenTraceRoundTrip:
         restored = trace_result_from_dict(trace_result_to_dict(original))
         for name in sorted(names):
             assert getattr(restored, name) == getattr(original, name), name
+
+
+class TestLocalizationRoundTrip:
+    """Fields-driven round-trips for the localization serializers: a
+    new field either round-trips or fails here by name."""
+
+    def variant_evidence(self):
+        import dataclasses
+
+        from repro.localize import PathEvidence
+
+        variants = {
+            "client_ip": "10.9.0.1",
+            "endpoint_ip": "10.0.1.1",
+            "domain": "variant.example",
+            "protocol": "https",
+            "sport": 40123,
+            "dport": 443,
+            "outcome": "RST",
+            "blocked": True,
+            "links": (("c", "i"), ("i", "a")),
+            "epoch": 4,
+            "source": "centrace",
+            "terminating_ttl": 3,
+            "blocking_hop_ip": "10.0.0.3",
+            "endpoint_distance": 7,
+        }
+        names = {f.name for f in dataclasses.fields(PathEvidence)}
+        missing = names - set(variants)
+        assert not missing, (
+            f"add round-trip variants for new PathEvidence "
+            f"field(s): {sorted(missing)}"
+        )
+        return PathEvidence(**variants), names
+
+    def variant_verdict(self):
+        import dataclasses
+
+        from repro.localize import LocalizationVerdict
+
+        variants = {
+            "method": "tomography",
+            "endpoint_ip": "10.0.1.1",
+            "domain": "variant.example",
+            "candidate_links": (("i", "a"), ("a", "j")),
+            "hop_low": 1,
+            "hop_high": 2,
+            "confidence": 0.75,
+            "evidence_count": 24,
+            "detail": "blocked=12/24 epochs=5",
+        }
+        names = {f.name for f in dataclasses.fields(LocalizationVerdict)}
+        missing = names - set(variants)
+        assert not missing, (
+            f"add round-trip variants for new LocalizationVerdict "
+            f"field(s): {sorted(missing)}"
+        )
+        return LocalizationVerdict(**variants), names
+
+    def test_every_evidence_field_round_trips(self):
+        from repro.persist import path_evidence_from_dict, path_evidence_to_dict
+
+        original, names = self.variant_evidence()
+        data = json.loads(json.dumps(path_evidence_to_dict(original)))
+        restored = path_evidence_from_dict(data)
+        for name in sorted(names):
+            assert getattr(restored, name) == getattr(original, name), name
+
+    def test_every_verdict_field_round_trips(self):
+        from repro.persist import (
+            localization_verdict_from_dict,
+            localization_verdict_to_dict,
+        )
+
+        original, names = self.variant_verdict()
+        data = json.loads(json.dumps(localization_verdict_to_dict(original)))
+        restored = localization_verdict_from_dict(data)
+        for name in sorted(names):
+            assert getattr(restored, name) == getattr(original, name), name
+
+    def test_links_restore_as_tuples(self):
+        from repro.persist import path_evidence_from_dict, path_evidence_to_dict
+
+        original, _ = self.variant_evidence()
+        restored = path_evidence_from_dict(
+            json.loads(json.dumps(path_evidence_to_dict(original)))
+        )
+        assert restored.links == original.links
+        assert isinstance(restored.links, tuple)
+        assert all(isinstance(link, tuple) for link in restored.links)
+        assert restored.link_set() == original.link_set()
+
+
+class TestSaveLoadLocalization:
+    def run_dir(self, tmp_path):
+        from repro.persist import save_localization
+
+        evidence, _ = TestLocalizationRoundTrip().variant_evidence()
+        verdict, _ = TestLocalizationRoundTrip().variant_verdict()
+        xval = {"methods": {"tomography": {"accuracy": 1.0}}}
+        counts = save_localization(
+            [verdict], [evidence], tmp_path / "loc", xval=xval
+        )
+        return tmp_path / "loc", counts
+
+    def test_save_then_load(self, tmp_path):
+        from repro.persist import load_localization
+
+        directory, counts = self.run_dir(tmp_path)
+        assert counts == {"verdicts": 1, "evidence": 1, "xval": 1}
+        run = load_localization(directory)
+        assert run.meta["kind"] == "localization"
+        assert len(run.verdicts) == 1 and len(run.evidence) == 1
+        assert run.by_method()["tomography"][0].hop_low == 1
+        assert run.xval["methods"]["tomography"]["accuracy"] == 1.0
+
+    def test_missing_directory_raises_persist_error(self, tmp_path):
+        from repro.persist import load_localization
+
+        with pytest.raises(PersistError, match="meta"):
+            load_localization(tmp_path / "nope")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.persist import load_localization
+
+        directory = tmp_path / "svc"
+        directory.mkdir()
+        (directory / "meta.json").write_text(
+            json.dumps({"version": 3, "kind": "service-run"})
+        )
+        with pytest.raises(PersistError, match="service-run"):
+            load_localization(directory)
+
+    def test_corrupt_verdicts_raise_persist_error(self, tmp_path):
+        from repro.persist import load_localization
+
+        directory, _ = self.run_dir(tmp_path)
+        path = directory / "verdicts.jsonl"
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(PersistError, match="corrupt"):
+            load_localization(directory)

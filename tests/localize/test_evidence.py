@@ -1,0 +1,126 @@
+"""PathEvidence producers: outcome classification, churn collection,
+CenTrace wrapping."""
+
+import pytest
+
+from repro.experiments.localize_xval import (
+    TOMO_DOMAIN,
+    tomography_world,
+)
+from repro.localize import (
+    PathEvidence,
+    SOURCE_CENTRACE,
+    SOURCE_OUTCOME,
+    collect_outcome_evidence,
+    evidence_from_trace,
+)
+from repro.localize.evidence import classify_outcome
+from repro.core.blockpages import DEFAULT_MATCHER
+from repro.core.centrace.results import (
+    TYPE_FIN,
+    TYPE_NORMAL,
+    TYPE_RST,
+    TYPE_TIMEOUT,
+)
+from repro.netmodel import tcp as tcpmod
+from repro.netmodel.ip import IPHeader
+from repro.netmodel.packet import Packet
+from repro.netmodel.tcp import TCPSegment
+
+
+def tcp_packet(flags=tcpmod.ACK, payload=b""):
+    return Packet(
+        ip=IPHeader(src="10.0.0.9", dst="10.0.0.1", ttl=60),
+        tcp=TCPSegment(
+            sport=80, dport=40000, seq=1, ack=1, flags=flags, payload=payload
+        ),
+    )
+
+
+class TestClassifyOutcome:
+    def test_no_responses_is_timeout(self):
+        assert classify_outcome([], DEFAULT_MATCHER) == TYPE_TIMEOUT
+
+    def test_rst_wins_when_first(self):
+        packets = [
+            tcp_packet(flags=tcpmod.RST | tcpmod.ACK),
+            tcp_packet(payload=b"HTTP/1.1 200 OK\r\n\r\nhello"),
+        ]
+        assert classify_outcome(packets, DEFAULT_MATCHER) == TYPE_RST
+
+    def test_real_content_wins_when_first(self):
+        packets = [
+            tcp_packet(payload=b"HTTP/1.1 200 OK\r\n\r\nhello"),
+            tcp_packet(flags=tcpmod.RST | tcpmod.ACK),
+        ]
+        assert classify_outcome(packets, DEFAULT_MATCHER) == TYPE_NORMAL
+
+    def test_fin_only_is_fin(self):
+        packets = [tcp_packet(flags=tcpmod.FIN | tcpmod.ACK)]
+        assert classify_outcome(packets, DEFAULT_MATCHER) == TYPE_FIN
+
+
+class TestCollectOutcomeEvidence:
+    @pytest.fixture(scope="class")
+    def world_and_evidence(self):
+        world = tomography_world("i0>a1", seed=5)
+        evidence = collect_outcome_evidence(
+            world, domains=[TOMO_DOMAIN], rounds=6, probes_per_round=4
+        )
+        return world, evidence
+
+    def test_one_record_per_probe(self, world_and_evidence):
+        _, evidence = world_and_evidence
+        # 6 rounds x 2 endpoints x 4 probes
+        assert len(evidence) == 48
+        assert all(e.source == SOURCE_OUTCOME for e in evidence)
+
+    def test_links_start_at_client(self, world_and_evidence):
+        world, evidence = world_and_evidence
+        client = world.remote_client.name
+        for item in evidence:
+            assert item.links[0][0] == client
+            assert item.link_set() == frozenset(item.links)
+
+    def test_churn_samples_multiple_paths(self, world_and_evidence):
+        _, evidence = world_and_evidence
+        # Four candidate paths per endpoint; churn + per-flow hashing
+        # must surface more than one distinct link set.
+        link_sets = {e.link_set() for e in evidence}
+        assert len(link_sets) > 1
+        assert len({e.epoch for e in evidence}) > 1
+
+    def test_outcomes_depend_on_path(self, world_and_evidence):
+        _, evidence = world_and_evidence
+        # Device on i0->a1: the two a-side paths block, b-side are clean.
+        blocked = [e for e in evidence if e.blocked]
+        clean = [e for e in evidence if not e.blocked]
+        assert blocked and clean
+        for item in blocked:
+            assert ("r2", "r3") in item.links  # i0 -> a1
+
+
+class TestEvidenceFromTrace:
+    def test_wraps_centrace_result(self):
+        from repro.core.centrace import CenTrace, CenTraceConfig
+
+        world = tomography_world("client>i0", seed=7)
+        client = world.remote_client
+        tracer = CenTrace(
+            world.sim, client, asdb=world.asdb,
+            config=CenTraceConfig(max_ttl=12),
+        )
+        endpoint = world.endpoints[0]
+        result = tracer.measure(endpoint.ip, TOMO_DOMAIN)
+        assert result.blocked
+        route = world.topology.route_between(client.ip, endpoint.ip)
+        record = evidence_from_trace(
+            result, route=route, origin=client.name, client_ip=client.ip
+        )
+        assert isinstance(record, PathEvidence)
+        assert record.source == SOURCE_CENTRACE
+        assert record.blocked
+        assert record.terminating_ttl is not None
+        assert record.links[0][0] == client.name
+        # Nominal path runs client -> ... -> endpoint.
+        assert record.links[-1][1] == endpoint.name

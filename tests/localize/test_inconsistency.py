@@ -1,0 +1,88 @@
+"""Pathfinder-style inconsistency findings and the localizer on top."""
+
+from repro.localize import (
+    InconsistencyLocalizer,
+    find_inconsistencies,
+)
+from tests.localize.test_tomography import (
+    A,
+    B,
+    EP1,
+    EP2,
+    INGRESS,
+    TAIL1,
+    TAIL2,
+    path_a,
+    path_b,
+    probe,
+)
+
+
+class TestFindInconsistencies:
+    def test_disagreement_yields_finding_with_divergent_segment(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), False),
+        ]
+        (finding,) = find_inconsistencies(evidence)
+        assert finding.endpoint_ip == EP1
+        assert finding.blocked_count == 1 and finding.clean_count == 1
+        # Divergent = blocked path minus clean path = branch A.
+        assert set(finding.divergent_links) == set(A)
+        assert "divergent" in finding.brief()
+
+    def test_consistent_blocking_yields_nothing(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+        ]
+        assert find_inconsistencies(evidence) == []
+
+    def test_same_path_flakiness_is_not_an_inconsistency(self):
+        # Same link set, different outcome: a flaky device, not a
+        # path-dependent disagreement.
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_a(), False),
+        ]
+        assert find_inconsistencies(evidence) == []
+
+    def test_one_finding_per_distinct_blocked_path(self):
+        mixed = (INGRESS,) + (A[0], ("a", "x"), ("x", "j")) + TAIL1
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, mixed, True),
+            probe(EP1, path_b(), False),
+        ]
+        findings = find_inconsistencies(evidence)
+        assert len(findings) == 2
+        assert {f.blocked_links for f in findings} == {path_a(), mixed}
+
+    def test_findings_are_per_target(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), False),
+            probe(EP2, path_a(TAIL2), True),
+            probe(EP2, path_b(TAIL2), False),
+        ]
+        findings = find_inconsistencies(evidence)
+        assert {f.endpoint_ip for f in findings} == {EP1, EP2}
+
+
+class TestInconsistencyLocalizer:
+    def test_claims_union_of_divergent_segments(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), False),
+        ]
+        (verdict,) = InconsistencyLocalizer().localize(evidence)
+        assert verdict.method == "inconsistency"
+        assert set(verdict.candidate_links) == set(A)
+        assert verdict.hop_low == 1 and verdict.hop_high == 2
+
+    def test_silent_without_disagreement(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+        ]
+        assert InconsistencyLocalizer().localize(evidence) == []

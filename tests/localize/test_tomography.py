@@ -1,0 +1,161 @@
+"""TomographyLocalizer: intersection/elimination over synthetic
+evidence, independent of any simulator."""
+
+from repro.core.centrace.results import TYPE_NORMAL, TYPE_RST
+from repro.localize import PathEvidence, TomographyLocalizer
+
+EP1, EP2 = "10.0.1.1", "10.0.1.2"
+DOMAIN = "blocked.example"
+
+# A tiny diamond: shared ingress, two branches, per-endpoint tail.
+INGRESS = ("c", "i")
+A = (("i", "a"), ("a", "j"))
+B = (("i", "b"), ("b", "j"))
+TAIL1 = (("j", "t1"), ("t1", "e1"))
+TAIL2 = (("j", "t2"), ("t2", "e2"))
+
+
+def probe(endpoint_ip, links, blocked, *, domain=DOMAIN, epoch=0, sport=40000):
+    return PathEvidence(
+        client_ip="10.9.0.1",
+        endpoint_ip=endpoint_ip,
+        domain=domain,
+        protocol="http",
+        sport=sport,
+        dport=80,
+        outcome=TYPE_RST if blocked else TYPE_NORMAL,
+        blocked=blocked,
+        links=links,
+        epoch=epoch,
+    )
+
+
+def path_a(tail=TAIL1):
+    return (INGRESS,) + A + tail
+
+
+def path_b(tail=TAIL1):
+    return (INGRESS,) + B + tail
+
+
+class TestIntersectionElimination:
+    def test_branch_device_isolated_exactly(self):
+        # Blocked only via branch A; clean via branch B. Intersection of
+        # blocked sets = path A links; clean elimination removes the
+        # shared ingress and tail, leaving exactly branch A.
+        evidence = [
+            probe(EP1, path_a(), True, epoch=0),
+            probe(EP1, path_a(), True, epoch=1),
+            probe(EP1, path_b(), False, epoch=0),
+            probe(EP1, path_b(), False, epoch=1),
+        ]
+        verdicts = TomographyLocalizer().localize(evidence)
+        assert len(verdicts) == 1
+        assert set(verdicts[0].candidate_links) == set(A)
+        assert verdicts[0].hop_low == 1 and verdicts[0].hop_high == 2
+
+    def test_all_paths_blocked_narrows_to_shared_links(self):
+        # Device on the shared ingress: every path blocks, nothing is
+        # clean for this endpoint — candidates are the common links.
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+        ]
+        verdicts = TomographyLocalizer().localize(evidence)
+        (verdict,) = verdicts
+        assert set(verdict.candidate_links) == {INGRESS} | set(TAIL1)
+
+    def test_clean_elimination_is_per_domain_across_endpoints(self):
+        # EP1 sees only blocked probes, but EP2's clean probe for the
+        # same domain traversed the shared ingress — so the ingress is
+        # eliminated for EP1 too, and only A remains.
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP2, path_b(TAIL2), False),
+            probe(EP1, ((("c", "i"),) + A + TAIL1), True),
+        ]
+        verdicts = TomographyLocalizer(refine_across_endpoints=False).localize(
+            evidence
+        )
+        (verdict,) = verdicts
+        assert INGRESS not in verdict.candidate_links
+        assert set(verdict.candidate_links) == set(A) | set(TAIL1)
+
+    def test_other_domains_do_not_eliminate(self):
+        # A clean probe for a DIFFERENT domain proves nothing about
+        # this device's links (it may simply not block that domain).
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_a(), False, domain="other.example"),
+        ]
+        verdicts = TomographyLocalizer().localize(evidence)
+        (verdict,) = verdicts
+        assert verdict.domain == DOMAIN
+        assert set(verdict.candidate_links) == set(path_a())
+
+    def test_cross_endpoint_refinement_narrows_shared_device(self):
+        # Both endpoints block on everything; their candidate sets
+        # share only the ingress -> the refinement pins the ingress.
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+            probe(EP2, path_a(TAIL2), True),
+            probe(EP2, path_b(TAIL2), True),
+        ]
+        verdicts = TomographyLocalizer().localize(evidence)
+        assert len(verdicts) == 2
+        for verdict in verdicts:
+            assert verdict.candidate_links == (INGRESS,)
+            assert verdict.hop_low == verdict.hop_high == 0
+
+    def test_refinement_can_be_disabled(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+            probe(EP2, path_a(TAIL2), True),
+            probe(EP2, path_b(TAIL2), True),
+        ]
+        verdicts = TomographyLocalizer(refine_across_endpoints=False).localize(
+            evidence
+        )
+        for verdict in verdicts:
+            assert len(verdict.candidate_links) == 3  # ingress + tail
+
+    def test_contradiction_falls_back_to_intersection(self):
+        # A flaky device fails open once on the same path: elimination
+        # would empty the candidate set; the verdict keeps the
+        # intersection instead of claiming nothing.
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_a(), False),
+        ]
+        (verdict,) = TomographyLocalizer().localize(evidence)
+        assert set(verdict.candidate_links) == set(path_a())
+
+    def test_no_blocking_no_verdicts(self):
+        evidence = [probe(EP1, path_a(), False)]
+        assert TomographyLocalizer().localize(evidence) == []
+
+    def test_confidence_grows_with_narrowing(self):
+        narrow = TomographyLocalizer().localize(
+            [
+                probe(EP1, path_a(), True),
+                probe(EP1, path_b(), False),
+            ]
+        )[0]
+        broad = TomographyLocalizer().localize(
+            [probe(EP1, path_a(), True)]
+        )[0]
+        assert narrow.confidence > broad.confidence
+
+    def test_candidates_ordered_client_outward(self):
+        evidence = [
+            probe(EP1, path_a(), True),
+            probe(EP1, path_b(), True),
+        ]
+        (verdict,) = TomographyLocalizer().localize(evidence)
+        indices = [
+            {INGRESS: 0, TAIL1[0]: 3, TAIL1[1]: 4}[link]
+            for link in verdict.candidate_links
+        ]
+        assert indices == sorted(indices)

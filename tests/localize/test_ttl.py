@@ -1,0 +1,66 @@
+"""TtlLocalizer: CenTrace-derived evidence re-voted behind the
+Localizer protocol."""
+
+from repro.core.centrace.results import TYPE_RST
+from repro.localize import PathEvidence, SOURCE_CENTRACE, TtlLocalizer
+
+EP = "10.0.1.1"
+LINKS = (("c", "i"), ("i", "a"), ("a", "j"), ("j", "e"))
+
+
+def trace(ttl, hop_ip="10.0.0.2", links=LINKS, blocked=True):
+    return PathEvidence(
+        client_ip="10.9.0.1",
+        endpoint_ip=EP,
+        domain="blocked.example",
+        protocol="http",
+        sport=0,
+        dport=0,
+        outcome=TYPE_RST,
+        blocked=blocked,
+        links=links,
+        source=SOURCE_CENTRACE,
+        terminating_ttl=ttl,
+        blocking_hop_ip=hop_ip,
+    )
+
+
+class TestTtlLocalizer:
+    def test_single_trace_claims_link_at_ttl(self):
+        (verdict,) = TtlLocalizer().localize([trace(2)])
+        # Device TTL 2 -> the link INTO the hop at TTL 2 -> index 1.
+        assert verdict.candidate_links == (("i", "a"),)
+        assert verdict.hop_low == verdict.hop_high == 1
+        assert "device_ttl=2" in verdict.detail
+
+    def test_majority_ttl_wins(self):
+        traces = [trace(2), trace(2), trace(3)]
+        (verdict,) = TtlLocalizer().localize(traces)
+        assert verdict.candidate_links == (("i", "a"),)
+        # Confidence discounted by the dissenting repetition.
+        assert verdict.confidence < 1.0
+        assert verdict.evidence_count == 3
+
+    def test_plain_outcome_evidence_is_ignored(self):
+        outcome_only = PathEvidence(
+            client_ip="10.9.0.1",
+            endpoint_ip=EP,
+            domain="blocked.example",
+            protocol="http",
+            sport=40000,
+            dport=80,
+            outcome=TYPE_RST,
+            blocked=True,
+            links=LINKS,
+        )
+        assert TtlLocalizer().localize([outcome_only]) == []
+
+    def test_unblocked_traces_are_ignored(self):
+        assert TtlLocalizer().localize([trace(2, blocked=False)]) == []
+
+    def test_off_path_ttl_keeps_interval(self):
+        # "Past E" attribution: TTL beyond the path. No link to name,
+        # but the claim stays comparable via the interval.
+        (verdict,) = TtlLocalizer().localize([trace(9)])
+        assert verdict.candidate_links == ()
+        assert verdict.hop_low == verdict.hop_high == 8

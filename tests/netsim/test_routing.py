@@ -84,3 +84,76 @@ class TestRoute:
         device = make_device(KZ_STATE, "d", ["x.example"])
         route = single_path_route(["a", "b", "c"], devices_at={1: [device]})
         assert route.paths[0].devices() == [(1, device)]
+
+
+class TestPathLinks:
+    def test_links_include_client_access_link(self):
+        path = _path(["a", "b", "ep"])
+        assert path.links("client1") == (
+            ("client1", "a"),
+            ("a", "b"),
+            ("b", "ep"),
+        )
+
+    def test_link_index_matches_device_convention(self):
+        # Path.devices() reports (link_index, device) with the device on
+        # the link leading into hops[link_index]; links(origin) must use
+        # the same indexing so localizers can join the two.
+        device = make_device(KZ_STATE, "d", ["x.example"])
+        path = Path([Hop("a"), Hop("b", link_devices=[device]), Hop("ep")])
+        [(link_index, found)] = path.devices()
+        assert found is device
+        assert path.links("c")[link_index] == ("a", "b")
+
+
+class TestEnumeratePaths:
+    def test_registration_order_and_normalized_weights(self):
+        route = Route(
+            [_path(["a", "x"]), _path(["b", "x"]), _path(["c", "x"])],
+            weights=[6.0, 3.0, 1.0],
+        )
+        enumerated = route.enumerate_paths()
+        assert [p.node_names()[0] for p, _ in enumerated] == ["a", "b", "c"]
+        assert [w for _, w in enumerated] == pytest.approx([0.6, 0.3, 0.1])
+        assert sum(w for _, w in enumerated) == pytest.approx(1.0)
+
+    def test_enumeration_is_stable(self):
+        route = Route([_path(["a"]), _path(["b"])], weights=[0.8, 0.2])
+        assert route.enumerate_paths() == route.enumerate_paths()
+
+    def test_selected_path_is_enumerated(self):
+        route = Route(
+            [_path(["a", "x"]), _path(["b", "x"])], weights=[0.7, 0.3]
+        )
+        enumerated = [p for p, _ in route.enumerate_paths()]
+        for sport in range(4000, 4050):
+            flow = FlowKey("1.1.1.1", "2.2.2.2", sport, 80)
+            assert route.select(flow) in enumerated
+
+    def test_traversed_links_match_selection(self):
+        route = Route(
+            [_path(["a", "x", "ep"]), _path(["b", "y", "ep"])],
+            weights=[0.5, 0.5],
+        )
+        for sport in range(5000, 5040):
+            for seed in (0, 7):
+                flow = FlowKey("1.1.1.1", "2.2.2.2", sport, 80)
+                assert route.traversed_links(
+                    flow, "client1", seed=seed
+                ) == route.select(flow, seed=seed).links("client1")
+
+    def test_weighted_multipath_covers_all_link_sets(self):
+        route = Route(
+            [_path(["a", "x", "ep"]), _path(["b", "y", "ep"])],
+            weights=[0.8, 0.2],
+        )
+        seen = {
+            route.traversed_links(
+                FlowKey("1.1.1.1", "2.2.2.2", sport, 80), "c"
+            )
+            for sport in range(6000, 6200)
+        }
+        assert seen == {
+            (("c", "a"), ("a", "x"), ("x", "ep")),
+            (("c", "b"), ("b", "y"), ("y", "ep")),
+        }

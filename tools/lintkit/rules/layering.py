@@ -43,7 +43,12 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "devices": {"netmodel", "netsim", "services"},
     "geo": {"netmodel", "netsim", "devices", "services"},
     "core": {"netmodel", "netsim", "devices", "services", "geo", "telemetry"},
-    "persist": {"core", "netmodel", "netsim", "telemetry"},
+    # Localization consumes measurement primitives and world routing but
+    # must never be imported back by them: the CenTrace classifier's
+    # voting seam lives in core/centrace/attribution.py precisely so the
+    # edge points localize -> core only.
+    "localize": {"core", "geo", "netmodel", "netsim", "telemetry"},
+    "persist": {"core", "localize", "netmodel", "netsim", "telemetry"},
     "analysis": {"core", "netmodel"},
     "baselines": {"core", "netmodel"},
     "viz": {"core", "geo", "netmodel"},
@@ -53,6 +58,7 @@ LAYER_DEPS: Dict[str, Set[str]] = {
         "core",
         "devices",
         "geo",
+        "localize",
         "netmodel",
         "netsim",
         "persist",
@@ -98,6 +104,10 @@ NEVER_IMPORTED = {"cli"}
 RESTRICTED_IMPORTERS: Dict[str, Set[str]] = {
     "service": {"cli"},
     "store": {"cli"},
+    # Localizers are an analysis product: the harness and the CLI drive
+    # them, persist serializes their dataclasses — measurement layers
+    # (core, netsim, geo) must stay free of localization knowledge.
+    "localize": {"cli", "experiments", "persist"},
 }
 
 PACKAGE = "repro"
